@@ -1,0 +1,149 @@
+(* prio-cli: run a simulated Prio deployment from the command line.
+
+   Examples:
+     dune exec bin/prio_cli.exe -- count --clients 200
+     dune exec bin/prio_cli.exe -- sum --bits 8 --clients 100 --servers 3
+     dune exec bin/prio_cli.exe -- histogram --buckets 12 --clients 500 --dp-epsilon 1.0
+     dune exec bin/prio_cli.exe -- regression --dims 3 --clients 150 --mpc *)
+
+open Cmdliner
+open Core
+module P = Prio.Make (Prio.F87)
+
+type opts = {
+  servers : int;
+  clients : int;
+  seed : string;
+  mpc : bool;
+  dp_epsilon : float option;
+}
+
+let deploy opts afe =
+  let rng = Prio.Rng.of_string_seed opts.seed in
+  let mode = if opts.mpc then P.Cluster.Robust_mpc else P.Cluster.Robust_snip in
+  (rng, P.deploy ~mode ~num_servers:opts.servers ~rng afe)
+
+let dp_alpha opts ~sensitivity =
+  Option.map
+    (fun epsilon -> Prio.Dp.alpha_of_epsilon ~epsilon ~sensitivity)
+    opts.dp_epsilon
+
+let report stats =
+  Printf.printf "\naccepted: %d   rejected: %d   server-to-server bytes: %d\n"
+    stats.P.accepted stats.P.rejected stats.P.server_bytes
+
+(* ------------------------------ commands ---------------------------- *)
+
+let run_count opts =
+  let rng, d = deploy opts P.Afe_sum.count_bits in
+  let values = List.init opts.clients (fun _ -> Prio.Rng.bool rng) in
+  let count, stats =
+    P.collect ?dp_alpha:(dp_alpha opts ~sensitivity:1) d values
+  in
+  let true_count = List.length (List.filter Fun.id values) in
+  Printf.printf "private count: %d (true: %d)\n" count true_count;
+  report stats
+
+let run_sum opts bits =
+  let rng, d = deploy opts (P.Afe_sum.sum ~bits) in
+  let values = List.init opts.clients (fun _ -> Prio.Rng.int_below rng (1 lsl bits)) in
+  let total, stats =
+    P.collect ?dp_alpha:(dp_alpha opts ~sensitivity:((1 lsl bits) - 1)) d values
+  in
+  let true_total = List.fold_left ( + ) 0 values in
+  Printf.printf "private sum of %d %d-bit values: %s (true: %d)\n" opts.clients
+    bits (Prio.Bigint.to_string total) true_total;
+  report stats
+
+let run_histogram opts buckets =
+  let rng, d = deploy opts (P.Afe_histogram.histogram ~buckets) in
+  (* skewed synthetic distribution *)
+  let values =
+    List.init opts.clients (fun _ ->
+        let a = Prio.Rng.int_below rng buckets
+        and b = Prio.Rng.int_below rng buckets in
+        Stdlib.min a b)
+  in
+  let counts, stats = P.collect ?dp_alpha:(dp_alpha opts ~sensitivity:1) d values in
+  Printf.printf "private histogram over %d buckets:\n" buckets;
+  Array.iteri
+    (fun i c ->
+      Printf.printf "  %3d: %5d %s\n" i c (String.make (Stdlib.min 60 (Stdlib.max 0 c)) '#'))
+    counts;
+  report stats
+
+let run_regression opts dims =
+  let bits = 10 in
+  let rng, d = deploy opts (P.Afe_regression.least_squares ~d:dims ~bits) in
+  (* ground truth: y = 25 + sum_j (j+1) x_j, features 10-bit *)
+  let values =
+    List.init opts.clients (fun _ ->
+        let features = Array.init dims (fun _ -> Prio.Rng.int_below rng 64) in
+        let target =
+          25 + Array.fold_left ( + ) 0 (Array.mapi (fun j x -> (j + 1) * x) features)
+        in
+        P.Afe_regression.{ features; target })
+  in
+  let coefs, stats = P.collect d values in
+  Printf.printf "private least-squares fit over %d clients:\n  y = %.3f" opts.clients coefs.(0);
+  for j = 1 to dims do
+    Printf.printf " %+.3f*x%d" coefs.(j) j
+  done;
+  print_string "\n  (truth: y = 25";
+  for j = 1 to dims do
+    Printf.printf " %+d*x%d" j j
+  done;
+  print_endline ")";
+  report stats
+
+(* ------------------------------- terms ------------------------------ *)
+
+let opts_term =
+  let servers =
+    Arg.(value & opt int 5 & info [ "servers"; "s" ] ~doc:"Number of servers.")
+  in
+  let clients =
+    Arg.(value & opt int 100 & info [ "clients"; "n" ] ~doc:"Number of clients.")
+  in
+  let seed =
+    Arg.(value & opt string "prio-cli" & info [ "seed" ] ~doc:"Deterministic RNG seed.")
+  in
+  let mpc =
+    Arg.(value & flag & info [ "mpc" ] ~doc:"Use the Prio-MPC (server-side Valid) variant.")
+  in
+  let dp =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "dp-epsilon" ] ~doc:"Add distributed differential-privacy noise with this ε.")
+  in
+  let make servers clients seed mpc dp_epsilon =
+    { servers; clients; seed; mpc; dp_epsilon }
+  in
+  Term.(const make $ servers $ clients $ seed $ mpc $ dp)
+
+let count_cmd =
+  Cmd.v (Cmd.info "count" ~doc:"Privately count clients holding a true bit.")
+    Term.(const run_count $ opts_term)
+
+let sum_cmd =
+  let bits = Arg.(value & opt int 8 & info [ "bits" ] ~doc:"Bit width of values.") in
+  Cmd.v (Cmd.info "sum" ~doc:"Privately sum b-bit integers.")
+    Term.(const run_sum $ opts_term $ bits)
+
+let histogram_cmd =
+  let buckets = Arg.(value & opt int 10 & info [ "buckets" ] ~doc:"Histogram buckets.") in
+  Cmd.v (Cmd.info "histogram" ~doc:"Privately collect a frequency histogram.")
+    Term.(const run_histogram $ opts_term $ buckets)
+
+let regression_cmd =
+  let dims = Arg.(value & opt int 3 & info [ "dims"; "d" ] ~doc:"Feature dimensions.") in
+  Cmd.v (Cmd.info "regression" ~doc:"Privately train a least-squares model.")
+    Term.(const run_regression $ opts_term $ dims)
+
+let () =
+  let info =
+    Cmd.info "prio-cli" ~version:"1.0.0"
+      ~doc:"Private aggregate statistics with the Prio protocol (NSDI 2017)."
+  in
+  exit (Cmd.eval (Cmd.group info [ count_cmd; sum_cmd; histogram_cmd; regression_cmd ]))

@@ -1,0 +1,1 @@
+examples/browser_stats.ml: Array Bytes Char Core List Printf Prio

@@ -1,0 +1,1 @@
+examples/cell_signal.ml: Array Core List Printf Prio

@@ -1,0 +1,1 @@
+examples/cell_signal.mli:

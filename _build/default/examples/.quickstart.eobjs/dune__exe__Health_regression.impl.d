@@ -1,0 +1,1 @@
+examples/health_regression.ml: Array Core Float List Printf Prio

@@ -1,0 +1,1 @@
+examples/spam_filter.ml: Array Core List Printf Prio

@@ -1,0 +1,1 @@
+examples/survey.ml: Array Core List Printf Prio

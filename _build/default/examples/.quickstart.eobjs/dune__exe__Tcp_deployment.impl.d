@@ -1,0 +1,1 @@
+examples/tcp_deployment.ml: Array Core List Printf Prio

@@ -1,0 +1,1 @@
+lib/afe/afe.ml: Array List Prio_bigint Prio_circuit Prio_crypto Prio_field

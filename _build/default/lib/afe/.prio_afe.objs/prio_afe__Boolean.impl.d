@@ -1,0 +1,1 @@
+lib/afe/boolean.ml: Afe Array Printf Prio_crypto Prio_field

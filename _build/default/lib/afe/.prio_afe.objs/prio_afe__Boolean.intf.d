@@ -1,0 +1,1 @@
+lib/afe/boolean.mli: Afe Prio_field

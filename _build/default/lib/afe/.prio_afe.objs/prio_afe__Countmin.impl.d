@@ -1,0 +1,1 @@
+lib/afe/countmin.ml: Afe Array Bytes Char List Printf Prio_crypto Prio_field Stdlib

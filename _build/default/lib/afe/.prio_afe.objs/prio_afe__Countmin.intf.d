@@ -1,0 +1,1 @@
+lib/afe/countmin.mli: Afe Prio_field

@@ -1,0 +1,1 @@
+lib/afe/fixed_point.ml: Afe Array Float Printf Prio_bigint Prio_field Sum

@@ -1,0 +1,1 @@
+lib/afe/fixed_point.mli: Afe Prio_field

@@ -1,0 +1,1 @@
+lib/afe/histogram.ml: Afe Array List Printf Prio_field Stdlib

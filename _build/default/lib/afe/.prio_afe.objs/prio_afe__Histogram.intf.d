@@ -1,0 +1,1 @@
+lib/afe/histogram.mli: Afe Prio_field

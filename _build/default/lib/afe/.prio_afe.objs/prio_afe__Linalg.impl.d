@@ -1,0 +1,1 @@
+lib/afe/linalg.ml: Array

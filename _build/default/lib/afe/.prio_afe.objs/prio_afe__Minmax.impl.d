@@ -1,0 +1,1 @@
+lib/afe/minmax.ml: Afe Array Boolean Printf Prio_field

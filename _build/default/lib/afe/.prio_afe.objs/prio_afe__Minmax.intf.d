@@ -1,0 +1,1 @@
+lib/afe/minmax.mli: Afe Prio_field

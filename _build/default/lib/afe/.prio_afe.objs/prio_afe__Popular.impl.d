@@ -1,0 +1,1 @@
+lib/afe/popular.ml: Afe Array Bytes Char Fun List Printf Prio_crypto Prio_field String

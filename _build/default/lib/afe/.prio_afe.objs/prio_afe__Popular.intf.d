@@ -1,0 +1,1 @@
+lib/afe/popular.mli: Afe Prio_field

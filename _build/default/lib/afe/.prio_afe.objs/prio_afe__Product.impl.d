@@ -1,0 +1,1 @@
+lib/afe/product.ml: Afe Array Float Printf Prio_field Sum

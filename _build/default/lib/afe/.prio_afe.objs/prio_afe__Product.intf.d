@@ -1,0 +1,1 @@
+lib/afe/product.mli: Afe Prio_field

@@ -1,0 +1,1 @@
+lib/afe/regression.ml: Afe Array Linalg List Printf Prio_field Stdlib

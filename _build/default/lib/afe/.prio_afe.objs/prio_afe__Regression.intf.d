@@ -1,0 +1,1 @@
+lib/afe/regression.mli: Afe Prio_field

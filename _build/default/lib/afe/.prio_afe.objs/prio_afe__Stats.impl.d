@@ -1,0 +1,1 @@
+lib/afe/stats.ml: Afe Array List Printf Prio_field Stdlib

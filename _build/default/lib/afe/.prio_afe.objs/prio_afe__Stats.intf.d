@@ -1,0 +1,1 @@
+lib/afe/stats.mli: Afe Prio_field

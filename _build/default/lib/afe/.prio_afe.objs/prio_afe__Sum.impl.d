@@ -1,0 +1,1 @@
+lib/afe/sum.ml: Afe Array List Printf Prio_bigint Prio_field

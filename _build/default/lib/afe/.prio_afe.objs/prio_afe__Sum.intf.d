@@ -1,0 +1,1 @@
+lib/afe/sum.mli: Afe Prio_bigint Prio_field

@@ -1,0 +1,137 @@
+(** Affine-aggregatable encodings (AFEs) — the paper's §5 and Appendix F.
+
+    An AFE for an aggregation function f : D^n → A packages three pieces:
+    - [encode] : D → F^k (possibly randomized),
+    - a Valid circuit accepting exactly the well-formed encodings, and
+    - [decode] : F^k' → A, applied to the component-wise sum of the first
+      k' ≤ k encoding components over all clients.
+
+    Prio computes f privately by having each client secret-share
+    Encode(x_i), prove Valid with a SNIP, and having the servers accumulate
+    the truncated shares and publish only the sum (§5.1).
+
+    Each instance documents its leakage function fˆ — what the sum of
+    encodings reveals beyond f itself. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module C = Prio_circuit.Circuit.Make (F)
+  module Rng = Prio_crypto.Rng
+  module B = Prio_bigint.Bigint
+
+  type ('input, 'output) t = {
+    name : string;
+    encoding_len : int;  (** k: elements in a full encoding *)
+    trunc_len : int;  (** k' ≤ k: elements that enter the accumulator *)
+    circuit : C.t;  (** the Valid predicate over F^k *)
+    encode : rng:Rng.t -> 'input -> F.t array;
+    decode : n:int -> F.t array -> 'output;
+        (** [n] is the number of accumulated clients *)
+    leakage : string;  (** the fˆ this AFE is private with respect to *)
+  }
+
+  let well_formed afe =
+    afe.encoding_len = C.num_inputs afe.circuit
+    && afe.trunc_len >= 0
+    && afe.trunc_len <= afe.encoding_len
+
+  (** Does the Valid circuit accept this encoding? *)
+  let valid afe encoding = C.valid afe.circuit ~inputs:encoding
+
+  let truncate afe encoding = Array.sub encoding 0 afe.trunc_len
+
+  (** Component-wise sum of truncated encodings — what the servers jointly
+      compute. *)
+  let aggregate afe encodings =
+    let acc = Array.make afe.trunc_len F.zero in
+    List.iter
+      (fun e ->
+        for j = 0 to afe.trunc_len - 1 do
+          acc.(j) <- F.add acc.(j) e.(j)
+        done)
+      (List.map (truncate afe) encodings);
+    acc
+
+  (** Reference path with no crypto: encode every input, aggregate, decode.
+      Used by tests to pin down what the full protocol must output. *)
+  let run_plain afe ~rng inputs =
+    let encodings = List.map (fun x -> afe.encode ~rng x) inputs in
+    assert (List.for_all (valid afe) encodings);
+    afe.decode ~n:(List.length inputs) (aggregate afe encodings)
+
+  (* ------------------------------------------------------------------ *)
+  (* Combinators                                                         *)
+  (* ------------------------------------------------------------------ *)
+
+  (** Post-process the decoded aggregate. *)
+  let map_output f afe = { afe with decode = (fun ~n s -> f (afe.decode ~n s)) }
+
+  (** Pre-process the client input before encoding. *)
+  let contramap_input f afe =
+    { afe with encode = (fun ~rng x -> afe.encode ~rng (f x)) }
+
+  (** Collect two statistics in a single submission: one encoding, one
+      Valid circuit, one SNIP covering both (the paper's browser-telemetry
+      deployment gathers CPU, memory and URL counts at once; Appendix I's
+      circuit-AND optimization makes the combined check as cheap as the
+      parts).
+
+      The combined encoding is laid out [trunc_a | trunc_b | rest_a |
+      rest_b] so that truncation — which always keeps a prefix — preserves
+      exactly the aggregated components of both pieces. *)
+  let pair (a : ('a, 'b) t) (c : ('c, 'd) t) : ('a * 'c, 'b * 'd) t =
+    let ka' = a.trunc_len and ka = a.encoding_len in
+    let kc' = c.trunc_len and kc = c.encoding_len in
+    let total = ka + kc in
+    let map_a j = if j < ka' then j else ka' + kc' + (j - ka') in
+    let map_c j = if j < kc' then ka' + j else ka + kc' + (j - kc') in
+    let circuit =
+      C.union
+        (C.remap_inputs a.circuit ~num_inputs:total ~mapping:map_a)
+        (C.remap_inputs c.circuit ~num_inputs:total ~mapping:map_c)
+    in
+    let place mapping src dst = Array.iteri (fun j v -> dst.(mapping j) <- v) src in
+    {
+      name = a.name ^ "+" ^ c.name;
+      encoding_len = total;
+      trunc_len = ka' + kc';
+      circuit;
+      encode =
+        (fun ~rng (xa, xc) ->
+          let enc = Array.make total F.zero in
+          place map_a (a.encode ~rng xa) enc;
+          place map_c (c.encode ~rng xc) enc;
+          enc);
+      decode =
+        (fun ~n sigma ->
+          ( a.decode ~n (Array.sub sigma 0 ka'),
+            c.decode ~n (Array.sub sigma ka' kc') ));
+      leakage = a.leakage ^ "; " ^ c.leakage;
+    }
+
+  (* ------------------------------------------------------------------ *)
+  (* Shared helpers for the encoding instances.                          *)
+  (* ------------------------------------------------------------------ *)
+
+  (** Little-endian bits of a non-negative integer, exactly [b] of them. *)
+  let bits_of_int x b =
+    if x < 0 || (b < 63 && x lsr b <> 0) then invalid_arg "Afe.bits_of_int: out of range";
+    Array.init b (fun i -> F.of_int ((x lsr i) land 1))
+
+  (** Field element → int (for decodes whose sums fit a native int). *)
+  let to_int_exn x = B.to_int_exn (F.to_bigint x)
+
+  (** Field element → float via its canonical representative. This is only
+      meaningful when the value cannot have wrapped mod p; callers size the
+      field so sums stay below p (§5.2). *)
+  let to_float x =
+    let v = F.to_bigint x in
+    match B.to_int v with
+    | Some i -> float_of_int i
+    | None -> float_of_string (B.to_string v)
+
+  (** Builder fragment: assert wires [ws] are bits and equal the binary
+      decomposition of [value]. Costs [Array.length ws] mul gates. *)
+  let assert_int_bits b ~value ~bits =
+    List.iter (C.Builder.assert_bit b) bits;
+    C.Builder.assert_binary_decomposition b ~value ~bits
+end

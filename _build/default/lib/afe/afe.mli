@@ -1,0 +1,59 @@
+(** Affine-aggregatable encodings (AFEs) — the paper's §5 / Appendix F.
+
+    An AFE for an aggregation function f : D^n → A packages (1) a
+    possibly-randomized encoder D → F^k, (2) a Valid circuit accepting
+    exactly the well-formed encodings, and (3) a decoder applied to the
+    component-wise sum of the first k' ≤ k encoding components over all
+    clients. Prio computes f privately by secret-sharing encodings,
+    SNIP-verifying Valid, accumulating truncated shares and publishing
+    only the sum (§5.1). Each instance documents its leakage fˆ — what the
+    published sum reveals beyond f itself. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module C : module type of Prio_circuit.Circuit.Make (F)
+  module Rng = Prio_crypto.Rng
+  module B = Prio_bigint.Bigint
+
+  type ('input, 'output) t = {
+    name : string;
+    encoding_len : int;  (** k: elements in a full encoding *)
+    trunc_len : int;  (** k' ≤ k: elements entering the accumulator *)
+    circuit : C.t;  (** the Valid predicate over F^k *)
+    encode : rng:Rng.t -> 'input -> F.t array;
+    decode : n:int -> F.t array -> 'output;
+        (** [n] is the number of accumulated clients *)
+    leakage : string;  (** the fˆ this AFE is private with respect to *)
+  }
+
+  val well_formed : ('a, 'b) t -> bool
+  (** Arity/truncation consistency between encoder and circuit. *)
+
+  val valid : ('a, 'b) t -> F.t array -> bool
+  val truncate : ('a, 'b) t -> F.t array -> F.t array
+  val aggregate : ('a, 'b) t -> F.t array list -> F.t array
+
+  val run_plain : ('a, 'b) t -> rng:Rng.t -> 'a list -> 'b
+  (** Reference path with no crypto: encode, aggregate, decode — pins
+      down what the full protocol must output. *)
+
+  (** {1 Combinators} *)
+
+  val map_output : ('b -> 'c) -> ('a, 'b) t -> ('a, 'c) t
+  val contramap_input : ('c -> 'a) -> ('a, 'b) t -> ('c, 'b) t
+
+  val pair : ('a, 'b) t -> ('c, 'd) t -> ('a * 'c, 'b * 'd) t
+  (** Two statistics in one submission under one SNIP; the combined
+      encoding interleaves the truncated prefixes so accumulator
+      truncation keeps both aggregates. *)
+
+  (** {1 Helpers shared by the instances} *)
+
+  val bits_of_int : int -> int -> F.t array
+  (** Little-endian bits of a non-negative integer, fixed width. *)
+
+  val to_int_exn : F.t -> int
+  val to_float : F.t -> float
+
+  val assert_int_bits : C.Builder.b -> value:C.wire -> bits:C.wire list -> unit
+  (** Bits are bits and recompose to [value] — |bits| mul gates. *)
+end

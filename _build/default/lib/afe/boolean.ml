@@ -1,0 +1,90 @@
+(** Boolean OR / AND and set union / intersection (paper §5.2).
+
+    The paper's OR encoding works over F_2^λ: zero for false, a random
+    λ-bit string for true; the xor-aggregate is zero iff every input was
+    false. We adapt the same idea to our prime field F_p (where additive
+    shares already live): false ↦ the zero vector, true ↦ a vector of
+    [lambda_elems] uniform field elements. The sum over clients is zero iff
+    all inputs were false, except with probability ≤ |F|^{-λ} (a client's
+    random vector, and hence any sum involving it, is uniform). With the
+    87-bit field one element already gives a 2^{-87} failure probability.
+
+    Every vector is a valid encoding, so the Valid circuit has no mul gates
+    and no constraints — exactly as in the paper — and a SNIP over it is
+    trivially small. AND is OR under De Morgan; sets over a small universe
+    are element-wise OR (union) / AND (intersection). *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module A = Afe.Make (F)
+  module C = A.C
+  module Rng = Prio_crypto.Rng
+
+  let trivial_circuit ~len =
+    C.Builder.build (C.Builder.create ~num_inputs:len)
+
+  let encode_or ~rng ~lambda_elems value : F.t array =
+    if value then Array.init lambda_elems (fun _ -> F.random rng)
+    else Array.make lambda_elems F.zero
+
+  let decode_or (sigma : F.t array) = not (Array.for_all F.is_zero sigma)
+
+  (** OR of the clients' booleans. *)
+  let bool_or ?(lambda_elems = 1) () : (bool, bool) A.t =
+    {
+      A.name = "or";
+      encoding_len = lambda_elems;
+      trunc_len = lambda_elems;
+      circuit = trivial_circuit ~len:lambda_elems;
+      encode = (fun ~rng x -> encode_or ~rng ~lambda_elems x);
+      decode = (fun ~n:_ sigma -> decode_or sigma);
+      leakage = "only the OR (or-private)";
+    }
+
+  (** AND of the clients' booleans (De Morgan on {!bool_or}). *)
+  let bool_and ?(lambda_elems = 1) () : (bool, bool) A.t =
+    {
+      A.name = "and";
+      encoding_len = lambda_elems;
+      trunc_len = lambda_elems;
+      circuit = trivial_circuit ~len:lambda_elems;
+      encode = (fun ~rng x -> encode_or ~rng ~lambda_elems (not x));
+      decode = (fun ~n:_ sigma -> not (decode_or sigma));
+      leakage = "only the AND (and-private)";
+    }
+
+  (** Union of subsets of a universe of [universe] elements: element-wise
+      OR of characteristic vectors. Decodes to the membership vector. *)
+  let set_union ~universe ?(lambda_elems = 1) () : (bool array, bool array) A.t =
+    let len = universe * lambda_elems in
+    {
+      A.name = Printf.sprintf "set-union%d" universe;
+      encoding_len = len;
+      trunc_len = len;
+      circuit = trivial_circuit ~len;
+      encode =
+        (fun ~rng membership ->
+          if Array.length membership <> universe then
+            invalid_arg "set_union.encode: wrong universe size";
+          Array.concat
+            (Array.to_list
+               (Array.map (encode_or ~rng ~lambda_elems) membership)));
+      decode =
+        (fun ~n:_ sigma ->
+          Array.init universe (fun e ->
+              decode_or (Array.sub sigma (e * lambda_elems) lambda_elems)));
+      leakage = "only the union";
+    }
+
+  (** Intersection of subsets: element-wise AND. *)
+  let set_intersection ~universe ?(lambda_elems = 1) () :
+      (bool array, bool array) A.t =
+    let u = set_union ~universe ~lambda_elems () in
+    {
+      u with
+      A.name = Printf.sprintf "set-intersection%d" universe;
+      encode =
+        (fun ~rng membership -> u.A.encode ~rng (Array.map not membership));
+      decode = (fun ~n sigma -> Array.map not (u.A.decode ~n sigma));
+      leakage = "only the intersection";
+    }
+end

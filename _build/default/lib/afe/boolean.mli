@@ -1,0 +1,22 @@
+(** Boolean OR/AND and set union/intersection (paper §5.2), adapted from
+    the paper's F_2^λ xor trick to the prime field the shares live in:
+    false ↦ the zero vector, true ↦ [lambda_elems] uniform field
+    elements. The client sum is zero iff every input was false, except
+    with probability |F|^{-λ} (2^{-87} already at one element over F87).
+    Every vector is a valid encoding, so the circuits are
+    constraint-free, exactly as in the paper; AND and intersection are OR
+    under De Morgan. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module A : module type of Afe.Make (F)
+
+  val bool_or : ?lambda_elems:int -> unit -> (bool, bool) A.t
+  val bool_and : ?lambda_elems:int -> unit -> (bool, bool) A.t
+
+  val set_union :
+    universe:int -> ?lambda_elems:int -> unit -> (bool array, bool array) A.t
+  (** Element-wise OR of characteristic vectors. *)
+
+  val set_intersection :
+    universe:int -> ?lambda_elems:int -> unit -> (bool array, bool array) A.t
+end

@@ -1,0 +1,88 @@
+(** Approximate counts over large domains via a count-min sketch
+    (paper, Appendix G "Approximate counts"; Cormode–Muthukrishnan sketch).
+
+    The exact frequency-count AFE needs a field element per domain value —
+    hopeless for domains like URLs. Following Melis et al. (as cited by the
+    paper), each client inserts its value into a [depth] × [width] count-min
+    sketch: one one-hot row per hash function. Valid checks every row is
+    one-hot (depth·width mul gates), which is what makes the construction
+    robust to malicious clients — a cheater can inflate counts by at most 1
+    per row, same as any honest insertion.
+
+    With width e/ε and depth ln(1/δ), a query overestimates the true count
+    by at most εn except with probability δ.
+
+    Leakage: the full sketch of all clients' values. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module A = Afe.Make (F)
+  module C = A.C
+  module Sha256 = Prio_crypto.Sha256
+
+  type params = { depth : int; width : int }
+
+  (** Standard parameter choice for additive error εn with failure
+      probability δ. *)
+  let params_of_eps_delta ~eps ~delta =
+    {
+      depth = Stdlib.max 1 (int_of_float (ceil (log (1. /. delta))));
+      width = Stdlib.max 2 (int_of_float (ceil (exp 1. /. eps)));
+    }
+
+  (** Row-j hash of an arbitrary string key, in [0, width). *)
+  let hash ~params ~row key =
+    let digest = Sha256.digest_string (Printf.sprintf "cms|%d|%s" row key) in
+    let v = ref 0 in
+    for i = 0 to 7 do
+      v := (!v lsl 8) lor Char.code (Bytes.get digest i)
+    done;
+    (!v land max_int) mod params.width
+
+  let circuit ~params =
+    let len = params.depth * params.width in
+    let b = C.Builder.create ~num_inputs:len in
+    for j = 0 to params.depth - 1 do
+      let row = List.init params.width (fun i -> C.Builder.input b ((j * params.width) + i)) in
+      C.Builder.assert_one_hot b row
+    done;
+    C.Builder.build b
+
+  let encode ~params key : F.t array =
+    let enc = Array.make (params.depth * params.width) F.zero in
+    for j = 0 to params.depth - 1 do
+      enc.((j * params.width) + hash ~params ~row:j key) <- F.one
+    done;
+    enc
+
+  type sketch = { params : params; table : int array array }
+
+  (** Estimated count for a key: the row-wise minimum. *)
+  let query sk key =
+    let best = ref max_int in
+    for j = 0 to sk.params.depth - 1 do
+      let c = sk.table.(j).(hash ~params:sk.params ~row:j key) in
+      if c < !best then best := c
+    done;
+    !best
+
+  (** Count-min sketch AFE over string keys. *)
+  let count_min ~params : (string, sketch) A.t =
+    let len = params.depth * params.width in
+    {
+      A.name = Printf.sprintf "count-min%dx%d" params.depth params.width;
+      encoding_len = len;
+      trunc_len = len;
+      circuit = circuit ~params;
+      encode = (fun ~rng:_ key -> encode ~params key);
+      decode =
+        (fun ~n:_ sigma ->
+          {
+            params;
+            table =
+              Array.init params.depth (fun j ->
+                  Array.init params.width (fun i ->
+                      A.to_int_exn sigma.((j * params.width) + i)));
+          });
+      leakage = "the aggregate count-min sketch of all inputs";
+    }
+end

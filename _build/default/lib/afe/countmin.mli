@@ -1,0 +1,27 @@
+(** Approximate counts over large domains via a count-min sketch (paper,
+    Appendix G; Cormode–Muthukrishnan). Each client inserts its key into
+    a depth × width sketch of one-hot rows; Valid's per-row one-hot
+    checks cap any cheater's influence at one count per row. With width
+    e/ε and depth ln(1/δ), queries overestimate by at most εn except with
+    probability δ. Leakage: the aggregate sketch. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module A : module type of Afe.Make (F)
+
+  type params = { depth : int; width : int }
+
+  val params_of_eps_delta : eps:float -> delta:float -> params
+
+  val hash : params:params -> row:int -> string -> int
+  (** Per-row SHA-256-based hash into [0, width). *)
+
+  val circuit : params:params -> A.C.t
+  val encode : params:params -> string -> F.t array
+
+  type sketch = { params : params; table : int array array }
+
+  val query : sketch -> string -> int
+  (** Row-wise minimum: the count estimate for a key. *)
+
+  val count_min : params:params -> (string, sketch) A.t
+end

@@ -1,0 +1,62 @@
+(** Fixed-point embedding of reals (paper §5.3: "When x and y are real
+    numbers, we can embed the reals into a finite field F using a
+    fixed-point representation, as long as we size the field large enough
+    to avoid overflow").
+
+    A real v in [0, 2^int_bits) is represented by the integer
+    round(v · 2^frac_bits), which the integer AFEs (sum, variance,
+    regression) consume directly; decodes divide back out. Helpers size
+    the field check: n clients of b-bit fixed-point values need
+    |F| > n · 2^(2b) for the quadratic AFEs. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module A = Afe.Make (F)
+  module S = Sum.Make (F)
+  module B = Prio_bigint.Bigint
+
+  type repr = { int_bits : int; frac_bits : int }
+
+  let total_bits r = r.int_bits + r.frac_bits
+  let scale r = float_of_int (1 lsl r.frac_bits)
+
+  (** Largest representable value (inclusive). *)
+  let max_value r = ((2. ** float_of_int r.int_bits) *. scale r -. 1.) /. scale r
+
+  let to_int r v =
+    if Float.is_nan v || v < 0. || v > max_value r then
+      invalid_arg "Fixed_point.to_int: out of range";
+    int_of_float (Float.round (v *. scale r))
+
+  let of_int r i = float_of_int i /. scale r
+
+  (** Quantization error bound for one value. *)
+  let quantum r = 1. /. (2. *. scale r)
+
+  (** Can an n-client aggregate of squared values stay below the field
+      order? (The variance/regression AFEs sum x².) *)
+  let field_fits r ~clients =
+    let max_sq = B.shift_left B.one (2 * total_bits r) in
+    B.compare (B.mul_int max_sq clients) F.order < 0
+
+  (** Sum of fixed-point reals. *)
+  let sum r : (float, float) A.t =
+    let s = S.sum ~bits:(total_bits r) in
+    {
+      s with
+      A.name = Printf.sprintf "fxsum-%d.%d" r.int_bits r.frac_bits;
+      encode = (fun ~rng:_ v -> S.encode ~bits:(total_bits r) (to_int r v));
+      decode = (fun ~n:_ sigma -> A.to_float sigma.(0) /. scale r);
+      leakage = "the sum itself";
+    }
+
+  (** Mean of fixed-point reals. *)
+  let mean r : (float, float) A.t =
+    let s = sum r in
+    {
+      s with
+      A.name = Printf.sprintf "fxmean-%d.%d" r.int_bits r.frac_bits;
+      decode =
+        (fun ~n sigma ->
+          if n = 0 then nan else A.to_float sigma.(0) /. scale r /. float_of_int n);
+    }
+end

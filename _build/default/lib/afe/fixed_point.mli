@@ -1,0 +1,26 @@
+(** Fixed-point embedding of reals (paper §5.3): v ↦ round(v·2^frac_bits)
+    feeds the integer AFEs; decoders divide back out. Helpers size the
+    field so quadratic aggregates cannot wrap. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module A : module type of Afe.Make (F)
+
+  type repr = { int_bits : int; frac_bits : int }
+
+  val total_bits : repr -> int
+  val scale : repr -> float
+  val max_value : repr -> float
+  val quantum : repr -> float
+  (** Worst-case representation error of one value. *)
+
+  val to_int : repr -> float -> int
+  (** @raise Invalid_argument outside [0, max_value]. *)
+
+  val of_int : repr -> int -> float
+
+  val field_fits : repr -> clients:int -> bool
+  (** Can n clients' squared values be summed without wrapping mod p? *)
+
+  val sum : repr -> (float, float) A.t
+  val mean : repr -> (float, float) A.t
+end

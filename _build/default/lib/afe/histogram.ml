@@ -1,0 +1,56 @@
+(** Frequency counts over a small domain (paper §5.2, "Frequency count").
+
+    Encode x ∈ {0,…,B−1} as the one-hot vector e_x ∈ F^B. Valid checks
+    every component is a bit (B mul gates) and that they sum to one
+    (affine). The aggregate is the full histogram; Decode is the identity.
+    Needs |F| > n. Quantiles and other distribution statistics derive from
+    the histogram (§5.2); the paper's cell-signal-strength application is a
+    histogram of (grid cell × signal level) values. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module A = Afe.Make (F)
+  module C = A.C
+
+  let circuit ~buckets =
+    let b = C.Builder.create ~num_inputs:buckets in
+    let ws = List.init buckets (fun i -> C.Builder.input b i) in
+    C.Builder.assert_one_hot b ws;
+    C.Builder.build b
+
+  let encode ~buckets x : F.t array =
+    if x < 0 || x >= buckets then invalid_arg "Histogram.encode: out of range";
+    Array.init buckets (fun i -> if i = x then F.one else F.zero)
+
+  (** Histogram over B buckets: decodes to per-bucket counts. *)
+  let histogram ~buckets : (int, int array) A.t =
+    {
+      A.name = Printf.sprintf "histogram%d" buckets;
+      encoding_len = buckets;
+      trunc_len = buckets;
+      circuit = circuit ~buckets;
+      encode = (fun ~rng:_ x -> encode ~buckets x);
+      decode = (fun ~n:_ sigma -> Array.map A.to_int_exn sigma);
+      leakage = "the histogram itself (f-private)";
+    }
+
+  (** q-th quantile (0 ≤ q ≤ 1) computed from the histogram aggregate. *)
+  let quantile_of_counts counts q =
+    let total = Array.fold_left ( + ) 0 counts in
+    if total = 0 then -1
+    else begin
+      let target = int_of_float (ceil (q *. float_of_int total)) in
+      let target = Stdlib.max 1 (Stdlib.min total target) in
+      let acc = ref 0 and ans = ref (-1) in
+      (try
+         Array.iteri
+           (fun i c ->
+             acc := !acc + c;
+             if !acc >= target then begin
+               ans := i;
+               raise Exit
+             end)
+           counts
+       with Exit -> ());
+      !ans
+    end
+end

@@ -1,0 +1,16 @@
+(** Frequency counts over a small domain (paper §5.2): one-hot encodings,
+    Valid = one-hot check (B mul gates + affine sum), aggregate = the
+    full histogram. Quantiles and other distribution statistics derive
+    from it. Needs |F| > n. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module A : module type of Afe.Make (F)
+
+  val circuit : buckets:int -> A.C.t
+  val encode : buckets:int -> int -> F.t array
+
+  val histogram : buckets:int -> (int, int array) A.t
+
+  val quantile_of_counts : int array -> float -> int
+  (** q-th quantile (0 ≤ q ≤ 1) of the decoded histogram; −1 if empty. *)
+end

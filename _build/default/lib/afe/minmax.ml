@@ -1,0 +1,102 @@
+(** MIN and MAX (paper §5.2, "min and max").
+
+    Small ranges {0, …, B−1}: encode x in "staircase unary" — position i
+    carries a boolean "x ≥ i" — and OR the vectors across clients; the
+    largest position still set is the maximum. Replacing OR with AND gives
+    the minimum. Booleans use the randomized OR encoding of {!Boolean}, so
+    all encodings are valid and the circuit is constraint-free, exactly as
+    in the paper. A dishonest client can only set a staircase of its choice,
+    i.e. misreport its value — robustness is preserved.
+
+    Large ranges: [approx_max ~c ~range] buckets {0, …, B−1} into
+    logₐ B geometric bins [c^j, c^{j+1}) and runs the small-range scheme on
+    bins, giving a multiplicative c-approximation (the paper's
+    "c-approximation of the min and max"). *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module A = Afe.Make (F)
+  module Bool = Boolean.Make (F)
+  module C = A.C
+
+  let staircase ~range x = Array.init range (fun i -> x >= i)
+
+  (** Exact maximum over {0,…,range−1}. *)
+  let max_small ~range ?(lambda_elems = 1) () : (int, int) A.t =
+    let u = Bool.set_union ~universe:range ~lambda_elems () in
+    {
+      A.name = Printf.sprintf "max%d" range;
+      encoding_len = u.A.encoding_len;
+      trunc_len = u.A.trunc_len;
+      circuit = u.A.circuit;
+      encode =
+        (fun ~rng x ->
+          if x < 0 || x >= range then invalid_arg "max.encode: out of range";
+          u.A.encode ~rng (staircase ~range x));
+      decode =
+        (fun ~n sigma ->
+          let present = u.A.decode ~n sigma in
+          let best = ref (-1) in
+          Array.iteri (fun i p -> if p then best := i) present;
+          !best);
+      leakage = "the OR of the unary encodings (max-private)";
+    }
+
+  (** Exact minimum over {0,…,range−1} (AND of staircases). *)
+  let min_small ~range ?(lambda_elems = 1) () : (int, int) A.t =
+    let u = Bool.set_intersection ~universe:range ~lambda_elems () in
+    {
+      A.name = Printf.sprintf "min%d" range;
+      encoding_len = u.A.encoding_len;
+      trunc_len = u.A.trunc_len;
+      circuit = u.A.circuit;
+      encode =
+        (fun ~rng x ->
+          if x < 0 || x >= range then invalid_arg "min.encode: out of range";
+          u.A.encode ~rng (staircase ~range x));
+      decode =
+        (fun ~n sigma ->
+          let all = u.A.decode ~n sigma in
+          let best = ref (-1) in
+          Array.iteri (fun i p -> if p then best := i) all;
+          !best);
+      leakage = "the AND of the unary encodings (min-private)";
+    }
+
+  let num_bins ~c ~range =
+    let rec go bins top = if top >= range then bins else go (bins + 1) (top * c) in
+    go 1 c
+
+  let bin_of ~c x =
+    let rec go j top = if x < top then j else go (j + 1) (top * c) in
+    go 0 c
+
+  (** c-approximate maximum over {0,…,range−1}: returns the lower edge of
+      the highest occupied geometric bin; the true maximum lies within a
+      factor of c above it. *)
+  let approx_max ~c ~range ?(lambda_elems = 1) () : (int, int) A.t =
+    if c < 2 then invalid_arg "approx_max: factor must be >= 2";
+    let bins = num_bins ~c ~range in
+    let inner = max_small ~range:bins ~lambda_elems () in
+    {
+      A.name = Printf.sprintf "approx-max-c%d-B%d" c range;
+      encoding_len = inner.A.encoding_len;
+      trunc_len = inner.A.trunc_len;
+      circuit = inner.A.circuit;
+      encode =
+        (fun ~rng x ->
+          if x < 0 || x >= range then invalid_arg "approx_max.encode";
+          inner.A.encode ~rng (bin_of ~c x));
+      decode =
+        (fun ~n sigma ->
+          let bin = inner.A.decode ~n sigma in
+          if bin < 0 then -1
+          else if bin = 0 then 0
+          else begin
+            (* lower edge of bin: c^bin... bin j covers [c^j, c^{j+1}) with
+               bin 0 covering [0, c) *)
+            let rec pow acc j = if j = 0 then acc else pow (acc * c) (j - 1) in
+            pow 1 bin
+          end);
+      leakage = "the occupied geometric bins (approximate-max-private)";
+    }
+end

@@ -1,0 +1,19 @@
+(** MIN and MAX (paper §5.2): staircase-unary encodings ("x ≥ i" per
+    position) combined with the randomized OR/AND of {!Boolean} — the
+    highest set position of the OR is the maximum, of the AND the
+    minimum. [approx_max] covers large ranges with logₐ B geometric bins
+    for a multiplicative c-approximation, as in the paper. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module A : module type of Afe.Make (F)
+
+  val max_small : range:int -> ?lambda_elems:int -> unit -> (int, int) A.t
+  (** Exact maximum over {0..range−1}; decodes −1 on an empty epoch. *)
+
+  val min_small : range:int -> ?lambda_elems:int -> unit -> (int, int) A.t
+
+  val approx_max :
+    c:int -> range:int -> ?lambda_elems:int -> unit -> (int, int) A.t
+  (** Returns the lower edge of the highest occupied geometric bin; the
+      true maximum lies within a multiplicative factor of [c] above it. *)
+end

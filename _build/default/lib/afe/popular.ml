@@ -1,0 +1,114 @@
+(** Most-popular string (paper, Appendix G "Most popular").
+
+    When one b-bit string is held by more than half of the clients, each
+    client encodes its string bit-by-bit as field elements; Valid checks
+    each is a bit (b mul gates). The aggregate's i-th component counts the
+    clients whose i-th bit is one; rounding each count to 0 or n recovers
+    the majority string bit-by-bit.
+
+    Leakage: the per-position bit counts (the AFE is private with respect
+    to the function that outputs those b counts). *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module A = Afe.Make (F)
+  module C = A.C
+
+  let circuit ~bits =
+    let b = C.Builder.create ~num_inputs:bits in
+    for i = 0 to bits - 1 do
+      C.Builder.assert_bit b (C.Builder.input b i)
+    done;
+    C.Builder.build b
+
+  (** Most-popular b-bit string, correct whenever some string has > n/2
+      support. Input and output are little-endian bit arrays. *)
+  let most_popular ~bits : (bool array, bool array) A.t =
+    {
+      A.name = Printf.sprintf "most-popular%d" bits;
+      encoding_len = bits;
+      trunc_len = bits;
+      circuit = circuit ~bits;
+      encode =
+        (fun ~rng:_ s ->
+          if Array.length s <> bits then invalid_arg "most_popular.encode";
+          Array.map (fun bit -> if bit then F.one else F.zero) s);
+      decode =
+        (fun ~n sigma ->
+          Array.map (fun c -> 2 * A.to_int_exn c > n) sigma);
+      leakage = "per-position bit counts";
+    }
+
+  let string_of_bits bits =
+    String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0')
+
+  let bits_of_string s =
+    Array.init (String.length s) (fun i -> s.[i] = '1')
+
+  (* ------------------------------------------------------------------ *)
+  (* Bucketed variant (Appendix G, after Bassily–Smith).                 *)
+  (* ------------------------------------------------------------------ *)
+
+  (** Recover strings held by a c-fraction of clients for c ≤ 1/2: clients
+      are hashed (by a public hash of their string) into [buckets] buckets;
+      with buckets ≳ 1/c, a string with popularity ≥ c·n is a majority
+      within its own bucket with high probability, so the per-bucket
+      majority decoder of {!most_popular} recovers it.
+
+      The encoding is the client's bit-string placed in its bucket's block
+      plus a one-hot bucket indicator (so Decode knows each bucket's
+      population); all other blocks are zero. Valid checks every
+      coordinate is a bit and the indicator is one-hot — a malicious
+      client can stuff one bucket with one vote, no more.
+
+      Decode returns, per bucket, [Some candidate] (its majority string)
+      when the bucket is non-empty.
+
+      Leakage: per-bucket population and per-position bit counts. *)
+  let popular_buckets ~bits ~buckets : (bool array, (int * string) list) A.t =
+    let block b = buckets + (b * bits) in
+    let len = buckets + (buckets * bits) in
+    let bucket_of s =
+      let d = Prio_crypto.Sha256.digest_string ("popular-bucket|" ^ s) in
+      (Char.code (Bytes.get d 0) lor (Char.code (Bytes.get d 1) lsl 8))
+      mod buckets
+    in
+    let circuit =
+      let b = C.Builder.create ~num_inputs:len in
+      C.Builder.assert_one_hot b (List.init buckets (fun i -> C.Builder.input b i));
+      for i = buckets to len - 1 do
+        C.Builder.assert_bit b (C.Builder.input b i)
+      done;
+      C.Builder.build b
+    in
+    {
+      A.name = Printf.sprintf "popular-%db-%dbuckets" bits buckets;
+      encoding_len = len;
+      trunc_len = len;
+      circuit;
+      encode =
+        (fun ~rng:_ s ->
+          if Array.length s <> bits then invalid_arg "popular_buckets.encode";
+          let enc = Array.make len F.zero in
+          let bucket = bucket_of (string_of_bits s) in
+          enc.(bucket) <- F.one;
+          Array.iteri
+            (fun i bit -> if bit then enc.(block bucket + i) <- F.one)
+            s;
+          enc);
+      decode =
+        (fun ~n:_ sigma ->
+          List.filter_map
+            (fun bucket ->
+              let population = A.to_int_exn sigma.(bucket) in
+              if population = 0 then None
+              else begin
+                let candidate =
+                  Array.init bits (fun i ->
+                      2 * A.to_int_exn sigma.(block bucket + i) > population)
+                in
+                Some (population, string_of_bits candidate)
+              end)
+            (List.init buckets Fun.id));
+      leakage = "per-bucket populations and per-position bit counts";
+    }
+end

@@ -1,0 +1,23 @@
+(** Most-popular string (paper, Appendix G).
+
+    Majority variant: clients encode their b-bit string bit-wise; the
+    aggregate's per-position counts round to the string held by > n/2
+    clients. Bucketed variant (after Bassily–Smith): clients hash into
+    buckets so strings with popularity ≥ c·n for c ≤ 1/2 become
+    per-bucket majorities. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module A : module type of Afe.Make (F)
+
+  val most_popular : bits:int -> (bool array, bool array) A.t
+  (** Correct when some string has > n/2 support. Leakage: per-position
+      bit counts. *)
+
+  val string_of_bits : bool array -> string
+  val bits_of_string : string -> bool array
+
+  val popular_buckets :
+    bits:int -> buckets:int -> (bool array, (int * string) list) A.t
+  (** Decodes to (population, majority-candidate) per non-empty bucket.
+      Valid enforces one bucket vote per client (one-hot + bit checks). *)
+end

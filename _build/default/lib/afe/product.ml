@@ -1,0 +1,55 @@
+(** Product and geometric mean (paper §5.2: "Computing the product and
+    geometric mean works in exactly the same manner, except that we encode
+    x using b-bit logarithms").
+
+    A client's positive value x is represented by its base-2 logarithm in
+    fixed point with [frac_bits] fractional bits, range-checked to b bits
+    like the sum AFE. Summing logarithms aggregates the product; dividing
+    the log-sum by n gives the geometric mean. The result is approximate to
+    within the fixed-point quantization (relative error ≤ 2^{-frac_bits}·ln 2
+    per client). *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module A = Afe.Make (F)
+  module S = Sum.Make (F)
+
+  let log_fixed ~frac_bits x =
+    if x <= 0. then invalid_arg "Product.encode: need positive values";
+    let v = log x /. log 2. *. float_of_int (1 lsl frac_bits) in
+    let r = int_of_float (Float.round v) in
+    if r < 0 then invalid_arg "Product.encode: value below representable range";
+    r
+
+  (** Product of positive values, each with log₂ fitting in [bits] bits of
+      [frac_bits]-fractional fixed point. *)
+  let product ~bits ~frac_bits : (float, float) A.t =
+    let s = S.sum ~bits in
+    {
+      A.name = Printf.sprintf "product-b%d-f%d" bits frac_bits;
+      encoding_len = s.A.encoding_len;
+      trunc_len = s.A.trunc_len;
+      circuit = s.A.circuit;
+      encode = (fun ~rng:_ x -> S.encode ~bits (log_fixed ~frac_bits x));
+      decode =
+        (fun ~n:_ sigma ->
+          let log_sum = A.to_float sigma.(0) /. float_of_int (1 lsl frac_bits) in
+          2. ** log_sum);
+      leakage = "the product itself (sum of logs)";
+    }
+
+  (** Geometric mean of positive values. *)
+  let geometric_mean ~bits ~frac_bits : (float, float) A.t =
+    let p = product ~bits ~frac_bits in
+    {
+      p with
+      A.name = Printf.sprintf "geomean-b%d-f%d" bits frac_bits;
+      decode =
+        (fun ~n sigma ->
+          if n = 0 then nan
+          else begin
+            let log_sum = A.to_float sigma.(0) /. float_of_int (1 lsl frac_bits) in
+            2. ** (log_sum /. float_of_int n)
+          end);
+      leakage = "the product of the inputs (hence the geometric mean)";
+    }
+end

@@ -1,0 +1,15 @@
+(** Product and geometric mean (paper §5.2): values are encoded by their
+    base-2 logarithms in fixed point and summed with the integer-sum AFE;
+    decoding exponentiates (and divides by n for the geometric mean).
+    Approximate to the fixed-point quantum, as the paper's "b-bit
+    logarithms" are. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module A : module type of Afe.Make (F)
+
+  val log_fixed : frac_bits:int -> float -> int
+  (** round(log₂ x · 2^frac_bits); requires a positive, representable x. *)
+
+  val product : bits:int -> frac_bits:int -> (float, float) A.t
+  val geometric_mean : bits:int -> frac_bits:int -> (float, float) A.t
+end

@@ -1,0 +1,205 @@
+(** Least-squares linear regression on private data (paper §5.3) and
+    R²-evaluation of a public model (paper, Appendix G).
+
+    Each client holds a training example (x⃗, y) of b-bit integers (14-bit
+    fixed-point in the paper's health-modeling evaluation). The encoding
+    carries every monomial the normal equations need:
+
+      (x_1 … x_d,  x_j·x_k for j ≤ k,  y,  x_1·y … x_d·y,  bits of all x_j
+       and of y)
+
+    Valid checks the bit decompositions ((d+1)·b mul gates) and each product
+    component against its factors (d(d+1)/2 + d mul gates). Only the
+    monomial sums are aggregated; Decode solves
+
+      [ n     Σx_k    ] [c_0]   [ Σy    ]
+      [ Σx_j  Σx_j x_k ] [c_j] = [ Σx_j y ]
+
+    by Gaussian elimination.
+
+    Leakage: the aggregate reveals the full moment matrix — the least-squares
+    coefficients plus the d×d covariance matrix and the means, exactly the fˆ
+    stated in §5.3. Field sizing: |F| > n·2^{2b}. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module A = Afe.Make (F)
+  module C = A.C
+
+  type example = { features : int array; target : int }
+
+  let num_pairs d = d * (d + 1) / 2
+
+  (* index of product x_j·x_k (j <= k) within the pair block *)
+  let pair_index ~d j k =
+    assert (j <= k && k < d);
+    (j * d) - (j * (j - 1) / 2) + (k - j)
+
+  (* encoding layout *)
+  let idx_feature _d j = j
+  let idx_pair d j k = d + pair_index ~d j k
+  let idx_y d = d + num_pairs d
+  let idx_xy d j = d + num_pairs d + 1 + j
+  let moments_len d = d + num_pairs d + 1 + d
+  let idx_bits d ~bits j = moments_len d + (j * bits) (* j in 0..d: j = d is y *)
+  let encoding_len d ~bits = moments_len d + ((d + 1) * bits)
+
+  let circuit ~d ~bits =
+    let b = C.Builder.create ~num_inputs:(encoding_len d ~bits) in
+    let feature j = C.Builder.input b (idx_feature d j) in
+    let y = C.Builder.input b (idx_y d) in
+    (* bit decompositions for every feature and for y *)
+    for j = 0 to d do
+      let value = if j < d then feature j else y in
+      let bit_wires =
+        List.init bits (fun i -> C.Builder.input b (idx_bits d ~bits j + i))
+      in
+      A.assert_int_bits b ~value ~bits:bit_wires
+    done;
+    (* product components *)
+    for j = 0 to d - 1 do
+      for k = j to d - 1 do
+        C.Builder.assert_product b ~x:(feature j) ~x':(feature k)
+          ~y:(C.Builder.input b (idx_pair d j k))
+      done;
+      C.Builder.assert_product b ~x:(feature j) ~x':y
+        ~y:(C.Builder.input b (idx_xy d j))
+    done;
+    C.Builder.build b
+
+  let encode ~d ~bits { features; target } : F.t array =
+    if Array.length features <> d then invalid_arg "Regression.encode: wrong arity";
+    let check v =
+      if v < 0 || (bits < 31 && v lsr bits <> 0) then
+        invalid_arg "Regression.encode: value out of range"
+    in
+    Array.iter check features;
+    check target;
+    let enc = Array.make (encoding_len d ~bits) F.zero in
+    for j = 0 to d - 1 do
+      enc.(idx_feature d j) <- F.of_int features.(j);
+      for k = j to d - 1 do
+        enc.(idx_pair d j k) <- F.of_int (features.(j) * features.(k))
+      done;
+      enc.(idx_xy d j) <- F.of_int (features.(j) * target)
+    done;
+    enc.(idx_y d) <- F.of_int target;
+    for j = 0 to d do
+      let v = if j < d then features.(j) else target in
+      Array.blit (A.bits_of_int v bits) 0 enc (idx_bits d ~bits j) bits
+    done;
+    enc
+
+  (** d-dimensional least-squares fit h(x⃗) = c_0 + Σ c_j x_j; decodes to
+      the coefficient vector (c_0, c_1, …, c_d). *)
+  let least_squares ~d ~bits : (example, float array) A.t =
+    {
+      A.name = Printf.sprintf "linreg-d%d-b%d" d bits;
+      encoding_len = encoding_len d ~bits;
+      trunc_len = moments_len d;
+      circuit = circuit ~d ~bits;
+      encode = (fun ~rng:_ ex -> encode ~d ~bits ex);
+      decode =
+        (fun ~n sigma ->
+          let s i = A.to_float sigma.(i) in
+          let a =
+            Array.init (d + 1) (fun row ->
+                Array.init (d + 1) (fun col ->
+                    match (row, col) with
+                    | 0, 0 -> float_of_int n
+                    | 0, k -> s (idx_feature d (k - 1))
+                    | j, 0 -> s (idx_feature d (j - 1))
+                    | j, k ->
+                      let j = j - 1 and k = k - 1 in
+                      s (idx_pair d (Stdlib.min j k) (Stdlib.max j k))))
+          in
+          let rhs =
+            Array.init (d + 1) (fun row ->
+                if row = 0 then s (idx_y d) else s (idx_xy d (row - 1)))
+          in
+          Linalg.solve a rhs);
+      leakage =
+        "the moment matrix: feature means, covariance matrix, and the fit";
+    }
+
+  (* ------------------------------------------------------------------ *)
+  (* R² of a public linear model (Appendix G).                           *)
+  (* ------------------------------------------------------------------ *)
+
+  (** Public model ŷ = (m_0 + Σ m_j·x_j) / 2^frac_bits with integer
+      (pre-scaled fixed-point) coefficients. *)
+  type model = { intercept : int; coefs : int array; frac_bits : int }
+
+  let predict model features =
+    let acc = ref (float_of_int model.intercept) in
+    Array.iteri
+      (fun j x -> acc := !acc +. (float_of_int model.coefs.(j) *. float_of_int x))
+      features;
+    !acc /. (2. ** float_of_int model.frac_bits)
+
+  (** Encoding (y, y², (2^f·y − ŷ_s)², x⃗, bits of x⃗ and y) with
+      ŷ_s = m_0 + Σ m_j x_j the scaled model output. Valid needs just two
+      mul gates beyond the range checks, as in the paper. Decodes to the
+      R² coefficient. *)
+  let r_squared ~model ~bits : (example, float) A.t =
+    let d = Array.length model.coefs in
+    let scale = 1 lsl model.frac_bits in
+    (* layout: y, y², resid², x_1..x_d, bits of x_j (d·bits), bits of y *)
+    let idx_y = 0 and idx_y2 = 1 and idx_resid = 2 in
+    let idx_x j = 3 + j in
+    let idx_bits j = 3 + d + (j * bits) in
+    let len = 3 + d + ((d + 1) * bits) in
+    let circuit =
+      let b = C.Builder.create ~num_inputs:len in
+      let y = C.Builder.input b idx_y in
+      for j = 0 to d do
+        let value = if j < d then C.Builder.input b (idx_x j) else y in
+        let bit_wires = List.init bits (fun i -> C.Builder.input b (idx_bits j + i)) in
+        A.assert_int_bits b ~value ~bits:bit_wires
+      done;
+      C.Builder.assert_square b ~x:y ~y:(C.Builder.input b idx_y2);
+      let yhat_terms =
+        List.init d (fun j -> (F.of_int model.coefs.(j), C.Builder.input b (idx_x j)))
+      in
+      let yhat = C.Builder.linear_combination b yhat_terms in
+      let yhat = C.Builder.add_const b (F.of_int model.intercept) yhat in
+      let resid = C.Builder.sub b (C.Builder.scale b (F.of_int scale) y) yhat in
+      C.Builder.assert_square b ~x:resid ~y:(C.Builder.input b idx_resid);
+      C.Builder.build b
+    in
+    {
+      A.name = Printf.sprintf "r2-d%d-b%d" d bits;
+      encoding_len = len;
+      trunc_len = 3;
+      circuit;
+      encode =
+        (fun ~rng:_ { features; target } ->
+          if Array.length features <> d then invalid_arg "r_squared.encode";
+          let enc = Array.make len F.zero in
+          enc.(idx_y) <- F.of_int target;
+          enc.(idx_y2) <- F.of_int (target * target);
+          let yhat_s =
+            Array.to_list features
+            |> List.mapi (fun j x -> model.coefs.(j) * x)
+            |> List.fold_left ( + ) model.intercept
+          in
+          let r = (scale * target) - yhat_s in
+          enc.(idx_resid) <- F.of_int (r * r);
+          for j = 0 to d - 1 do
+            enc.(idx_x j) <- F.of_int features.(j)
+          done;
+          for j = 0 to d do
+            let v = if j < d then features.(j) else target in
+            Array.blit (A.bits_of_int v bits) 0 enc (idx_bits j) bits
+          done;
+          enc);
+      decode =
+        (fun ~n sigma ->
+          let nf = float_of_int n in
+          let sy = A.to_float sigma.(idx_y) in
+          let sy2 = A.to_float sigma.(idx_y2) in
+          let sresid = A.to_float sigma.(idx_resid) /. float_of_int (scale * scale) in
+          let var = (sy2 /. nf) -. ((sy /. nf) ** 2.) in
+          if var <= 0. then nan else 1. -. (sresid /. (nf *. var)));
+      leakage = "R² plus the mean and variance of the targets";
+    }
+end

@@ -1,0 +1,45 @@
+(** Private least-squares regression (paper §5.3) and R² evaluation of a
+    public model (Appendix G).
+
+    Each client's training example (x⃗, y) of b-bit integers is encoded
+    with every monomial the normal equations need (features, pairwise
+    products, target, cross terms, bit decompositions); Valid costs
+    (d+1)·b + d(d+1)/2 + d mul gates. Decode solves the normal equations
+    by Gaussian elimination. Leakage: the full moment matrix — the fit
+    plus feature means and covariances, the fˆ of §5.3. Field sizing:
+    |F| > n·2^{2b}. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module A : module type of Afe.Make (F)
+
+  type example = { features : int array; target : int }
+
+  (** {1 Encoding layout helpers (exposed for tests)} *)
+
+  val num_pairs : int -> int
+  val idx_feature : int -> int -> int
+  val idx_pair : int -> int -> int -> int
+  val idx_y : int -> int
+  val idx_xy : int -> int -> int
+  val moments_len : int -> int
+  val encoding_len : int -> bits:int -> int
+
+  val circuit : d:int -> bits:int -> A.C.t
+  val encode : d:int -> bits:int -> example -> F.t array
+
+  val least_squares : d:int -> bits:int -> (example, float array) A.t
+  (** Decodes to the coefficients (c₀, c₁ … c_d) of the fit
+      h(x⃗) = c₀ + Σ c_j·x_j. *)
+
+  (** {1 R² of a public model (Appendix G)} *)
+
+  type model = { intercept : int; coefs : int array; frac_bits : int }
+  (** ŷ = (intercept + Σ coefs_j·x_j) / 2^frac_bits, coefficients in
+      fixed point. *)
+
+  val predict : model -> int array -> float
+
+  val r_squared : model:model -> bits:int -> (example, float) A.t
+  (** Two mul gates beyond the range checks, as in the paper. Leakage:
+      R² plus the target mean and variance. *)
+end

@@ -1,0 +1,54 @@
+(** Variance and standard deviation (paper §5.2, "Variance and stddev").
+
+    Var(X) = E[X²] − (E[X])², so each client encodes (x, x², bits of x) and
+    the servers aggregate the first two components. Valid checks the bit
+    decomposition of x (b mul gates) and that the second component is the
+    square of the first (1 mul gate).
+
+    Leakage: the sum of encodings reveals both Σx and Σx², i.e. the mean as
+    well as the variance — this AFE is fˆ-private for fˆ = (E[X], Var(X)). *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module A = Afe.Make (F)
+  module C = A.C
+
+  type moments = { mean : float; variance : float; stddev : float }
+
+  let circuit ~bits =
+    (* inputs: x, x², β_0..β_{b−1} *)
+    let b = C.Builder.create ~num_inputs:(bits + 2) in
+    let x = C.Builder.input b 0 in
+    let x2 = C.Builder.input b 1 in
+    let bit_wires = List.init bits (fun i -> C.Builder.input b (i + 2)) in
+    A.assert_int_bits b ~value:x ~bits:bit_wires;
+    C.Builder.assert_square b ~x ~y:x2;
+    C.Builder.build b
+
+  let encode ~bits x : F.t array =
+    if x < 0 || (bits < 31 && x lsr bits <> 0) then
+      invalid_arg "Stats.encode: input out of range";
+    Array.append
+      [| F.of_int x; F.of_int (x * x) |]
+      (A.bits_of_int x bits)
+
+  (** Variance/stddev of b-bit integers. Field sizing: |F| > n·2^{2b}. *)
+  let variance ~bits : (int, moments) A.t =
+    {
+      A.name = Printf.sprintf "variance%d" bits;
+      encoding_len = bits + 2;
+      trunc_len = 2;
+      circuit = circuit ~bits;
+      encode = (fun ~rng:_ x -> encode ~bits x);
+      decode =
+        (fun ~n sigma ->
+          if n = 0 then { mean = nan; variance = nan; stddev = nan }
+          else begin
+            let nf = float_of_int n in
+            let mean = A.to_float sigma.(0) /. nf in
+            let ex2 = A.to_float sigma.(1) /. nf in
+            let variance = ex2 -. (mean *. mean) in
+            { mean; variance; stddev = sqrt (Stdlib.max 0. variance) }
+          end);
+      leakage = "both E[X] and E[X^2] (fˆ = mean and variance)";
+    }
+end

@@ -1,0 +1,16 @@
+(** Variance and standard deviation (paper §5.2): encode (x, x², bits of
+    x); Valid checks the decomposition (b mul gates) and the square (one
+    more); the aggregate (Σx, Σx²) decodes via Var X = E[X²] − (E[X])².
+    Leakage: the mean as well as the variance (fˆ-private). Field sizing:
+    |F| > n·2^{2b}. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module A : module type of Afe.Make (F)
+
+  type moments = { mean : float; variance : float; stddev : float }
+
+  val circuit : bits:int -> A.C.t
+  val encode : bits:int -> int -> F.t array
+
+  val variance : bits:int -> (int, moments) A.t
+end

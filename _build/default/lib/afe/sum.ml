@@ -1,0 +1,65 @@
+(** Integer sum and arithmetic mean (paper §5.2, "Integer sum and mean").
+
+    Encode(x) = (x, β_0, …, β_{b−1}) where the β are the binary digits of
+    the b-bit integer x. Valid checks each β is a bit (b mul gates) and that
+    x = Σ 2^i β_i (affine). Only the first component enters the aggregate,
+    so the servers publish exactly Σ_i x_i.
+
+    The field must satisfy |F| > n·2^b so the sum cannot wrap (§5.2). *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module A = Afe.Make (F)
+  module C = A.C
+  module B = Prio_bigint.Bigint
+
+  let circuit ~bits =
+    let b = C.Builder.create ~num_inputs:(bits + 1) in
+    let value = C.Builder.input b 0 in
+    let bit_wires = List.init bits (fun i -> C.Builder.input b (i + 1)) in
+    A.assert_int_bits b ~value ~bits:bit_wires;
+    C.Builder.build b
+
+  let encode ~bits x : F.t array =
+    if x < 0 || (bits < 62 && x lsr bits <> 0) then
+      invalid_arg "Sum.encode: input out of range";
+    Array.append [| F.of_int x |] (A.bits_of_int x bits)
+
+  (** Sum of b-bit integers; decodes to the exact integer sum. *)
+  let sum ~bits : (int, B.t) A.t =
+    {
+      A.name = Printf.sprintf "sum%d" bits;
+      encoding_len = bits + 1;
+      trunc_len = 1;
+      circuit = circuit ~bits;
+      encode = (fun ~rng:_ x -> encode ~bits x);
+      decode = (fun ~n:_ sigma -> F.to_bigint sigma.(0));
+      leakage = "the sum itself (sum-private)";
+    }
+
+  (** Arithmetic mean of b-bit integers. *)
+  let mean ~bits : (int, float) A.t =
+    let s = sum ~bits in
+    {
+      s with
+      A.name = Printf.sprintf "mean%d" bits;
+      decode =
+        (fun ~n sigma ->
+          if n = 0 then nan else A.to_float sigma.(0) /. float_of_int n);
+      leakage = "the sum of the inputs (hence the mean and n·mean)";
+    }
+
+  (** Simple count of set bits: the b = 1 special case of {!sum} used by the
+      simple scheme of §3, kept separate because its Valid circuit has a
+      single mul gate. *)
+  let count_bits : (bool, int) A.t =
+    let s = sum ~bits:1 in
+    {
+      A.name = "count";
+      encoding_len = s.A.encoding_len;
+      trunc_len = s.A.trunc_len;
+      circuit = s.A.circuit;
+      encode = (fun ~rng:_ x -> encode ~bits:1 (if x then 1 else 0));
+      decode = (fun ~n:_ sigma -> A.to_int_exn sigma.(0));
+      leakage = "the count itself";
+    }
+end

@@ -1,0 +1,21 @@
+(** Integer sum and arithmetic mean (paper §5.2).
+
+    Encode(x) = (x, β₀ … β_{b−1}) with β the binary digits; Valid checks
+    each β is a bit (b mul gates) and x = Σ 2^i·β_i (affine); only the
+    first component is aggregated, so the servers publish exactly Σx_i.
+    Field sizing: |F| > n·2^b. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module A : module type of Afe.Make (F)
+
+  val circuit : bits:int -> A.C.t
+  val encode : bits:int -> int -> F.t array
+
+  val sum : bits:int -> (int, Prio_bigint.Bigint.t) A.t
+  (** Exact sum of b-bit non-negative integers. *)
+
+  val mean : bits:int -> (int, float) A.t
+
+  val count_bits : (bool, int) A.t
+  (** The §3 motivating example: count the true bits. *)
+end

@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array List Prio_field Stdlib

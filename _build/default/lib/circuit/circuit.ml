@@ -1,0 +1,265 @@
+(** Arithmetic circuits over a prime field (paper, Appendix C.1).
+
+    A circuit is a wire-indexed DAG of gates. Affine gates (add, subtract,
+    scale, add-constant) are free in the SNIP cost model; only [Mul] gates —
+    multiplications of two non-constant wires — cost proof length and
+    verification work, so the builder keeps a census of them in topological
+    order.
+
+    A validation predicate Valid(x) is a circuit together with a set of
+    {e assert-zero} wires: the predicate holds iff every such wire evaluates
+    to zero. The paper's "output wire = 1" convention is the special case of
+    asserting the affine wire (out − 1); expressing predicates this way lets
+    the servers check any number of constraints with one random linear
+    combination (the circuit-AND optimization of Appendix I). *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  type wire = int
+
+  type gate =
+    | Input of int  (** index into the client's encoded vector *)
+    | Const of F.t
+    | Add of wire * wire
+    | Sub of wire * wire
+    | Scale of F.t * wire
+    | Add_const of F.t * wire
+    | Mul of wire * wire
+
+  type t = {
+    num_inputs : int;
+    gates : gate array;
+    assert_zero : wire array;
+    mul_gates : (wire * wire * wire) array;
+        (** (output wire, left input wire, right input wire), topological. *)
+  }
+
+  let num_wires c = Array.length c.gates
+  let num_mul_gates c = Array.length c.mul_gates
+  let num_inputs c = c.num_inputs
+
+  (* ------------------------------------------------------------------ *)
+  (* Builder                                                             *)
+  (* ------------------------------------------------------------------ *)
+
+  module Builder = struct
+    type b = {
+      num_inputs : int;
+      mutable gates : gate array;
+      mutable len : int;
+      mutable zeros : wire list;
+      mutable input_wires : wire array; (* one wire per input, created eagerly *)
+    }
+
+    let push b g =
+      if b.len = Array.length b.gates then begin
+        let bigger = Array.make (Stdlib.max 16 (2 * b.len)) (Const F.zero) in
+        Array.blit b.gates 0 bigger 0 b.len;
+        b.gates <- bigger
+      end;
+      b.gates.(b.len) <- g;
+      b.len <- b.len + 1;
+      b.len - 1
+
+    let create ~num_inputs =
+      let b =
+        { num_inputs; gates = [||]; len = 0; zeros = []; input_wires = [||] }
+      in
+      b.input_wires <- Array.init num_inputs (fun i -> push b (Input i));
+      b
+
+    let input b i =
+      if i < 0 || i >= b.num_inputs then invalid_arg "Circuit.Builder.input: out of range";
+      b.input_wires.(i)
+
+    let const b c = push b (Const c)
+    let add b x y = push b (Add (x, y))
+    let sub b x y = push b (Sub (x, y))
+    let mul b x y = push b (Mul (x, y))
+    let scale b c x = push b (Scale (c, x))
+    let add_const b c x = push b (Add_const (c, x))
+    let assert_zero b w = b.zeros <- w :: b.zeros
+
+    (** Σ of a list of wires (balanced; zero wires allowed). *)
+    let sum b = function
+      | [] -> const b F.zero
+      | w :: ws -> List.fold_left (fun acc x -> add b acc x) w ws
+
+    (** Σ c_i · w_i. *)
+    let linear_combination b terms =
+      sum b (List.map (fun (c, w) -> scale b c w) terms)
+
+    (** Assert w ∈ {0,1} via one mul gate: w·(w−1) = 0. *)
+    let assert_bit b w =
+      let wm1 = add_const b (F.neg F.one) w in
+      assert_zero b (mul b w wm1)
+
+    (** Assert x = Σ 2^i · bit_i (affine — no mul gates). *)
+    let assert_binary_decomposition b ~value ~bits =
+      let terms =
+        List.mapi (fun i w -> (F.pow F.two i, w)) bits
+      in
+      let recomposed = linear_combination b terms in
+      assert_zero b (sub b value recomposed)
+
+    (** Assert y = x² via one mul gate. *)
+    let assert_square b ~x ~y = assert_zero b (sub b y (mul b x x))
+
+    (** Assert y = x·x' via one mul gate. *)
+    let assert_product b ~x ~x' ~y = assert_zero b (sub b y (mul b x x'))
+
+    (** Assert the wires are a one-hot vector: each a bit, summing to 1. *)
+    let assert_one_hot b ws =
+      List.iter (assert_bit b) ws;
+      let s = sum b ws in
+      assert_zero b (add_const b (F.neg F.one) s)
+
+    let build b =
+      let gates = Array.sub b.gates 0 b.len in
+      let mul_gates =
+        let acc = ref [] in
+        Array.iteri
+          (fun w g -> match g with Mul (x, y) -> acc := (w, x, y) :: !acc | _ -> ())
+          gates;
+        Array.of_list (List.rev !acc)
+      in
+      {
+        num_inputs = b.num_inputs;
+        gates;
+        assert_zero = Array.of_list (List.rev b.zeros);
+        mul_gates;
+      }
+  end
+
+  (* ------------------------------------------------------------------ *)
+  (* Composition                                                         *)
+  (* ------------------------------------------------------------------ *)
+
+  (** Re-index the circuit's inputs into a wider input vector. [mapping]
+      must be injective into [0, num_inputs). Used to interleave the input
+      spaces of composed validation predicates. *)
+  let remap_inputs (c : t) ~num_inputs ~(mapping : int -> int) : t =
+    let gates =
+      Array.map
+        (function
+          | Input k ->
+            let k' = mapping k in
+            if k' < 0 || k' >= num_inputs then
+              invalid_arg "Circuit.remap_inputs: mapping out of range";
+            Input k'
+          | g -> g)
+        c.gates
+    in
+    { c with num_inputs; gates }
+
+  (** Run two predicates side by side over a shared input vector: the
+      result asserts everything both circuits assert. Both inputs must
+      already agree on [num_inputs] (use {!remap_inputs} first). Mul gates
+      of [a] precede those of [b] in the combined census. *)
+  let union (a : t) (b : t) : t =
+    if a.num_inputs <> b.num_inputs then
+      invalid_arg "Circuit.union: input arities differ";
+    let offset = num_wires a in
+    let shift w = w + offset in
+    let shifted_gates =
+      Array.map
+        (function
+          | Input k -> Input k
+          | Const v -> Const v
+          | Add (x, y) -> Add (shift x, shift y)
+          | Sub (x, y) -> Sub (shift x, shift y)
+          | Scale (v, x) -> Scale (v, shift x)
+          | Add_const (v, x) -> Add_const (v, shift x)
+          | Mul (x, y) -> Mul (shift x, shift y))
+        b.gates
+    in
+    {
+      num_inputs = a.num_inputs;
+      gates = Array.append a.gates shifted_gates;
+      assert_zero = Array.append a.assert_zero (Array.map shift b.assert_zero);
+      mul_gates =
+        Array.append a.mul_gates
+          (Array.map (fun (w, x, y) -> (shift w, shift x, shift y)) b.mul_gates);
+    }
+
+  (* ------------------------------------------------------------------ *)
+  (* Evaluation                                                          *)
+  (* ------------------------------------------------------------------ *)
+
+  (** Plaintext evaluation: all wire values. *)
+  let eval_wires (c : t) ~(inputs : F.t array) : F.t array =
+    if Array.length inputs <> c.num_inputs then
+      invalid_arg "Circuit.eval_wires: wrong input arity";
+    let w = Array.make (num_wires c) F.zero in
+    Array.iteri
+      (fun i g ->
+        w.(i) <-
+          (match g with
+          | Input k -> inputs.(k)
+          | Const v -> v
+          | Add (x, y) -> F.add w.(x) w.(y)
+          | Sub (x, y) -> F.sub w.(x) w.(y)
+          | Scale (v, x) -> F.mul v w.(x)
+          | Add_const (v, x) -> F.add v w.(x)
+          | Mul (x, y) -> F.mul w.(x) w.(y)))
+      c.gates;
+    w
+
+  (** Does the predicate hold on these inputs? *)
+  let valid (c : t) ~(inputs : F.t array) : bool =
+    let w = eval_wires c ~inputs in
+    Array.for_all (fun z -> F.is_zero w.(z)) c.assert_zero
+
+  (** Plaintext evaluation that also returns, for each mul gate t (in
+      topological order), the pair (u_t, v_t) of its input wire values.
+      This is what the SNIP prover needs. *)
+  let eval_mul_pairs (c : t) ~(inputs : F.t array) : F.t array * (F.t * F.t) array
+      =
+    let w = eval_wires c ~inputs in
+    let pairs = Array.map (fun (_, x, y) -> (w.(x), w.(y))) c.mul_gates in
+    (w, pairs)
+
+  (** Share evaluation (the SNIP verifier's walk, §4.2 step 2).
+
+      Each server holds a share of the input vector and shares
+      [mul_outputs] of every mul gate's output wire (supplied by the client
+      through the polynomial h). Affine gates act on shares directly; a
+      public constant c is represented by the share c·[const_share_of_one]
+      (1/s for each of s servers, so constants sum correctly across the
+      cluster). Mul gates do not multiply — they read the client-provided
+      output share — which is exactly why verification needs no
+      communication until the final identity test.
+
+      Returns all wire-value shares plus, for each mul gate, the shares of
+      its left and right inputs (the server's shares of f(t) and g(t)). *)
+  let eval_shares (c : t) ~(const_share_of_one : F.t) ~(inputs : F.t array)
+      ~(mul_outputs : F.t array) :
+      F.t array * (F.t * F.t) array =
+    if Array.length inputs <> c.num_inputs then
+      invalid_arg "Circuit.eval_shares: wrong input arity";
+    if Array.length mul_outputs <> num_mul_gates c then
+      invalid_arg "Circuit.eval_shares: wrong mul output count";
+    let w = Array.make (num_wires c) F.zero in
+    let mul_idx = ref 0 in
+    let pairs = Array.make (num_mul_gates c) (F.zero, F.zero) in
+    Array.iteri
+      (fun i g ->
+        w.(i) <-
+          (match g with
+          | Input k -> inputs.(k)
+          | Const v -> F.mul v const_share_of_one
+          | Add (x, y) -> F.add w.(x) w.(y)
+          | Sub (x, y) -> F.sub w.(x) w.(y)
+          | Scale (v, x) -> F.mul v w.(x)
+          | Add_const (v, x) -> F.add (F.mul v const_share_of_one) w.(x)
+          | Mul (x, y) ->
+            let t = !mul_idx in
+            incr mul_idx;
+            pairs.(t) <- (w.(x), w.(y));
+            mul_outputs.(t)))
+      c.gates;
+    (w, pairs)
+
+  (** Shares of the assert-zero wires, in declaration order. *)
+  let assert_zero_values (c : t) (wires : F.t array) : F.t array =
+    Array.map (fun z -> wires.(z)) c.assert_zero
+end

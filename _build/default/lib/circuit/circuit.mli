@@ -1,0 +1,111 @@
+(** Arithmetic circuits over a prime field (paper, Appendix C.1).
+
+    A circuit is a wire-indexed DAG of gates: affine gates (add, subtract,
+    scale, add-constant) are free in the SNIP cost model, while [Mul]
+    gates — products of two non-constant wires — cost proof length and
+    verification work, so the builder maintains a census of them in
+    topological order.
+
+    A validation predicate Valid(x) is a circuit plus a set of
+    {e assert-zero} wires: Valid holds iff every such wire evaluates to
+    zero. The paper's "output wire = 1" convention is the affine special
+    case (out − 1); the assert-zero form is what lets the servers check
+    any number of constraints with one random linear combination (the
+    circuit-AND optimization of Appendix I). *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  type wire = int
+
+  type gate =
+    | Input of int  (** index into the client's encoded vector *)
+    | Const of F.t
+    | Add of wire * wire
+    | Sub of wire * wire
+    | Scale of F.t * wire
+    | Add_const of F.t * wire
+    | Mul of wire * wire
+
+  type t = {
+    num_inputs : int;
+    gates : gate array;
+    assert_zero : wire array;
+    mul_gates : (wire * wire * wire) array;
+        (** (output, left input, right input) per mul gate, topological *)
+  }
+
+  val num_wires : t -> int
+  val num_mul_gates : t -> int
+  val num_inputs : t -> int
+
+  (** Imperative circuit construction. Input wires are created eagerly,
+      one per input index. *)
+  module Builder : sig
+    type b
+
+    val create : num_inputs:int -> b
+
+    val input : b -> int -> wire
+    (** @raise Invalid_argument when out of range. *)
+
+    val const : b -> F.t -> wire
+    val add : b -> wire -> wire -> wire
+    val sub : b -> wire -> wire -> wire
+    val mul : b -> wire -> wire -> wire
+    val scale : b -> F.t -> wire -> wire
+    val add_const : b -> F.t -> wire -> wire
+
+    val assert_zero : b -> wire -> unit
+    (** Constrain the wire to be zero in every valid encoding. *)
+
+    val sum : b -> wire list -> wire
+    val linear_combination : b -> (F.t * wire) list -> wire
+
+    val assert_bit : b -> wire -> unit
+    (** w·(w−1) = 0 — one mul gate. *)
+
+    val assert_binary_decomposition : b -> value:wire -> bits:wire list -> unit
+    (** value = Σ 2^i·bits_i — affine, no mul gates. *)
+
+    val assert_square : b -> x:wire -> y:wire -> unit
+    val assert_product : b -> x:wire -> x':wire -> y:wire -> unit
+
+    val assert_one_hot : b -> wire list -> unit
+    (** Each wire a bit, together summing to one. *)
+
+    val build : b -> t
+  end
+
+  (** {1 Composition} *)
+
+  val remap_inputs : t -> num_inputs:int -> mapping:(int -> int) -> t
+  (** Re-index inputs into a wider input vector (injective mapping). *)
+
+  val union : t -> t -> t
+  (** Assert everything both circuits assert over a shared input vector;
+      [a]'s mul gates precede [b]'s in the combined census.
+      @raise Invalid_argument if input arities differ. *)
+
+  (** {1 Evaluation} *)
+
+  val eval_wires : t -> inputs:F.t array -> F.t array
+  (** All wire values, in the clear. *)
+
+  val valid : t -> inputs:F.t array -> bool
+  (** Do all assert-zero wires vanish? *)
+
+  val eval_mul_pairs : t -> inputs:F.t array -> F.t array * (F.t * F.t) array
+  (** Wire values plus, per mul gate, its input pair (u_t, v_t) — what
+      the SNIP prover interpolates f and g through. *)
+
+  val eval_shares :
+    t -> const_share_of_one:F.t -> inputs:F.t array -> mul_outputs:F.t array ->
+    F.t array * (F.t * F.t) array
+  (** The SNIP verifier's communication-free walk (§4.2 step 2): affine
+      gates act on shares; each mul gate's output is read from the
+      client-supplied [mul_outputs] (shares of h at the gate's grid
+      point); public constants enter scaled by [const_share_of_one]
+      (1/s). Returns wire-value shares and per-gate input-pair shares. *)
+
+  val assert_zero_values : t -> F.t array -> F.t array
+  (** Project the assert-zero wires out of a wire-value array. *)
+end

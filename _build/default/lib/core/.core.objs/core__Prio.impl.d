@@ -1,0 +1,1 @@
+lib/core/prio.ml: List Prio_afe Prio_bigint Prio_circuit Prio_crypto Prio_field Prio_nizk Prio_poly Prio_proto Prio_share Prio_snip

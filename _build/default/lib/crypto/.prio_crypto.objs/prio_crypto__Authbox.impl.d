@@ -1,0 +1,1 @@
+lib/crypto/authbox.ml: Bytes Chacha20 Hmac Printf Rng Sha256

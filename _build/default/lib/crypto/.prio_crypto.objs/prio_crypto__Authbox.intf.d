@@ -1,0 +1,1 @@
+lib/crypto/authbox.mli: Bytes Rng

@@ -1,0 +1,1 @@
+lib/crypto/rng.ml: Bytes Chacha20 Char Random Sha256

@@ -1,0 +1,30 @@
+type key = Bytes.t
+
+let nonce_len = 12
+let tag_len = 16
+let overhead = nonce_len + tag_len
+
+let derive_key ~client_id ~server_id ~master =
+  Sha256.digest_string
+    (Printf.sprintf "prio-box|%d|%d|%s" client_id server_id (Bytes.to_string master))
+
+let seal ~key ~rng plaintext =
+  let nonce = Rng.bytes rng nonce_len in
+  let ct = Chacha20.encrypt ~key ~nonce plaintext in
+  let body = Bytes.cat nonce ct in
+  let tag = Hmac.sha256_trunc ~key tag_len body in
+  Bytes.cat body tag
+
+let open_ ~key packet =
+  let len = Bytes.length packet in
+  if len < overhead then None
+  else begin
+    let body = Bytes.sub packet 0 (len - tag_len) in
+    let tag = Bytes.sub packet (len - tag_len) tag_len in
+    if not (Hmac.verify ~key ~tag body) then None
+    else begin
+      let nonce = Bytes.sub body 0 nonce_len in
+      let ct = Bytes.sub body nonce_len (Bytes.length body - nonce_len) in
+      Some (Chacha20.encrypt ~key ~nonce ct)
+    end
+  end

@@ -1,0 +1,22 @@
+(** Authenticated encryption for client→server packets.
+
+    Stands in for NaCl's crypto_box in the original implementation: the paper
+    encrypts and authenticates each Prio packet at the application layer so
+    that no client→server TLS is needed. We use ChaCha20 + truncated
+    HMAC-SHA256 under a pairwise symmetric key (the PKI / key agreement the
+    paper assumes is out of scope, as it is there). *)
+
+type key = Bytes.t
+
+val derive_key : client_id:int -> server_id:int -> master:Bytes.t -> key
+(** Deterministic pairwise key, standing in for a Diffie–Hellman shared
+    secret under the deployment's PKI. *)
+
+val overhead : int
+(** Bytes added to a plaintext by sealing (nonce + tag). *)
+
+val seal : key:key -> rng:Rng.t -> Bytes.t -> Bytes.t
+(** [seal ~key ~rng plaintext] is nonce ‖ ciphertext ‖ tag. *)
+
+val open_ : key:key -> Bytes.t -> Bytes.t option
+(** [open_ ~key packet] authenticates and decrypts; [None] on forgery. *)

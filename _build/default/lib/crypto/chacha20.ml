@@ -1,0 +1,75 @@
+(* ChaCha20 per RFC 8439.  All 32-bit words live in native ints and are
+   masked back to 32 bits after every arithmetic step. *)
+
+let m32 = 0xFFFFFFFF
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land m32
+
+let get32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let put32 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let quarter_round st a b c d =
+  st.(a) <- (st.(a) + st.(b)) land m32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land m32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land m32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land m32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+let block ~key ~counter ~nonce =
+  if Bytes.length key <> 32 then invalid_arg "Chacha20.block: key must be 32 bytes";
+  if Bytes.length nonce <> 12 then invalid_arg "Chacha20.block: nonce must be 12 bytes";
+  let init = Array.make 16 0 in
+  init.(0) <- 0x61707865;
+  init.(1) <- 0x3320646e;
+  init.(2) <- 0x79622d32;
+  init.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    init.(4 + i) <- get32 key (4 * i)
+  done;
+  init.(12) <- counter land m32;
+  for i = 0 to 2 do
+    init.(13 + i) <- get32 nonce (4 * i)
+  done;
+  let st = Array.copy init in
+  for _ = 1 to 10 do
+    quarter_round st 0 4 8 12;
+    quarter_round st 1 5 9 13;
+    quarter_round st 2 6 10 14;
+    quarter_round st 3 7 11 15;
+    quarter_round st 0 5 10 15;
+    quarter_round st 1 6 11 12;
+    quarter_round st 2 7 8 13;
+    quarter_round st 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    put32 out (4 * i) ((st.(i) + init.(i)) land m32)
+  done;
+  out
+
+let encrypt ~key ?(counter = 1) ~nonce msg =
+  let len = Bytes.length msg in
+  let out = Bytes.create len in
+  let nblocks = (len + 63) / 64 in
+  for b = 0 to nblocks - 1 do
+    let ks = block ~key ~counter:(counter + b) ~nonce in
+    let off = b * 64 in
+    let chunk = Stdlib.min 64 (len - off) in
+    for i = 0 to chunk - 1 do
+      Bytes.set out (off + i)
+        (Char.chr (Char.code (Bytes.get msg (off + i)) lxor Char.code (Bytes.get ks i)))
+    done
+  done;
+  out

@@ -1,0 +1,17 @@
+(** ChaCha20 stream cipher (RFC 8439 core function).
+
+    Used in two roles, mirroring the paper's use of AES-CTR:
+    - as the pseudo-random generator for share compression (Appendix I), and
+    - as the cipher inside the NaCl-box-style sealed client packets.
+
+    Test vectors from RFC 8439 §2.3.2 and §2.4.2 are checked in the test
+    suite. *)
+
+val block : key:Bytes.t -> counter:int -> nonce:Bytes.t -> Bytes.t
+(** One 64-byte keystream block. [key] is 32 bytes, [nonce] 12 bytes,
+    [counter] a 32-bit block counter.
+    @raise Invalid_argument on wrong key/nonce sizes. *)
+
+val encrypt : key:Bytes.t -> ?counter:int -> nonce:Bytes.t -> Bytes.t -> Bytes.t
+(** XOR the keystream into the message (encryption = decryption). The
+    initial block counter defaults to 1, as in RFC 8439 AEAD usage. *)

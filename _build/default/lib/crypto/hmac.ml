@@ -1,0 +1,32 @@
+let block_size = 64
+
+let sha256 ~key msg =
+  let key =
+    if Bytes.length key > block_size then Sha256.digest key else key
+  in
+  let k = Bytes.make block_size '\000' in
+  Bytes.blit key 0 k 0 (Bytes.length key);
+  let xor_pad pad =
+    Bytes.init block_size (fun i -> Char.chr (Char.code (Bytes.get k i) lxor pad))
+  in
+  let inner = Sha256.init () in
+  Sha256.update inner (xor_pad 0x36);
+  Sha256.update inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.update outer (xor_pad 0x5c);
+  Sha256.update outer inner_digest;
+  Sha256.finalize outer
+
+let sha256_trunc ~key len msg =
+  if len < 1 || len > 32 then invalid_arg "Hmac.sha256_trunc: length must be in 1..32";
+  Bytes.sub (sha256 ~key msg) 0 len
+
+let verify ~key ~tag msg =
+  let expected = sha256_trunc ~key (Bytes.length tag) msg in
+  (* constant-time comparison *)
+  let acc = ref 0 in
+  Bytes.iteri
+    (fun i c -> acc := !acc lor (Char.code c lxor Char.code (Bytes.get expected i)))
+    tag;
+  !acc = 0 && Bytes.length tag > 0

@@ -1,0 +1,10 @@
+(** HMAC-SHA256 (RFC 2104). Used to authenticate sealed client packets. *)
+
+val sha256 : key:Bytes.t -> Bytes.t -> Bytes.t
+(** 32-byte tag. *)
+
+val sha256_trunc : key:Bytes.t -> int -> Bytes.t -> Bytes.t
+(** Tag truncated to the given byte length (<= 32). *)
+
+val verify : key:Bytes.t -> tag:Bytes.t -> Bytes.t -> bool
+(** Constant-time comparison of a (possibly truncated) tag. *)

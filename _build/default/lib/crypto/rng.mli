@@ -1,0 +1,46 @@
+(** Deterministic cryptographic pseudo-random generator (ChaCha20-based).
+
+    Every random choice in the system — secret-share masks, Beaver triples,
+    the verifiers' identity-test point r, workload generation — draws from one
+    of these, so protocol runs are reproducible from a seed.
+
+    This module is also the share-compression PRG of the paper's Appendix I:
+    a client sends a 32-byte seed instead of a length-L share, and the server
+    re-expands it with {!of_seed}. *)
+
+type t
+
+val of_seed : Bytes.t -> t
+(** Stream determined by the seed. Seeds of any length are accepted (they are
+    hashed to 32 bytes); equal seeds give equal streams. *)
+
+val of_string_seed : string -> t
+val create : unit -> t
+(** Fresh generator seeded from [Random.self_init]-style entropy; use only at
+    the edges (demo binaries), never inside protocol logic under test. *)
+
+val seed_bytes : int
+(** Length of a compressed-share seed (32). *)
+
+val fresh_seed : t -> Bytes.t
+(** Draw a 32-byte seed for a derived stream. *)
+
+val split : t -> t
+(** An independent generator derived from this one. *)
+
+val byte : t -> int
+val bytes : t -> int -> Bytes.t
+val uint32 : t -> int
+val limb31 : t -> int
+(** Uniform 31-bit value; shaped for {!Prio_bigint.Bigint.random_below}'s
+    [rand_limb] callback. *)
+
+val int_below : t -> int -> int
+(** Uniform in [0, n), n > 0, by rejection sampling. *)
+
+val int_range : t -> int -> int -> int
+(** Uniform in [lo, hi] inclusive. *)
+
+val bool : t -> bool
+val float01 : t -> float
+(** Uniform in [0, 1) with 53 bits of precision. *)

@@ -1,0 +1,17 @@
+(** SHA-256 (FIPS 180-4).
+
+    Used for Fiat–Shamir challenges in the NIZK baseline, for the count-min
+    sketch hash family, and inside HMAC for packet authentication. FIPS test
+    vectors are checked in the test suite. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> Bytes.t -> unit
+val update_string : ctx -> string -> unit
+val finalize : ctx -> Bytes.t
+(** 32-byte digest; the context must not be reused afterwards. *)
+
+val digest : Bytes.t -> Bytes.t
+val digest_string : string -> Bytes.t
+val hex : Bytes.t -> string

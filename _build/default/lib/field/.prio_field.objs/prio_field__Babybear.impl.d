@@ -1,0 +1,1 @@
+lib/field/babybear.ml: Array Bytes Char Format Int Lazy Prio_bigint Prio_crypto

@@ -1,0 +1,1 @@
+lib/field/babybear.mli: Field_intf

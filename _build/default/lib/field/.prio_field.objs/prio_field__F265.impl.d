@@ -1,0 +1,1 @@
+lib/field/f265.ml: Proth

@@ -1,0 +1,1 @@
+lib/field/f265.mli: Field_intf

@@ -1,0 +1,1 @@
+lib/field/f87.mli: Field_intf

@@ -1,0 +1,1 @@
+lib/field/field_intf.ml: Bytes Format Prio_bigint Prio_crypto

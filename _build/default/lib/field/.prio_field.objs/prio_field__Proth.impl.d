@@ -1,0 +1,1 @@
+lib/field/proth.ml: Array Bytes Field_intf Format Lazy Prio_bigint Prio_crypto

@@ -1,0 +1,1 @@
+lib/field/proth.mli: Field_intf

@@ -1,0 +1,108 @@
+(* The single-word "BabyBear" field, p = 2^31 - 2^27 + 1 = 15 * 2^27 + 1.
+
+   All values live in [0, p) inside a native int, and a product of two
+   residues (< 2^62) fits in OCaml's 63-bit int, so [mul] is a single
+   multiply-and-mod. Two-adicity is 27, enough for NTTs of size 2^27. *)
+
+module B = Prio_bigint.Bigint
+
+type t = int
+
+let name = "BabyBear(2^31-2^27+1)"
+let p = 2013265921
+let order = B.of_int p
+let num_bits = 31
+let bytes_len = 4
+let two_adicity = 27
+let generator = 31 (* checked at startup below *)
+
+let zero = 0
+let one = 1
+let two = 2
+
+let of_int x =
+  let r = x mod p in
+  if r < 0 then r + p else r
+
+let to_bigint x = B.of_int x
+let of_bigint x = B.to_int_exn (B.erem x order)
+
+let add a b =
+  let s = a + b in
+  if s >= p then s - p else s
+
+let sub a b = if a >= b then a - b else a - b + p
+let neg a = if a = 0 then 0 else p - a
+let mul a b = a * b mod p
+let sqr a = a * a mod p
+
+let pow b e =
+  if e < 0 then invalid_arg "Babybear.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else go (if e land 1 = 1 then mul acc b else acc) (sqr b) (e lsr 1)
+  in
+  go one b e
+
+let inv a = if a = 0 then raise Division_by_zero else pow a (p - 2)
+let div a b = mul a (inv b)
+
+let pow_big b e =
+  let bits = B.num_bits e in
+  let result = ref one and acc = ref b in
+  for i = 0 to bits - 1 do
+    if B.testbit e i then result := mul !result !acc;
+    if i < bits - 1 then acc := sqr !acc
+  done;
+  !result
+
+let equal = Int.equal
+let is_zero x = x = 0
+let is_one x = x = 1
+
+let random rng = Prio_crypto.Rng.int_below rng p
+let random_nonzero rng = 1 + Prio_crypto.Rng.int_below rng (p - 1)
+
+let to_bytes x =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((x lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((x lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((x lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (x land 0xff));
+  b
+
+let of_bytes b =
+  if Bytes.length b <> 4 then invalid_arg "Babybear.of_bytes: need 4 bytes";
+  let v =
+    (Char.code (Bytes.get b 0) lsl 24)
+    lor (Char.code (Bytes.get b 1) lsl 16)
+    lor (Char.code (Bytes.get b 2) lsl 8)
+    lor Char.code (Bytes.get b 3)
+  in
+  if v >= p then invalid_arg "Babybear.of_bytes: not canonical";
+  v
+
+let to_string = string_of_int
+let pp fmt x = Format.pp_print_int fmt x
+
+(* Roots of unity: g has full order p - 1 = 15 * 2^27; g^15 generates the
+   2^27-torsion. Verified once at module initialization. *)
+let () =
+  (* generator must have full order: check against each prime factor of p-1 *)
+  assert (not (equal (pow generator ((p - 1) / 2)) one));
+  assert (not (equal (pow generator ((p - 1) / 3)) one));
+  assert (not (equal (pow generator ((p - 1) / 5)) one))
+
+let root_table =
+  lazy
+    (let t = Array.make (two_adicity + 1) one in
+     t.(two_adicity) <- pow generator 15;
+     for k = two_adicity - 1 downto 0 do
+       t.(k) <- sqr t.(k + 1)
+     done;
+     t)
+
+let root_of_unity k =
+  if k < 0 || k > two_adicity then
+    invalid_arg (name ^ ".root_of_unity: out of range");
+  (Lazy.force root_table).(k)

@@ -1,0 +1,9 @@
+(** The single-word "BabyBear" field p = 2^31 − 2^27 + 1 (two-adicity 27,
+    generator 31). Elements are native [int]s in [0, p), so a product fits
+    OCaml's 63-bit integer and multiplication is one machine [mod] — an
+    order of magnitude faster than the bignum fields, at the cost of a
+    larger soundness error ((2M+1)/2^31 per identity test) and tighter
+    overflow headroom. Used for high-throughput runs and as a cross-check
+    target for the generic Montgomery implementation. *)
+
+include Field_intf.S with type t = int

@@ -1,0 +1,54 @@
+(* Instrumented field: wraps any field instance and counts operations.
+
+   Table 2 of the paper is an *asymptotic* comparison (client performs
+   Θ(M log M) field multiplications and zero exponentiations, servers
+   exchange Θ(1) elements); wrapping the SNIP in this functor lets the test
+   suite verify those operation counts empirically rather than by
+   inspection. *)
+
+type stats = {
+  mutable muls : int;
+  mutable adds : int;
+  mutable invs : int;
+}
+
+module Make (F : Field_intf.S) : sig
+  include Field_intf.S
+
+  val stats : stats
+  val reset : unit -> unit
+end = struct
+  include F
+
+  let stats = { muls = 0; adds = 0; invs = 0 }
+
+  let reset () =
+    stats.muls <- 0;
+    stats.adds <- 0;
+    stats.invs <- 0
+
+  let add a b =
+    stats.adds <- stats.adds + 1;
+    F.add a b
+
+  let sub a b =
+    stats.adds <- stats.adds + 1;
+    F.sub a b
+
+  let mul a b =
+    stats.muls <- stats.muls + 1;
+    F.mul a b
+
+  let sqr a =
+    stats.muls <- stats.muls + 1;
+    F.sqr a
+
+  let inv a =
+    stats.invs <- stats.invs + 1;
+    F.inv a
+
+  let div a b =
+    stats.invs <- stats.invs + 1;
+    stats.muls <- stats.muls + 1;
+    F.div a b
+end

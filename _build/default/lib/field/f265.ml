@@ -1,0 +1,11 @@
+(* The 265-bit field from Table 3, large enough for sums that must not wrap
+   even with billions of clients and wide integers, and for embedding
+   fixed-point regression features. p = 291 * 2^256 + 1. *)
+
+include Proth.Make (struct
+  let name = "F265"
+  let prime = "0x1230000000000000000000000000000000000000000000000000000000000000001"
+  let generator = 10
+  let two_adicity = 256
+  let odd_cofactor = "291"
+end)

@@ -1,0 +1,6 @@
+(** The 265-bit FFT-friendly prime field from Table 3: p = 291·2^256 + 1
+    (two-adicity 256, generator 10). Sized for aggregates that must not
+    wrap even with wide fixed-point encodings and squared terms — e.g. the
+    regression AFE over 14-bit features with billions of clients. *)
+
+include Field_intf.S

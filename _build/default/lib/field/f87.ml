@@ -1,0 +1,11 @@
+(* The 87-bit FFT-friendly field used throughout the paper's evaluation
+   ("Unless noted otherwise, our evaluations use an FFT-friendly 87-bit
+   field"). p = 249 * 2^79 + 1; primality is re-verified in the tests. *)
+
+include Proth.Make (struct
+  let name = "F87"
+  let prime = "0x7c80000000000000000001" (* 249 * 2^79 + 1 *)
+  let generator = 5
+  let two_adicity = 79
+  let odd_cofactor = "249"
+end)

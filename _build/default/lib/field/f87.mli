@@ -1,0 +1,9 @@
+(** The 87-bit FFT-friendly prime field used throughout the paper's
+    evaluation: p = 249·2^79 + 1 (two-adicity 79, generator 5).
+
+    This is the default field for SNIPs and most AFEs; its order is large
+    enough that the polynomial identity test's soundness error (2M+1)/|F|
+    is ≈ 2^-60 even for million-gate circuits, and sums of 4–30-bit client
+    values cannot wrap for any realistic client count. *)
+
+include Field_intf.S

@@ -1,0 +1,90 @@
+(** The prime-field interface every Prio component is written against.
+
+    All Prio arithmetic — secret shares, SNIP polynomials, AFE encodings —
+    happens in a prime field F_p. The paper evaluates an 87-bit and a 265-bit
+    FFT-friendly field ({!F87}, {!F265}); we additionally provide a fast
+    single-word field ({!Babybear}) for high-throughput runs. Every instance
+    is FFT-friendly: p − 1 is divisible by a large power of two so the NTT in
+    {!Prio_poly.Ntt} applies. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val order : Prio_bigint.Bigint.t
+  (** The prime p. *)
+
+  val num_bits : int
+  (** Bits of p. *)
+
+  val bytes_len : int
+  (** Width of the fixed-size serialization, ceil(num_bits / 8). *)
+
+  (** {1 Constants and conversions} *)
+
+  val zero : t
+  val one : t
+  val two : t
+
+  val of_int : int -> t
+  (** Reduction mod p; negative inputs map to [p - |x| mod p]. *)
+
+  val to_bigint : t -> Prio_bigint.Bigint.t
+  (** Canonical representative in [0, p). *)
+
+  val of_bigint : Prio_bigint.Bigint.t -> t
+  (** Euclidean reduction mod p. *)
+
+  (** {1 Arithmetic} *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val sqr : t -> t
+
+  val inv : t -> t
+  (** @raise Division_by_zero on zero. *)
+
+  val div : t -> t -> t
+  val pow : t -> int -> t
+  (** Exponent >= 0. *)
+
+  val pow_big : t -> Prio_bigint.Bigint.t -> t
+
+  (** {1 Predicates} *)
+
+  val equal : t -> t -> bool
+  val is_zero : t -> bool
+  val is_one : t -> bool
+
+  (** {1 Randomness} *)
+
+  val random : Prio_crypto.Rng.t -> t
+  (** Uniform over the field. *)
+
+  val random_nonzero : Prio_crypto.Rng.t -> t
+
+  (** {1 Serialization and printing} *)
+
+  val to_bytes : t -> Bytes.t
+  (** Fixed-width big-endian canonical encoding, [bytes_len] bytes. *)
+
+  val of_bytes : Bytes.t -> t
+  (** @raise Invalid_argument if the encoding is not canonical (>= p) or has
+      the wrong width. *)
+
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+
+  (** {1 FFT support} *)
+
+  val two_adicity : int
+  (** Largest k with 2^k | p − 1. *)
+
+  val root_of_unity : int -> t
+  (** [root_of_unity k] is a primitive 2^k-th root of unity, 0 <= k <=
+      [two_adicity].
+      @raise Invalid_argument for k out of range. *)
+end

@@ -1,0 +1,23 @@
+(** Prime fields from Proth primes p = c·2^k + 1, built on the Montgomery
+    arithmetic of {!Prio_bigint.Bigint.Mont} — the replacement for the
+    paper's FLINT-backed FFT-friendly fields. The huge power-of-two
+    factor of p − 1 gives two-adicity k, so NTTs of any size up to 2^k
+    apply. Constants (primality shape, generator order) are checked at
+    instantiation. *)
+
+module type Config = sig
+  val name : string
+
+  val prime : string
+  (** decimal or 0x-hex *)
+
+  val generator : int
+  (** generator of the full multiplicative group *)
+
+  val two_adicity : int
+
+  val odd_cofactor : string
+  (** c, the odd part of p − 1 *)
+end
+
+module Make (C : Config) : Field_intf.S

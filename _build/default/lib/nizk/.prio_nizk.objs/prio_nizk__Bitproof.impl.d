@@ -1,0 +1,1 @@
+lib/nizk/bitproof.ml: Array Group Pedersen Prio_bigint Prio_crypto

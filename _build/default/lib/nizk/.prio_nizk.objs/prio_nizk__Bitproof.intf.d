@@ -1,0 +1,1 @@
+lib/nizk/bitproof.mli: Group Pedersen Prio_bigint Prio_crypto

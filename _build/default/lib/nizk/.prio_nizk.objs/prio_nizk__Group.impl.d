@@ -1,0 +1,1 @@
+lib/nizk/group.ml: Bytes List Prio_bigint Prio_crypto

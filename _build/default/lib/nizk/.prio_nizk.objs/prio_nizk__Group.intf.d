@@ -1,0 +1,1 @@
+lib/nizk/group.mli: Bytes Prio_bigint Prio_crypto

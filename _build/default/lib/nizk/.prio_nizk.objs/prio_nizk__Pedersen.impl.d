@@ -1,0 +1,1 @@
+lib/nizk/pedersen.ml: Group Prio_bigint Prio_crypto

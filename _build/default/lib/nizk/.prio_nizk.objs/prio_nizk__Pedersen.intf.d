@@ -1,0 +1,1 @@
+lib/nizk/pedersen.mli: Group Prio_bigint Prio_crypto

@@ -1,0 +1,1 @@
+lib/nizk/schnorr.ml: Bytes Group Prio_bigint Prio_crypto

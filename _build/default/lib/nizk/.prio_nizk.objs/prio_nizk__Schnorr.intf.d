@@ -1,0 +1,1 @@
+lib/nizk/schnorr.mli: Bytes Group Prio_bigint Prio_crypto

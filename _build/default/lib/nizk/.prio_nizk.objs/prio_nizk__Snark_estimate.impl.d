@@ -1,0 +1,1 @@
+lib/nizk/snark_estimate.ml: Group Prio_crypto Sys Unix

@@ -1,0 +1,42 @@
+(** Fiat–Shamir OR-proofs that a Pedersen commitment opens to 0 or 1 —
+    the per-coordinate work unit of the paper's NIZK comparison scheme
+    (§6), built from the disjunctive Schnorr (Chaum–Pedersen) protocol.
+
+    Cost shape (Table 2): Θ(1) exponentiations per bit for both prover
+    and verifier, hence Θ(M) per submission — the public-key bottleneck
+    that SNIPs eliminate. *)
+
+module B := Prio_bigint.Bigint
+
+type t = {
+  a0 : Group.elt;
+  a1 : Group.elt;
+  c0 : B.t;
+  c1 : B.t;
+  z0 : B.t;
+  z1 : B.t;
+}
+
+val proof_bytes : int
+(** Serialized size of one bit-proof. *)
+
+val prove :
+  Prio_crypto.Rng.t -> bit:int -> commitment:Pedersen.commitment ->
+  randomness:B.t -> t
+(** @raise Invalid_argument unless [bit] is 0 or 1. *)
+
+val verify : Pedersen.commitment -> t -> bool
+
+(** {1 Vector-level submissions} *)
+
+type submission = {
+  commitments : Pedersen.commitment array;
+  proofs : t array;
+  openings : Pedersen.opening array;
+}
+
+val client_encode : Prio_crypto.Rng.t -> int array -> submission
+(** Commit to every bit and prove each 0/1 — the baseline's client side. *)
+
+val server_verify : submission -> bool
+(** Check every proof (the baseline's server side). *)

@@ -1,0 +1,44 @@
+(** The Schnorr group for the NIZK baseline and signatures: the order-q
+    subgroup of quadratic residues modulo a 256-bit safe prime p = 2q + 1.
+
+    Stands in for the paper's OpenSSL NIST P-256 (see DESIGN.md,
+    "Substitutions"): what the comparison needs is a group where
+    exponentiation costs what elliptic-curve scalar multiplication costs
+    relative to field work, i.e. dominates everything else. *)
+
+module B := Prio_bigint.Bigint
+
+val p : B.t
+(** The safe prime modulus (primality re-verified in the tests). *)
+
+val q : B.t
+(** The subgroup order, (p − 1) / 2. *)
+
+type elt
+(** A group element. *)
+
+val elt_bytes_len : int
+(** Serialized element width (32). *)
+
+val g : elt
+(** Generator of the order-q subgroup. *)
+
+val h : elt
+(** Independent second generator for Pedersen commitments, derived
+    nothing-up-my-sleeve as g^SHA256("prio-nizk-h"). *)
+
+val one : elt
+val mul : elt -> elt -> elt
+
+val exp : elt -> B.t -> elt
+(** [exp b e] is b^e; the cost unit of the NIZK comparison. *)
+
+val inv : elt -> elt
+val equal : elt -> elt -> bool
+val to_bytes : elt -> Bytes.t
+
+val random_exponent : Prio_crypto.Rng.t -> B.t
+(** Uniform in [0, q). *)
+
+val challenge : Bytes.t list -> B.t
+(** Fiat–Shamir challenge in Z_q: SHA-256 over the concatenated parts. *)

@@ -1,0 +1,26 @@
+(** Pedersen commitments over the Schnorr group: C = g^x · h^r.
+
+    Perfectly hiding, computationally binding; the NIZK baseline commits to
+    every coordinate of the client's submission and proves each committed
+    value is a bit. *)
+
+module B = Prio_bigint.Bigint
+module Rng = Prio_crypto.Rng
+
+type commitment = Group.elt
+
+type opening = { value : B.t; randomness : B.t }
+
+let commit ~(value : B.t) ~(randomness : B.t) : commitment =
+  Group.mul (Group.exp Group.g value) (Group.exp Group.h randomness)
+
+let commit_fresh rng ~(value : B.t) : commitment * opening =
+  let randomness = Group.random_exponent rng in
+  (commit ~value ~randomness, { value; randomness })
+
+let verify (c : commitment) (o : opening) : bool =
+  Group.equal c (commit ~value:o.value ~randomness:o.randomness)
+
+(** Homomorphic combination: commit(x1+x2, r1+r2) = C1 · C2 — how the
+    servers aggregate committed submissions. *)
+let combine = Group.mul

@@ -1,0 +1,20 @@
+(** Pedersen commitments C = g^x·h^r over {!Group}: perfectly hiding,
+    computationally binding, and additively homomorphic — the commitment
+    scheme of the paper's NIZK comparison baseline (§6). *)
+
+module B := Prio_bigint.Bigint
+
+type commitment = Group.elt
+
+type opening = { value : B.t; randomness : B.t }
+
+val commit : value:B.t -> randomness:B.t -> commitment
+
+val commit_fresh : Prio_crypto.Rng.t -> value:B.t -> commitment * opening
+(** Commit under fresh uniform randomness. *)
+
+val verify : commitment -> opening -> bool
+
+val combine : commitment -> commitment -> commitment
+(** Homomorphic addition: [combine (commit x r) (commit y s)] opens to
+    (x + y, r + s) — how the baseline's servers aggregate. *)

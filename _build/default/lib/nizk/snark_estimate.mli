@@ -1,0 +1,25 @@
+(** Analytic cost model for a zkSNARK alternative — Figure 7's
+    "SNARK (Est.)" series, reproduced with the paper's own estimation
+    procedure: prover cost = (Valid gates + s·L·300 subset-sum-hash gates)
+    × exponentiations per gate × measured exponentiation time. *)
+
+type params = {
+  exps_per_gate : float;
+  gates_per_hashed_element : int;
+}
+
+val default : params
+(** The paper's conservative constants: 3 exponentiations per R1CS gate,
+    300 gates per hashed element. *)
+
+val measure_exp_seconds : ?iters:int -> unit -> float
+(** Time one {!Group} exponentiation (the pricing unit). *)
+
+val client_seconds :
+  ?params:params -> exp_seconds:float -> mul_gates:int -> l:int -> s:int ->
+  unit -> float
+(** Estimated prover seconds for an L-element submission to s servers. *)
+
+val proof_bytes : int
+(** 288 — Pinocchio proofs are constant-size, the SNARK's one advantage
+    (Table 2). *)

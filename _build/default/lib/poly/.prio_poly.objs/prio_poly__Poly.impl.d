@@ -1,0 +1,1 @@
+lib/poly/poly.ml: Array Format Prio_field Stdlib

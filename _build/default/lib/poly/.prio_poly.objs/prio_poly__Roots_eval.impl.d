@@ -1,0 +1,1 @@
+lib/poly/roots_eval.ml: Array Poly Prio_field

@@ -1,0 +1,1 @@
+lib/poly/roots_eval.mli: Prio_field

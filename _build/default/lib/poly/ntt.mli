@@ -1,0 +1,31 @@
+(** Number-theoretic transform (radix-2 Cooley–Tukey) over an
+    FFT-friendly prime field — the replacement for the paper's FLINT FFT,
+    and what makes SNIP proving cost O(M log M) (Table 2).
+
+    The size-n transform maps coefficients to evaluations at the powers
+    (ω⁰ … ω^{n−1}) of a primitive n-th root of unity; the inverse
+    transform interpolates. n must be a power of two with
+    log₂ n ≤ [F.two_adicity]. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  val is_pow2 : int -> bool
+
+  val log2 : int -> int
+  (** ⌈log₂ n⌉ for n ≥ 1. *)
+
+  val next_pow2 : int -> int
+  (** Smallest power of two ≥ max(1, n). *)
+
+  val transform_with_root : F.t array -> F.t -> unit
+  (** In-place transform with an explicit primitive n-th root. *)
+
+  val ntt : F.t array -> F.t array
+  (** Coefficients → evaluations on the root grid (fresh array). *)
+
+  val intt : F.t array -> F.t array
+  (** Evaluations on the root grid → coefficients (fresh array). *)
+
+  val mul : F.t array -> F.t array -> F.t array
+  (** Polynomial product via NTT; output has exact length
+      |p| + |q| − 1. *)
+end

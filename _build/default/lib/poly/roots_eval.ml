@@ -1,0 +1,65 @@
+(** "Verification without interpolation" (paper, Appendix I).
+
+    During SNIP verification every server must evaluate, at a secret point r,
+    the polynomial passing through its shares of N values placed on the
+    root-of-unity grid (ω^0 … ω^{N-1}). Doing that with interpolation costs
+    O(N log N) per submission; instead, the servers fix r for a batch of
+    submissions and precompute the Lagrange evaluation weights
+
+      λ_j(r) = ω^j · (r^N − 1) / (N · (r − ω^j)),
+
+    after which each evaluation is a length-N inner product, O(N)
+    multiplications. The weights for all j are computed with a single field
+    inversion via batch inversion.
+
+    Precondition: r^N ≠ 1 (r does not collide with a grid point); the SNIP
+    verifier re-samples r until this holds. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module P = Poly.Make (F)
+
+  type ctx = {
+    n : int;
+    r : F.t;
+    weights : F.t array; (* λ_j(r) for j = 0..n-1 *)
+  }
+
+  let point ctx = ctx.r
+  let size ctx = ctx.n
+
+  (** [r_collides ~n r] is true when r is one of the n-th roots of unity,
+      i.e. when r would land on the interpolation grid. *)
+  let r_collides ~n r = F.is_one (F.pow r n)
+
+  let create ~n ~r =
+    if n <= 0 || n land (n - 1) <> 0 then invalid_arg "Roots_eval.create: n must be a power of two";
+    if r_collides ~n r then invalid_arg "Roots_eval.create: r lies on the evaluation grid";
+    let k =
+      let rec go k m = if m >= n then k else go (k + 1) (m * 2) in
+      go 0 1
+    in
+    if k > F.two_adicity then invalid_arg "Roots_eval.create: n exceeds two-adicity";
+    let omega = F.root_of_unity k in
+    (* powers ω^j and denominators (r − ω^j) *)
+    let pow_omega = Array.make n F.one in
+    for j = 1 to n - 1 do
+      pow_omega.(j) <- F.mul pow_omega.(j - 1) omega
+    done;
+    let denoms = Array.map (fun wj -> F.sub r wj) pow_omega in
+    let inv_denoms = P.batch_invert denoms in
+    let scale = F.mul (F.sub (F.pow r n) F.one) (F.inv (F.of_int n)) in
+    let weights =
+      Array.init n (fun j -> F.mul scale (F.mul pow_omega.(j) inv_denoms.(j)))
+    in
+    { n; r; weights }
+
+  (** Evaluate at r the unique degree-(<n) polynomial whose value at ω^j is
+      [values.(j)]: a single inner product with the precomputed weights. *)
+  let eval ctx (values : F.t array) : F.t =
+    if Array.length values <> ctx.n then invalid_arg "Roots_eval.eval: wrong size";
+    let acc = ref F.zero in
+    for j = 0 to ctx.n - 1 do
+      if not (F.is_zero values.(j)) then acc := F.add !acc (F.mul ctx.weights.(j) values.(j))
+    done;
+    !acc
+end

@@ -1,0 +1,1 @@
+lib/proto/client.ml: Array Bytes Prio_circuit Prio_crypto Prio_field Prio_share Prio_snip Wire

@@ -1,0 +1,1 @@
+lib/proto/client.mli: Bytes Prio_circuit Prio_crypto Prio_field Prio_share Prio_snip

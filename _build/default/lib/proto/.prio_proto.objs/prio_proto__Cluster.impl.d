@@ -1,0 +1,1 @@
+lib/proto/cluster.ml: Array Bytes Client Option Prio_circuit Prio_crypto Prio_field Prio_share Prio_snip Server Wire

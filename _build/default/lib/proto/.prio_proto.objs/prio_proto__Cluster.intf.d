@@ -1,0 +1,1 @@
+lib/proto/cluster.mli: Bytes Client Prio_circuit Prio_crypto Prio_field Prio_snip Server

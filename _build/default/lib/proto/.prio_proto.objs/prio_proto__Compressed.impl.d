@@ -1,0 +1,1 @@
+lib/proto/compressed.ml: Array List Prio_crypto Prio_field Prio_share

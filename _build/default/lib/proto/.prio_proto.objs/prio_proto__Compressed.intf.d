@@ -1,0 +1,1 @@
+lib/proto/compressed.mli: Prio_crypto Prio_field

@@ -1,0 +1,1 @@
+lib/proto/dp.ml: Float Prio_crypto

@@ -1,0 +1,1 @@
+lib/proto/dp.mli: Prio_crypto

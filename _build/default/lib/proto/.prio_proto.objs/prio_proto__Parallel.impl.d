@@ -1,0 +1,1 @@
+lib/proto/parallel.ml: Array Client Cluster Domain Fun Prio_field Seq

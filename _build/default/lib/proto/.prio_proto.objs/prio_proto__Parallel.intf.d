@@ -1,0 +1,1 @@
+lib/proto/parallel.mli: Client Cluster Prio_field

@@ -1,0 +1,1 @@
+lib/proto/pipeline.ml: Array Client Cluster List Prio_bigint Prio_circuit Prio_crypto Prio_field Prio_nizk Unix

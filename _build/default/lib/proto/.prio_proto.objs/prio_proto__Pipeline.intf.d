@@ -1,0 +1,1 @@
+lib/proto/pipeline.mli: Client Cluster Prio_bigint Prio_crypto Prio_field Prio_nizk

@@ -1,0 +1,1 @@
+lib/proto/registry.ml: Array Bytes Hashtbl Printf Prio_crypto Prio_nizk

@@ -1,0 +1,1 @@
+lib/proto/registry.mli: Bytes Prio_crypto Prio_nizk

@@ -1,0 +1,1 @@
+lib/proto/server.ml: Array Bytes Dp Hashtbl Prio_circuit Prio_crypto Prio_field Prio_share Prio_snip Wire

@@ -1,0 +1,1 @@
+lib/proto/server.mli: Bytes Hashtbl Prio_crypto Prio_field Prio_share

@@ -1,0 +1,1 @@
+lib/proto/threshold.ml: Array List Prio_crypto Prio_field Prio_poly Prio_share

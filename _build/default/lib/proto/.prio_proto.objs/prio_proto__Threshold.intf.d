@@ -1,0 +1,1 @@
+lib/proto/threshold.mli: Prio_crypto Prio_field

@@ -1,0 +1,1 @@
+lib/proto/wire.ml: Array Bytes Prio_crypto Prio_field Prio_share

@@ -1,0 +1,1 @@
+lib/proto/wire.mli: Bytes Prio_field Prio_share

@@ -1,0 +1,94 @@
+(** The Prio client (paper §5.1 "putting it all together", Appendix H
+    step 1 "Upload").
+
+    A client encodes its private value with the deployment's AFE, appends a
+    SNIP proof (or Beaver triples + a triple SNIP in the Prio-MPC variant),
+    secret-shares the whole flat vector with PRG compression (Appendix I:
+    servers 1..s−1 receive 32-byte seeds), and seals one packet per server
+    under their pairwise key. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module C = Prio_circuit.Circuit.Make (F)
+  module Snip = Prio_snip.Snip.Make (F)
+  module Mpc = Prio_snip.Mpc.Make (F)
+  module Sh = Prio_share.Share.Make (F)
+  module W = Wire.Make (F)
+  module Rng = Prio_crypto.Rng
+  module Authbox = Prio_crypto.Authbox
+
+  (** How a submission protects robustness. *)
+  type mode =
+    | Robust_snip of C.t  (** client knows Valid and proves it (§4.2) *)
+    | Robust_mpc of int
+        (** Valid is a server secret with this many mul gates; the client
+            ships triples and proves only the triples (§4.4) *)
+    | No_robustness  (** plain secret sharing, the §3 baseline *)
+
+  (** Elements in the flat share vector a server expects for [l]-element
+      encodings under [mode]. *)
+  let payload_elements ~mode ~l =
+    match mode with
+    | Robust_snip circuit -> l + Snip.proof_num_elements circuit
+    | Robust_mpc m ->
+      let tc = Mpc.triple_circuit ~m in
+      l + (3 * m) + Snip.proof_num_elements tc
+    | No_robustness -> l
+
+  (** The flat plaintext vector to be shared: encoding ‖ proof material. *)
+  let plain_vector ~rng ~mode (encoding : F.t array) : F.t array =
+    match mode with
+    | No_robustness -> encoding
+    | Robust_snip circuit ->
+      Array.append encoding (Snip.proof_vector ~rng ~circuit ~inputs:encoding)
+    | Robust_mpc m ->
+      (* generate M plaintext triples, then prove them with a SNIP over the
+         public triple circuit *)
+      let triples =
+        Array.init m (fun _ ->
+            let a = F.random rng and b = F.random rng in
+            (a, b, F.mul a b))
+      in
+      let triple_inputs =
+        Array.init (3 * m) (fun i ->
+            let t = i mod m in
+            let a, b, c = triples.(t) in
+            if i < m then a else if i < 2 * m then b else c)
+      in
+      let tc = Mpc.triple_circuit ~m in
+      Array.concat
+        [ encoding; triple_inputs;
+          Snip.proof_vector ~rng ~circuit:tc ~inputs:triple_inputs ]
+
+  (** Per-server compressed share payloads of the flat vector. *)
+  let payloads ~rng ~mode ~num_servers (encoding : F.t array) :
+      Sh.compressed array =
+    Sh.split_compressed rng ~s:num_servers (plain_vector ~rng ~mode encoding)
+
+  type packets = {
+    nonce : Bytes.t;  (** submission id, for replay protection *)
+    sealed : Bytes.t array;  (** one authenticated packet per server *)
+    upload_bytes : int;  (** total client upload *)
+  }
+
+  let nonce_len = 16
+
+  (** Seal one packet per server: nonce ‖ payload, boxed under the pairwise
+      client/server key. *)
+  let seal ~rng ~client_id ~master (payloads : Sh.compressed array) : packets =
+    let nonce = Rng.bytes rng nonce_len in
+    let sealed =
+      Array.mapi
+        (fun server_id payload ->
+          let key = Authbox.derive_key ~client_id ~server_id ~master in
+          let body = Bytes.cat nonce (W.payload_to_bytes payload) in
+          Authbox.seal ~key ~rng body)
+        payloads
+    in
+    let upload_bytes = Array.fold_left (fun acc b -> acc + Bytes.length b) 0 sealed in
+    { nonce; sealed; upload_bytes }
+
+  (** One-call client pipeline: encode, prove, share, seal. *)
+  let submit ~rng ~mode ~num_servers ~client_id ~master (encoding : F.t array) :
+      packets =
+    seal ~rng ~client_id ~master (payloads ~rng ~mode ~num_servers encoding)
+end

@@ -1,0 +1,48 @@
+(** The Prio client (paper §5.1 / Appendix H step 1): AFE-encode, attach
+    proof material for the chosen robustness mode, secret-share the flat
+    vector with PRG compression, and seal one authenticated packet per
+    server. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module C : module type of Prio_circuit.Circuit.Make (F)
+  module Snip : module type of Prio_snip.Snip.Make (F)
+  module Sh : module type of Prio_share.Share.Make (F)
+
+  (** How a submission protects robustness. *)
+  type mode =
+    | Robust_snip of C.t
+        (** the client knows Valid and proves it with a SNIP (§4.2) *)
+    | Robust_mpc of int
+        (** Valid is a server secret with this many mul gates; the client
+            ships triples plus a triple SNIP (§4.4) *)
+    | No_robustness  (** plain secret sharing — the §3 baseline *)
+
+  val payload_elements : mode:mode -> l:int -> int
+  (** Flat share-vector length a server expects for an l-element
+      encoding. *)
+
+  val plain_vector : rng:Prio_crypto.Rng.t -> mode:mode -> F.t array -> F.t array
+  (** encoding ‖ proof material, before sharing. *)
+
+  val payloads :
+    rng:Prio_crypto.Rng.t -> mode:mode -> num_servers:int -> F.t array ->
+    Sh.compressed array
+  (** Per-server compressed share payloads. *)
+
+  type packets = {
+    nonce : Bytes.t;  (** submission id for replay protection *)
+    sealed : Bytes.t array;  (** one authenticated packet per server *)
+    upload_bytes : int;
+  }
+
+  val nonce_len : int
+
+  val seal :
+    rng:Prio_crypto.Rng.t -> client_id:int -> master:Bytes.t ->
+    Sh.compressed array -> packets
+
+  val submit :
+    rng:Prio_crypto.Rng.t -> mode:mode -> num_servers:int -> client_id:int ->
+    master:Bytes.t -> F.t array -> packets
+  (** The one-call client pipeline: encode-to-packets. *)
+end

@@ -1,0 +1,307 @@
+(** A simulated multi-server Prio deployment with exact byte accounting.
+
+    All s servers run in one process; every server-to-server message is
+    serialized through {!Wire} sizes and recorded on a per-link byte-count
+    matrix, so the data-transfer numbers (Figure 6) are the bytes a real
+    deployment would send. Leadership rotates per submission, which is how
+    the paper load-balances the leader's extra traffic (Figure 5).
+
+    Verification flow per submission (leader ℓ):
+    - every server locally prepares (communication-free circuit walk and
+      polynomial evaluations),
+    - non-leaders send their Beaver openings (d_i, e_i) to ℓ       [2 elts]
+    - ℓ reconstructs d, e and broadcasts them                      [2 elts each]
+    - every non-leader sends its verdict share (σ_i, ζ_i) to ℓ    [2 elts]
+    - ℓ broadcasts accept/reject                                   [1 byte]
+
+    In Prio-MPC mode the servers additionally run one Beaver broadcast
+    round per mul gate of the secret Valid circuit, which is the Θ(M)
+    traffic visible in Figure 6. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module C = Prio_circuit.Circuit.Make (F)
+  module Snip = Prio_snip.Snip.Make (F)
+  module Mpc = Prio_snip.Mpc.Make (F)
+  module Sh = Prio_share.Share.Make (F)
+  module W = Wire.Make (F)
+  module Server = Server.Make (F)
+  module Client = Client.Make (F)
+  module Rng = Prio_crypto.Rng
+
+  type mode =
+    | Robust_snip  (** full Prio: SNIP-verified submissions *)
+    | Robust_mpc  (** Prio-MPC: server-side Valid evaluation (§4.4) *)
+    | No_robustness  (** §3 baseline: accumulate without verification *)
+
+  type t = {
+    mode : mode;
+    circuit : C.t;  (** the Valid predicate over the AFE encoding *)
+    encoding_len : int;
+    trunc_len : int;
+    s : int;
+    master : Bytes.t;
+    servers : Server.t array;
+    mutable snip_ctx : Snip.batch_ctx option;  (** for Robust_snip *)
+    mutable triple_ctx : Snip.batch_ctx option;  (** for Robust_mpc's triple SNIP *)
+    batch_size : int;
+        (** submissions per batch secret r (Appendix I): the verifiers'
+            secrets are resampled every [batch_size] submissions, keeping a
+            probing client's cheating probability below
+            (2M+1)·batch_size/|F| *)
+    mutable processed_in_batch : int;
+    mutable batches : int;
+    links : int array array;  (** links.(i).(j): bytes sent i → j *)
+    rng : Rng.t;  (** server-side randomness (batch secrets, MPC combos) *)
+    mutable next_leader : int;
+    mutable accepted : int;
+    mutable rejected : int;
+  }
+
+  let client_mode t : Client.mode =
+    match t.mode with
+    | Robust_snip -> Client.Robust_snip t.circuit
+    | Robust_mpc -> Client.Robust_mpc (C.num_mul_gates t.circuit)
+    | No_robustness -> Client.No_robustness
+
+  let create ?(batch_size = 1024) ~rng ~mode ~(circuit : C.t) ~trunc_len
+      ~num_servers ~master () =
+    if num_servers < 1 then invalid_arg "Cluster.create: need a server";
+    if (mode <> No_robustness) && num_servers < 2 then
+      invalid_arg "Cluster.create: robustness needs at least two servers";
+    let encoding_len = C.num_inputs circuit in
+    if trunc_len > encoding_len then invalid_arg "Cluster.create: trunc too wide";
+    let m = C.num_mul_gates circuit in
+    let payload_elements =
+      match mode with
+      | Robust_snip -> encoding_len + Snip.proof_num_elements circuit
+      | Robust_mpc ->
+        let tc = Mpc.triple_circuit ~m in
+        encoding_len + (3 * m) + Snip.proof_num_elements tc
+      | No_robustness -> encoding_len
+    in
+    let servers =
+      Array.init num_servers (fun id ->
+          Server.create ~id ~num_servers ~master ~trunc_len ~payload_elements)
+    in
+    let snip_ctx =
+      match mode with
+      | Robust_snip -> Some (Snip.make_batch_ctx ~rng ~circuit ~num_servers)
+      | _ -> None
+    in
+    let triple_ctx =
+      match mode with
+      | Robust_mpc ->
+        Some
+          (Snip.make_batch_ctx ~rng ~circuit:(Mpc.triple_circuit ~m) ~num_servers)
+      | _ -> None
+    in
+    if batch_size < 1 then invalid_arg "Cluster.create: batch_size < 1";
+    {
+      mode;
+      circuit;
+      encoding_len;
+      trunc_len;
+      s = num_servers;
+      master;
+      servers;
+      snip_ctx;
+      triple_ctx;
+      batch_size;
+      processed_in_batch = 0;
+      batches = 1;
+      links = Array.make_matrix num_servers num_servers 0;
+      rng;
+      next_leader = 0;
+      accepted = 0;
+      rejected = 0;
+    }
+
+  (* Resample the batch secrets after every [batch_size] submissions
+     (Appendix I): bounds what a probing client can learn about r. *)
+  let maybe_rotate_batch t =
+    t.processed_in_batch <- t.processed_in_batch + 1;
+    if t.processed_in_batch >= t.batch_size then begin
+      t.processed_in_batch <- 0;
+      t.batches <- t.batches + 1;
+      (match t.mode with
+      | Robust_snip ->
+        t.snip_ctx <-
+          Some (Snip.make_batch_ctx ~rng:t.rng ~circuit:t.circuit ~num_servers:t.s)
+      | Robust_mpc ->
+        let m = C.num_mul_gates t.circuit in
+        t.triple_ctx <-
+          Some
+            (Snip.make_batch_ctx ~rng:t.rng ~circuit:(Mpc.triple_circuit ~m)
+               ~num_servers:t.s)
+      | No_robustness -> ())
+    end
+
+  let send t ~src ~dst nbytes =
+    if src <> dst then t.links.(src).(dst) <- t.links.(src).(dst) + nbytes
+
+  let broadcast_from t ~src nbytes =
+    for dst = 0 to t.s - 1 do
+      send t ~src ~dst nbytes
+    done
+
+  let elt = F.bytes_len
+
+  (* SNIP verification round-trip with byte accounting; [subs] are the
+     per-server parsed submission shares for the SNIP's circuit. *)
+  let run_snip_check t (ctx : Snip.batch_ctx) ~leader
+      (subs : Snip.submission_share array) : bool =
+    let states = Array.map (Snip.server_prepare ctx) subs in
+    (* openings to the leader *)
+    let d = ref F.zero and e = ref F.zero in
+    Array.iteri
+      (fun i (_, o) ->
+        send t ~src:i ~dst:leader (2 * elt);
+        d := F.add !d o.Snip.d;
+        e := F.add !e o.Snip.e)
+      states;
+    (* leader broadcasts reconstructed d, e *)
+    broadcast_from t ~src:leader (2 * elt);
+    let verdicts =
+      Array.mapi
+        (fun i (st, _) ->
+          send t ~src:i ~dst:leader (2 * elt);
+          Snip.server_decide_share ctx st ~d:!d ~e:!e)
+        states
+    in
+    broadcast_from t ~src:leader 1;
+    Snip.accept verdicts
+
+  (* Prio-MPC: triple-SNIP check, then Beaver evaluation of the Valid
+     circuit with per-gate broadcast accounting. *)
+  let run_mpc_check t ~leader (vectors : F.t array array) : bool =
+    let m = C.num_mul_gates t.circuit in
+    let l = t.encoding_len in
+    let tc_inputs_len = 3 * m in
+    let triple_subs =
+      Array.map
+        (fun v ->
+          Snip.submission_of_vector
+            (Mpc.triple_circuit ~m)
+            (Array.sub v l (Array.length v - l)))
+        vectors
+    in
+    let triple_ok =
+      run_snip_check t (Option.get t.triple_ctx) ~leader triple_subs
+    in
+    if not triple_ok then false
+    else begin
+      let x_shares = Array.map (fun v -> Array.sub v 0 l) vectors in
+      let triples =
+        Array.map
+          (fun v ->
+            Array.init m (fun i ->
+                {
+                  Mpc.a = v.(l + i);
+                  b = v.(l + m + i);
+                  c = v.(l + (2 * m) + i);
+                }))
+          vectors
+      in
+      ignore tc_inputs_len;
+      let wires, _stats = Mpc.eval t.circuit ~inputs:x_shares ~triples in
+      (* Beaver traffic: per gate, every server sends its two openings to
+         the leader, which broadcasts the reconstructed pair. *)
+      for _ = 1 to m do
+        for i = 0 to t.s - 1 do
+          if i <> leader then send t ~src:i ~dst:leader (2 * elt)
+        done;
+        broadcast_from t ~src:leader (2 * elt)
+      done;
+      (* validity decision: random combination of assert-zero wires *)
+      for i = 0 to t.s - 1 do
+        if i <> leader then send t ~src:i ~dst:leader elt
+      done;
+      broadcast_from t ~src:leader 1;
+      Mpc.decide ~rng:t.rng t.circuit wires
+    end
+
+  (** Process one client's packets (one sealed packet per server).
+      Returns true iff the submission was accepted and accumulated. *)
+  let submit t ~client_id (pk : Client.packets) : bool =
+    if Array.length pk.Client.sealed <> t.s then
+      invalid_arg "Cluster.submit: one packet per server required";
+    let leader = t.next_leader in
+    t.next_leader <- (t.next_leader + 1) mod t.s;
+    let received =
+      Array.mapi
+        (fun i packet -> Server.receive t.servers.(i) ~client_id packet)
+        pk.Client.sealed
+    in
+    let ok =
+      if Array.exists Option.is_none received then false
+      else begin
+        let vectors = Array.map (fun r -> snd (Option.get r)) received in
+        match t.mode with
+        | No_robustness -> true
+        | Robust_snip ->
+          let subs = Array.map (Snip.submission_of_vector t.circuit) vectors in
+          run_snip_check t (Option.get t.snip_ctx) ~leader subs
+        | Robust_mpc -> run_mpc_check t ~leader vectors
+      end
+    in
+    if ok then begin
+      Array.iteri
+        (fun i r -> Server.accumulate t.servers.(i) (snd (Option.get r)))
+        received;
+      t.accepted <- t.accepted + 1
+    end
+    else t.rejected <- t.rejected + 1;
+    maybe_rotate_batch t;
+    ok
+
+  (** Publish: every server reveals its accumulator (counted as a broadcast
+      of k' elements); anyone can sum them and run the AFE decode. Optional
+      [dp_alpha] makes each server add its distributed-noise share first
+      (§7). *)
+  let publish ?dp_alpha t : F.t array =
+    let parts =
+      Array.mapi
+        (fun i srv ->
+          broadcast_from t ~src:i (t.trunc_len * elt);
+          match dp_alpha with
+          | None -> Server.publish srv
+          | Some alpha -> Server.publish ~dp_noise:(t.rng, alpha) srv)
+        t.servers
+    in
+    Array.init t.trunc_len (fun j ->
+        Array.fold_left (fun acc p -> F.add acc p.(j)) F.zero parts)
+
+  (** Fold another cluster's state into this one: accumulators add
+      point-wise, counters and link traffic add. Both clusters must share
+      the deployment parameters (same circuit, servers, master). Used by
+      {!Parallel} to merge per-domain replicas after a multicore batch. *)
+  let merge_into ~(dst : t) (src : t) =
+    if dst.s <> src.s || dst.trunc_len <> src.trunc_len then
+      invalid_arg "Cluster.merge_into: mismatched deployments";
+    Array.iteri
+      (fun i srv ->
+        let d = dst.servers.(i) in
+        for j = 0 to dst.trunc_len - 1 do
+          d.Server.accumulator.(j) <-
+            F.add d.Server.accumulator.(j) srv.Server.accumulator.(j)
+        done;
+        d.Server.accepted <- d.Server.accepted + srv.Server.accepted)
+      src.servers;
+    dst.accepted <- dst.accepted + src.accepted;
+    dst.rejected <- dst.rejected + src.rejected;
+    Array.iteri
+      (fun i row ->
+        Array.iteri (fun j b -> dst.links.(i).(j) <- dst.links.(i).(j) + b) row)
+      src.links
+
+  (** Bytes sent by server [i] over the run. *)
+  let bytes_sent t i = Array.fold_left ( + ) 0 t.links.(i)
+
+  let total_server_bytes t =
+    let acc = ref 0 in
+    Array.iter (Array.iter (fun b -> acc := !acc + b)) t.links;
+    !acc
+
+  let reset_links t =
+    Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.links
+end

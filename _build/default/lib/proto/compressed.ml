@@ -1,0 +1,66 @@
+(** Two-server aggregation with DPF-compressed one-hot submissions
+    (Appendix G, "Share compression").
+
+    A histogram or count-min vote over a domain of 2^bits values is a
+    one-hot vector; shipping it as explicit additive shares costs
+    Θ(2^bits) field elements per server. With exactly two servers, the
+    client can instead send each server one distributed-point-function key
+    of O(bits) size ({!Prio_share.Dpf}); the servers expand their keys
+    locally into additive shares of the one-hot vector and accumulate as
+    usual. Neither key alone reveals the client's value.
+
+    As the paper notes, combining this with SNIP validity checking is an
+    open extension (a malicious client can encode a non-one-hot function);
+    this pipeline is therefore the compressed analogue of the
+    no-robustness scheme, and exists to reproduce Appendix G's
+    bandwidth-vs-computation trade-off. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module Dpf = Prio_share.Dpf.Make (F)
+  module Rng = Prio_crypto.Rng
+
+  type t = {
+    bits : int;  (** domain is [0, 2^bits) *)
+    accumulators : F.t array array;  (** per-server expanded share sums *)
+    mutable accepted : int;
+    mutable upload_bytes : int;
+  }
+
+  let create ~bits =
+    if bits < 1 || bits > 24 then invalid_arg "Compressed.create: bits out of range";
+    {
+      bits;
+      accumulators = Array.init 2 (fun _ -> Array.make (1 lsl bits) F.zero);
+      accepted = 0;
+      upload_bytes = 0;
+    }
+
+  let domain t = 1 lsl t.bits
+
+  (** One client's submission: generate the DPF keys for the point function
+      that is 1 at [value], hand one key to each server, and have each
+      server expand and accumulate its share. Returns the client's upload
+      size in bytes. *)
+  let submit rng t ~value : int =
+    if value < 0 || value >= domain t then invalid_arg "Compressed.submit: range";
+    let k0, k1 = Dpf.gen rng ~bits:t.bits ~alpha:value ~beta:F.one in
+    List.iteri
+      (fun server key ->
+        let share = Dpf.eval_all key in
+        Array.iteri
+          (fun j v -> t.accumulators.(server).(j) <- F.add t.accumulators.(server).(j) v)
+          share)
+      [ k0; k1 ];
+    t.accepted <- t.accepted + 1;
+    let bytes = Dpf.key_bytes k0 + Dpf.key_bytes k1 in
+    t.upload_bytes <- t.upload_bytes + bytes;
+    bytes
+
+  (** The aggregate histogram. *)
+  let publish t : F.t array =
+    Array.init (domain t) (fun j ->
+        F.add t.accumulators.(0).(j) t.accumulators.(1).(j))
+
+  (** Upload cost of the same submission as explicit 2-server shares. *)
+  let explicit_upload_bytes t = 2 * domain t * F.bytes_len
+end

@@ -1,0 +1,24 @@
+(** Two-server aggregation with DPF-compressed one-hot submissions
+    (Appendix G "Share compression"): the client sends each server one
+    O(log B) distributed-point-function key instead of a length-B share
+    vector; the servers expand locally and accumulate. Robustness for
+    compressed shares is future work, as in the paper — this is the
+    compressed analogue of the no-robustness pipeline. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  type t
+
+  val create : bits:int -> t
+  (** Domain is [0, 2^bits); two servers. *)
+
+  val domain : t -> int
+
+  val submit : Prio_crypto.Rng.t -> t -> value:int -> int
+  (** Submit one vote; returns the client's upload in bytes. *)
+
+  val publish : t -> F.t array
+  (** The aggregate histogram. *)
+
+  val explicit_upload_bytes : t -> int
+  (** What the same vote costs as explicit two-server shares. *)
+end

@@ -1,0 +1,90 @@
+(** Distributed differential-privacy noise (paper §7, "intersection
+    attack" defense; Dwork et al. distributed noise generation).
+
+    Prio's aggregates are exact; to blunt intersection attacks the servers
+    can jointly add noise so that no single server ever sees the un-noised
+    total. We use the standard decomposition of the two-sided geometric
+    (discrete Laplace) distribution: if each of s servers adds X_i − Y_i
+    with X_i, Y_i independent Pólya(1/s, α) variables, the published sum
+    carries exactly TSG(α) noise — giving ε-DP for a sensitivity-Δ query
+    when α = exp(−ε/Δ) — while any s−1 servers' noise shares reveal nothing
+    about the remainder. *)
+
+module Rng = Prio_crypto.Rng
+
+let alpha_of_epsilon ~epsilon ~sensitivity =
+  if epsilon <= 0. || sensitivity <= 0 then invalid_arg "Dp.alpha_of_epsilon";
+  exp (-.epsilon /. float_of_int sensitivity)
+
+(* Gamma(shape, scale=1) sampler, Marsaglia–Tsang, with the U^(1/a) boost
+   for shape < 1. *)
+let rec gamma rng ~shape =
+  if shape <= 0. then invalid_arg "Dp.gamma: shape <= 0"
+  else if shape < 1. then begin
+    let u = Rng.float01 rng in
+    let u = if u = 0. then 1e-300 else u in
+    gamma rng ~shape:(shape +. 1.) *. (u ** (1. /. shape))
+  end
+  else begin
+    let d = shape -. (1. /. 3.) in
+    let c = 1. /. sqrt (9. *. d) in
+    let rec normal () =
+      (* Box–Muller *)
+      let u1 = Rng.float01 rng and u2 = Rng.float01 rng in
+      let u1 = if u1 = 0. then 1e-300 else u1 in
+      sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+    and draw () =
+      let x = normal () in
+      let v = (1. +. (c *. x)) ** 3. in
+      if v <= 0. then draw ()
+      else begin
+        let u = Rng.float01 rng in
+        let u = if u = 0. then 1e-300 else u in
+        if log u < (0.5 *. x *. x) +. d -. (d *. v) +. (d *. log v) then d *. v
+        else draw ()
+      end
+    in
+    draw ()
+  end
+
+(* Poisson(lambda) by inversion (lambda is small in our use). *)
+let poisson rng ~lambda =
+  if lambda < 0. then invalid_arg "Dp.poisson: negative rate";
+  if lambda = 0. then 0
+  else begin
+    let l = exp (-.lambda) in
+    let rec go k p =
+      let p = p *. Rng.float01 rng in
+      if p <= l then k else go (k + 1) p
+    in
+    go 0 1.
+  end
+
+(** Pólya (negative binomial with real shape r) with success probability
+    [alpha]: a Gamma–Poisson mixture. *)
+let polya rng ~r ~alpha =
+  if alpha <= 0. || alpha >= 1. then invalid_arg "Dp.polya: alpha in (0,1)";
+  let lambda = gamma rng ~shape:r *. (alpha /. (1. -. alpha)) in
+  poisson rng ~lambda
+
+(** One server's additive noise share. Summing [num_servers] independent
+    shares yields two-sided geometric noise with parameter [alpha]. *)
+let server_noise_share rng ~num_servers ~alpha =
+  let r = 1. /. float_of_int num_servers in
+  polya rng ~r ~alpha - polya rng ~r ~alpha
+
+(** Reference sampler for the full two-sided geometric distribution
+    (difference of two Geometric(1−α) variables); used by tests to compare
+    moments against the distributed decomposition. *)
+let two_sided_geometric rng ~alpha =
+  if alpha <= 0. || alpha >= 1. then invalid_arg "Dp.two_sided_geometric";
+  let geometric () =
+    (* number of failures before first success, success prob 1−α *)
+    let u = Rng.float01 rng in
+    let u = if u = 0. then 1e-300 else u in
+    int_of_float (floor (log u /. log alpha))
+  in
+  geometric () - geometric ()
+
+(** Variance of TSG(α): 2α / (1−α)². *)
+let tsg_variance ~alpha = 2. *. alpha /. ((1. -. alpha) ** 2.)

@@ -1,0 +1,35 @@
+(** Distributed differential-privacy noise (paper §7).
+
+    Defends the published aggregates against intersection attacks: each
+    server adds a share of two-sided-geometric (discrete Laplace) noise
+    before publication, so no single server ever sees the exact total and
+    the released statistic is ε-differentially private.
+
+    The decomposition: if each of s servers adds X_i − Y_i with X_i, Y_i
+    independent Pólya(1/s, α), the sum is exactly TSG(α); α = exp(−ε/Δ)
+    gives ε-DP for sensitivity-Δ queries. *)
+
+val alpha_of_epsilon : epsilon:float -> sensitivity:int -> float
+(** The TSG parameter for an (ε, Δ) target. *)
+
+val gamma : Prio_crypto.Rng.t -> shape:float -> float
+(** Gamma(shape, 1) sampler (Marsaglia–Tsang with the shape-boost for
+    shape < 1); exposed for the Pólya mixture and its tests. *)
+
+val poisson : Prio_crypto.Rng.t -> lambda:float -> int
+
+val polya : Prio_crypto.Rng.t -> r:float -> alpha:float -> int
+(** Pólya (negative binomial with real shape [r]) via the Gamma–Poisson
+    mixture. *)
+
+val server_noise_share : Prio_crypto.Rng.t -> num_servers:int -> alpha:float -> int
+(** One server's additive noise contribution; the [num_servers] shares
+    sum to TSG([alpha]) noise while any proper subset reveals nothing
+    about the rest. *)
+
+val two_sided_geometric : Prio_crypto.Rng.t -> alpha:float -> int
+(** Reference sampler for the full TSG distribution (tests compare its
+    moments against the distributed decomposition). *)
+
+val tsg_variance : alpha:float -> float
+(** Var[TSG(α)] = 2α/(1−α)². *)

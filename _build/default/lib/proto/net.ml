@@ -1,0 +1,354 @@
+(** A TCP deployment of Prio.
+
+    Everything else in [prio_proto] runs the s servers inside one process
+    (with exact byte accounting); this module runs them as separate
+    processes speaking length-prefixed frames over real sockets, so the
+    system can be deployed the way the paper's Go implementation was: one
+    listener per server, clients uploading one sealed packet per server,
+    and the leader driving the two SNIP gossip rounds over persistent
+    server-to-server connections.
+
+    Protocol (all frames are 4-byte big-endian length + tag byte + body):
+    - client → any server:   [P] client_id ‖ sealed packet   (ack [K]/[R])
+    - client → leader:       [V] client_id                    — verify now
+    - leader → follower:     [o] client_id                    → [O] d‖e
+    - leader → follower:     [d] client_id ‖ d ‖ e            → [S] σ‖ζ
+    - leader → follower:     [a]/[r] client_id                — decision
+    - collector → server:    [Q]                              → [A] accumulator
+    - controller → server:   [X]                              — shutdown
+
+    The flow is synchronous: a client acks its packet at every follower
+    before asking the leader to verify, so a follower always holds the
+    share the leader is about to reference. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module C = Prio_circuit.Circuit.Make (F)
+  module Snip = Prio_snip.Snip.Make (F)
+  module Sh = Prio_share.Share.Make (F)
+  module W = Wire.Make (F)
+  module Server = Server.Make (F)
+  module Client = Client.Make (F)
+  module Rng = Prio_crypto.Rng
+
+  (* ------------------------------ framing --------------------------- *)
+
+  let write_frame fd (payload : Bytes.t) =
+    let n = Bytes.length payload in
+    let hdr = Bytes.create 4 in
+    Bytes.set hdr 0 (Char.chr ((n lsr 24) land 0xff));
+    Bytes.set hdr 1 (Char.chr ((n lsr 16) land 0xff));
+    Bytes.set hdr 2 (Char.chr ((n lsr 8) land 0xff));
+    Bytes.set hdr 3 (Char.chr (n land 0xff));
+    let buf = Bytes.cat hdr payload in
+    let total = Bytes.length buf in
+    let sent = ref 0 in
+    while !sent < total do
+      sent := !sent + Unix.write fd buf !sent (total - !sent)
+    done
+
+  let read_exactly fd n =
+    let buf = Bytes.create n in
+    let got = ref 0 in
+    while !got < n do
+      let r = Unix.read fd buf !got (n - !got) in
+      if r = 0 then raise End_of_file;
+      got := !got + r
+    done;
+    buf
+
+  let read_frame fd =
+    let hdr = read_exactly fd 4 in
+    let n =
+      (Char.code (Bytes.get hdr 0) lsl 24)
+      lor (Char.code (Bytes.get hdr 1) lsl 16)
+      lor (Char.code (Bytes.get hdr 2) lsl 8)
+      lor Char.code (Bytes.get hdr 3)
+    in
+    read_exactly fd n
+
+  let put_u32 v =
+    Bytes.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+
+  let get_u32 b off =
+    (Char.code (Bytes.get b off) lsl 24)
+    lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+    lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+    lor Char.code (Bytes.get b (off + 3))
+
+  let tagged tag body = Bytes.cat (Bytes.make 1 tag) body
+
+  (* ------------------------------ server ---------------------------- *)
+
+  type config = {
+    circuit : C.t;
+    trunc_len : int;
+    num_servers : int;
+    master : Bytes.t;
+    batch_seed : Bytes.t;
+        (** all servers derive the shared batch secrets (r, z) from this;
+            in deployment the leader would distribute it over the
+            authenticated server channels *)
+  }
+
+  type pending = {
+    share : F.t array;
+    mutable state : Snip.server_state option;
+  }
+
+  (** Run one server's event loop until an [X] frame arrives. [listen_fd]
+      must already be bound and listening (so the caller knows the port).
+      The leader (id 0) additionally dials the followers. *)
+  let serve cfg ~id ~(listen_fd : Unix.file_descr)
+      ~(follower_addrs : Unix.sockaddr array) =
+    let payload_elements =
+      C.num_inputs cfg.circuit + Snip.proof_num_elements cfg.circuit
+    in
+    let state =
+      Server.create ~id ~num_servers:cfg.num_servers ~master:cfg.master
+        ~trunc_len:cfg.trunc_len ~payload_elements
+    in
+    let ctx =
+      Snip.make_batch_ctx
+        ~rng:(Rng.of_seed cfg.batch_seed)
+        ~circuit:cfg.circuit ~num_servers:cfg.num_servers
+    in
+    let pending : (int, pending) Hashtbl.t = Hashtbl.create 64 in
+    (* leader: persistent connections to followers *)
+    let follower_fds =
+      if id <> 0 then [||]
+      else
+        Array.map
+          (fun addr ->
+            let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+            Unix.setsockopt fd TCP_NODELAY true;
+            Unix.connect fd addr;
+            fd)
+          follower_addrs
+    in
+    let elt_pair b off = (F.of_bytes (Bytes.sub b off F.bytes_len),
+                          F.of_bytes (Bytes.sub b (off + F.bytes_len) F.bytes_len)) in
+    let pair_bytes a b = Bytes.cat (F.to_bytes a) (F.to_bytes b) in
+    let handle_frame fd frame =
+      match Bytes.get frame 0 with
+      | 'P' ->
+        let client_id = get_u32 frame 1 in
+        let sealed = Bytes.sub frame 5 (Bytes.length frame - 5) in
+        (match Server.receive state ~client_id sealed with
+        | None -> write_frame fd (tagged 'R' Bytes.empty)
+        | Some (_, share) ->
+          Hashtbl.replace pending client_id { share; state = None };
+          write_frame fd (tagged 'K' Bytes.empty))
+      | 'V' ->
+        (* leader only: drive verification of client_id *)
+        let client_id = get_u32 frame 1 in
+        let ok =
+          match Hashtbl.find_opt pending client_id with
+          | None -> false
+          | Some p ->
+            let sub = Snip.submission_of_vector cfg.circuit p.share in
+            let my_state, my_opening = Snip.server_prepare ctx sub in
+            (* round 1: collect openings *)
+            let d = ref my_opening.Snip.d and e = ref my_opening.Snip.e in
+            Array.iter
+              (fun ffd ->
+                write_frame ffd (tagged 'o' (put_u32 client_id));
+                let reply = read_frame ffd in
+                assert (Bytes.get reply 0 = 'O');
+                let dd, ee = elt_pair reply 1 in
+                d := F.add !d dd;
+                e := F.add !e ee)
+              follower_fds;
+            (* round 2: broadcast sums, collect verdicts *)
+            let my_verdict = Snip.server_decide_share ctx my_state ~d:!d ~e:!e in
+            let sigma = ref my_verdict.Snip.sigma
+            and zero = ref my_verdict.Snip.zero in
+            Array.iter
+              (fun ffd ->
+                write_frame ffd
+                  (tagged 'd' (Bytes.cat (put_u32 client_id) (pair_bytes !d !e)));
+                let reply = read_frame ffd in
+                assert (Bytes.get reply 0 = 'S');
+                let s, z = elt_pair reply 1 in
+                sigma := F.add !sigma s;
+                zero := F.add !zero z)
+              follower_fds;
+            let accepted = F.is_zero !sigma && F.is_zero !zero in
+            let tag = if accepted then 'a' else 'r' in
+            Array.iter
+              (fun ffd -> write_frame ffd (tagged tag (put_u32 client_id)))
+              follower_fds;
+            if accepted then Server.accumulate state p.share;
+            Hashtbl.remove pending client_id;
+            accepted
+        in
+        write_frame fd (tagged (if ok then 'K' else 'R') Bytes.empty)
+      | 'o' ->
+        (* follower: local prepare, reply with opening *)
+        let client_id = get_u32 frame 1 in
+        let p = Hashtbl.find pending client_id in
+        let sub = Snip.submission_of_vector cfg.circuit p.share in
+        let st, opening = Snip.server_prepare ctx sub in
+        p.state <- Some st;
+        write_frame fd (tagged 'O' (pair_bytes opening.Snip.d opening.Snip.e))
+      | 'd' ->
+        let client_id = get_u32 frame 1 in
+        let d, e = elt_pair frame 5 in
+        let p = Hashtbl.find pending client_id in
+        let v = Snip.server_decide_share ctx (Option.get p.state) ~d ~e in
+        write_frame fd (tagged 'S' (pair_bytes v.Snip.sigma v.Snip.zero))
+      | 'a' ->
+        let client_id = get_u32 frame 1 in
+        let p = Hashtbl.find pending client_id in
+        Server.accumulate state p.share;
+        Hashtbl.remove pending client_id
+      | 'r' ->
+        let client_id = get_u32 frame 1 in
+        Hashtbl.remove pending client_id
+      | 'Q' ->
+        write_frame fd (tagged 'A' (W.vector_to_bytes (Server.publish state)))
+      | 'X' -> raise Exit
+      | c -> invalid_arg (Printf.sprintf "Net.serve: unknown tag %C" c)
+    in
+    (* select loop over the listener and all live connections *)
+    let conns = ref [] in
+    (try
+       while true do
+         let readable, _, _ = Unix.select (listen_fd :: !conns) [] [] (-1.) in
+         List.iter
+           (fun fd ->
+             if fd = listen_fd then begin
+               let conn, _ = Unix.accept listen_fd in
+               Unix.setsockopt conn TCP_NODELAY true;
+               conns := conn :: !conns
+             end
+             else
+               match read_frame fd with
+               | frame -> handle_frame fd frame
+               | exception End_of_file ->
+                 Unix.close fd;
+                 conns := List.filter (fun c -> c <> fd) !conns)
+           readable
+       done
+     with Exit -> ());
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !conns;
+    Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) follower_fds;
+    Unix.close listen_fd
+
+  (* --------------------------- deployment --------------------------- *)
+
+  type deployment = {
+    cfg : config;
+    addrs : Unix.sockaddr array;  (** server 0 is the leader *)
+    pids : int array;
+  }
+
+  let localhost port = Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+  (** Fork one OS process per server on loopback sockets. *)
+  let launch cfg : deployment =
+    let listeners =
+      Array.init cfg.num_servers (fun _ ->
+          let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+          Unix.setsockopt fd SO_REUSEADDR true;
+          Unix.bind fd (localhost 0);
+          Unix.listen fd 32;
+          fd)
+    in
+    let addrs =
+      Array.map
+        (fun fd ->
+          match Unix.getsockname fd with
+          | ADDR_INET (_, port) -> localhost port
+          | ADDR_UNIX _ -> assert false)
+        listeners
+    in
+    let follower_addrs = Array.sub addrs 1 (cfg.num_servers - 1) in
+    (* don't let children inherit (and later re-flush) buffered output *)
+    flush stdout;
+    flush stderr;
+    let pids =
+      Array.init cfg.num_servers (fun id ->
+          match Unix.fork () with
+          | 0 ->
+            (* child: close the other servers' listeners, then serve *)
+            Array.iteri (fun j fd -> if j <> id then Unix.close fd) listeners;
+            (try serve cfg ~id ~listen_fd:listeners.(id) ~follower_addrs
+             with e ->
+               prerr_endline ("prio net server: " ^ Printexc.to_string e));
+            exit 0
+          | pid -> pid)
+    in
+    Array.iter Unix.close listeners;
+    { cfg; addrs; pids }
+
+  let dial addr =
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Unix.setsockopt fd TCP_NODELAY true;
+    let rec attempt tries =
+      match Unix.connect fd addr with
+      | () -> ()
+      | exception Unix.Unix_error (ECONNREFUSED, _, _) when tries > 0 ->
+        Unix.sleepf 0.02;
+        attempt (tries - 1)
+    in
+    attempt 100;
+    fd
+
+  (** Upload one client's submission over TCP and drive its verification;
+      returns true iff the cluster accepted it. *)
+  let submit d ~rng ~client_id (encoding : F.t array) : bool =
+    let pk =
+      Client.submit ~rng
+        ~mode:(Client.Robust_snip d.cfg.circuit)
+        ~num_servers:d.cfg.num_servers ~client_id ~master:d.cfg.master encoding
+    in
+    let fds = Array.map dial d.addrs in
+    let ack = ref true in
+    (* followers first, so their shares are in place; leader last *)
+    let order =
+      List.init (d.cfg.num_servers - 1) (fun i -> i + 1) @ [ 0 ]
+    in
+    List.iter
+      (fun i ->
+        write_frame fds.(i)
+          (tagged 'P' (Bytes.cat (put_u32 client_id) pk.Client.sealed.(i)));
+        let reply = read_frame fds.(i) in
+        if Bytes.get reply 0 <> 'K' then ack := false)
+      order;
+    let accepted =
+      !ack
+      && begin
+           write_frame fds.(0) (tagged 'V' (put_u32 client_id));
+           Bytes.get (read_frame fds.(0)) 0 = 'K'
+         end
+    in
+    Array.iter Unix.close fds;
+    accepted
+
+  (** Fetch and sum all accumulators. *)
+  let collect_aggregate d : F.t array =
+    let acc = Array.make d.cfg.trunc_len F.zero in
+    Array.iter
+      (fun addr ->
+        let fd = dial addr in
+        write_frame fd (tagged 'Q' Bytes.empty);
+        let reply = read_frame fd in
+        assert (Bytes.get reply 0 = 'A');
+        let v = W.vector_of_bytes (Bytes.sub reply 1 (Bytes.length reply - 1)) in
+        Array.iteri (fun j x -> acc.(j) <- F.add acc.(j) x) v;
+        Unix.close fd)
+      d.addrs;
+    acc
+
+  (** Stop all server processes and reap them. *)
+  let shutdown d =
+    Array.iter
+      (fun addr ->
+        try
+          let fd = dial addr in
+          write_frame fd (tagged 'X' Bytes.empty);
+          Unix.close fd
+        with Unix.Unix_error _ -> ())
+      d.addrs;
+    Array.iter (fun pid -> ignore (Unix.waitpid [] pid)) d.pids
+end

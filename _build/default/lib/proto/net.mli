@@ -1,0 +1,47 @@
+(** A TCP deployment of Prio: one OS process per server speaking
+    length-prefixed frames over real sockets, clients uploading one
+    sealed packet per server, and the leader driving the two SNIP gossip
+    rounds over persistent server-to-server connections — the shape of
+    the paper's five-data-center cluster. See the implementation header
+    for the frame grammar. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module C : module type of Prio_circuit.Circuit.Make (F)
+
+  type config = {
+    circuit : C.t;
+    trunc_len : int;
+    num_servers : int;
+    master : Bytes.t;
+    batch_seed : Bytes.t;
+        (** all servers derive the shared batch secrets (r, z) from this;
+            a deployment would distribute it over the authenticated
+            server-to-server channels *)
+  }
+
+  val serve :
+    config -> id:int -> listen_fd:Unix.file_descr ->
+    follower_addrs:Unix.sockaddr array -> unit
+  (** Run one server's event loop until an [X] frame arrives; the leader
+      (id 0) dials the followers. The listener must already be bound. *)
+
+  type deployment = {
+    cfg : config;
+    addrs : Unix.sockaddr array;  (** server 0 is the leader *)
+    pids : int array;
+  }
+
+  val launch : config -> deployment
+  (** Fork one process per server on loopback sockets (ephemeral ports). *)
+
+  val submit :
+    deployment -> rng:Prio_crypto.Rng.t -> client_id:int -> F.t array -> bool
+  (** Upload one client's encoding over TCP (followers first, then the
+      leader with the verify trigger); true iff accepted. *)
+
+  val collect_aggregate : deployment -> F.t array
+  (** Query every server's accumulator and sum. *)
+
+  val shutdown : deployment -> unit
+  (** Stop and reap every server process. *)
+end

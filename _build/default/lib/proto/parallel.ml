@@ -1,0 +1,59 @@
+(** Multicore batch verification.
+
+    The paper scales Prio horizontally — more servers barely change
+    throughput because verification is embarrassingly parallel across
+    submissions (Figure 5's load-balanced leader). The same property holds
+    *within* one machine: submissions are independent, so a batch can be
+    verified on all cores. This module shards a prepared batch across
+    OCaml 5 domains, each owning a private replica of the cluster state
+    (no shared mutable state, hence no locks), and merges accumulators and
+    counters afterwards — sums of sums commute, exactly the linearity that
+    makes Prio aggregation work in the first place. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module Cluster = Cluster.Make (F)
+  module Client = Client.Make (F)
+
+  (** [process ~make_replica ~packets ~domains] verifies and accumulates
+      the batch on [domains] cores and returns a merged cluster plus the
+      number of accepted submissions. [make_replica] must build identical
+      deployments (same circuit, server count, and master key) with
+      independent RNGs; each domain gets one replica, and the first
+      replica receives the merge. *)
+  let process ~(make_replica : unit -> Cluster.t)
+      ~(packets : (int * Client.packets) array) ~domains : Cluster.t * int =
+    if domains < 1 then invalid_arg "Parallel.process: domains < 1";
+    let n = Array.length packets in
+    let shard d =
+      (* round-robin so uneven work (accept vs reject) spreads out *)
+      Array.of_seq
+        (Seq.filter_map
+           (fun i -> if i mod domains = d then Some packets.(i) else None)
+           (Seq.init n Fun.id))
+    in
+    let run_shard shard () =
+      let replica = make_replica () in
+      let accepted =
+        Array.fold_left
+          (fun acc (client_id, pk) ->
+            if Cluster.submit replica ~client_id pk then acc + 1 else acc)
+          0 shard
+      in
+      (replica, accepted)
+    in
+    if domains = 1 then run_shard packets ()
+    else begin
+      let handles =
+        Array.init (domains - 1) (fun d -> Domain.spawn (run_shard (shard (d + 1))))
+      in
+      let first, accepted0 = run_shard (shard 0) () in
+      let total = ref accepted0 in
+      Array.iter
+        (fun h ->
+          let replica, accepted = Domain.join h in
+          Cluster.merge_into ~dst:first replica;
+          total := !total + accepted)
+        handles;
+      (first, !total)
+    end
+end

@@ -1,0 +1,16 @@
+(** Multicore batch verification: submissions are independent, so a batch
+    shards across OCaml 5 domains, each owning a private cluster replica
+    (no shared mutable state, no locks), merged afterwards — the
+    within-machine analogue of Figure 5's horizontal scaling. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module Cluster : module type of Cluster.Make (F)
+  module Client : module type of Client.Make (F)
+
+  val process :
+    make_replica:(unit -> Cluster.t) ->
+    packets:(int * Client.packets) array -> domains:int -> Cluster.t * int
+  (** Verify the batch on [domains] cores; returns the merged cluster and
+      the accepted count. [make_replica] must build identical deployments
+      (same circuit, server count, master) with independent RNGs. *)
+end

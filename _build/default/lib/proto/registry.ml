@@ -1,0 +1,88 @@
+(** Client registration, signed submissions, and gated publication —
+    the paper's §7 defenses against selective denial-of-service and Sybil
+    attacks.
+
+    A network adversary who blocks all honest clients but one can read that
+    client's value out of the "aggregate". The standard defense the paper
+    deploys: servers keep a list of registered client public keys, clients
+    sign their submissions, and the servers refuse to publish until a
+    threshold of {e distinct registered} clients have contributed to the
+    epoch. Epochs also scope replay protection and give the collection a
+    time structure. *)
+
+module Schnorr = Prio_nizk.Schnorr
+
+type t = {
+  keys : (int, Schnorr.public_key) Hashtbl.t;
+  mutable contributed : (int, unit) Hashtbl.t; (* this epoch *)
+  mutable epoch : int;
+  min_contributors : int;
+}
+
+let create ~min_contributors =
+  if min_contributors < 1 then invalid_arg "Registry.create: threshold < 1";
+  {
+    keys = Hashtbl.create 64;
+    contributed = Hashtbl.create 64;
+    epoch = 0;
+    min_contributors;
+  }
+
+let register t ~client_id ~public_key =
+  if Hashtbl.mem t.keys client_id then
+    invalid_arg "Registry.register: client already registered";
+  Hashtbl.replace t.keys client_id public_key
+
+let registered t ~client_id = Hashtbl.mem t.keys client_id
+let num_registered t = Hashtbl.length t.keys
+let epoch t = t.epoch
+
+(** What a client signs: its identity, the epoch, and the digest of the
+    packet set it uploaded, so a signature cannot be replayed for other
+    data or in a later epoch. *)
+let signing_payload ~client_id ~epoch ~packets_digest =
+  Bytes.cat
+    (Bytes.of_string (Printf.sprintf "prio-submission|%d|%d|" client_id epoch))
+    packets_digest
+
+let digest_packets (sealed : Bytes.t array) =
+  let ctx = Prio_crypto.Sha256.init () in
+  Array.iter (Prio_crypto.Sha256.update ctx) sealed;
+  Prio_crypto.Sha256.finalize ctx
+
+let client_sign rng ~secret_key ~client_id ~epoch (sealed : Bytes.t array) :
+    Schnorr.signature =
+  Schnorr.sign rng secret_key
+    (signing_payload ~client_id ~epoch ~packets_digest:(digest_packets sealed))
+
+(** Server-side acceptance: the client must be registered, the signature
+    must cover these packets in this epoch, and each registered client
+    counts at most once per epoch. *)
+let accept_submission t ~client_id ~(sealed : Bytes.t array) ~signature : bool =
+  match Hashtbl.find_opt t.keys client_id with
+  | None -> false
+  | Some pk ->
+    if Hashtbl.mem t.contributed client_id then false
+    else if
+      Schnorr.verify pk
+        (signing_payload ~client_id ~epoch:t.epoch
+           ~packets_digest:(digest_packets sealed))
+        signature
+    then begin
+      Hashtbl.replace t.contributed client_id ();
+      true
+    end
+    else false
+
+let contributors t = Hashtbl.length t.contributed
+
+(** May the servers publish this epoch's aggregate? Only once enough
+    distinct registered clients are included (the anti-selective-DoS
+    gate). *)
+let may_publish t = contributors t >= t.min_contributors
+
+(** Close the epoch: resets the contributor set (and hence the per-epoch
+    replay scope) and advances the epoch counter. *)
+let next_epoch t =
+  t.epoch <- t.epoch + 1;
+  t.contributed <- Hashtbl.create 64

@@ -1,0 +1,47 @@
+(** Client registration, signed submissions, epochs, and gated
+    publication — the paper's §7 defenses against selective
+    denial-of-service and Sybil attacks.
+
+    Servers keep a registry of client public keys; clients Schnorr-sign
+    (client id, epoch, packet digest); each registered client counts at
+    most once per epoch; and the servers refuse to publish until
+    [min_contributors] distinct registered clients are included, so a
+    network adversary cannot shrink the aggregate down to one victim. *)
+
+type t
+
+val create : min_contributors:int -> t
+
+val register : t -> client_id:int -> public_key:Prio_nizk.Schnorr.public_key -> unit
+(** @raise Invalid_argument if the client is already registered. *)
+
+val registered : t -> client_id:int -> bool
+val num_registered : t -> int
+
+val epoch : t -> int
+
+val digest_packets : Bytes.t array -> Bytes.t
+(** SHA-256 over the client's sealed packets, in server order. *)
+
+val signing_payload : client_id:int -> epoch:int -> packets_digest:Bytes.t -> Bytes.t
+(** The exact byte string a client signs: binds identity, epoch and
+    packets, so signatures cannot be replayed across data or epochs. *)
+
+val client_sign :
+  Prio_crypto.Rng.t -> secret_key:Prio_nizk.Schnorr.secret_key ->
+  client_id:int -> epoch:int -> Bytes.t array -> Prio_nizk.Schnorr.signature
+
+val accept_submission :
+  t -> client_id:int -> sealed:Bytes.t array ->
+  signature:Prio_nizk.Schnorr.signature -> bool
+(** Registered, correctly signed, first contribution this epoch. *)
+
+val contributors : t -> int
+(** Distinct registered clients accepted this epoch. *)
+
+val may_publish : t -> bool
+(** The anti-selective-DoS gate: true once enough distinct registered
+    clients are included. *)
+
+val next_epoch : t -> unit
+(** Advance the epoch and reset the contributor set. *)

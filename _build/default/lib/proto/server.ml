@@ -1,0 +1,82 @@
+(** One Prio server's local state and communication-free processing steps
+    (paper, Appendix H steps 2–4). The message flow between servers lives in
+    {!Cluster}. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module C = Prio_circuit.Circuit.Make (F)
+  module Snip = Prio_snip.Snip.Make (F)
+  module Sh = Prio_share.Share.Make (F)
+  module W = Wire.Make (F)
+  module Rng = Prio_crypto.Rng
+  module Authbox = Prio_crypto.Authbox
+
+  type t = {
+    id : int;
+    num_servers : int;
+    master : Bytes.t;
+    trunc_len : int;  (** accumulator width k' *)
+    payload_elements : int;  (** expected flat share vector length *)
+    accumulator : F.t array;
+    mutable accepted : int;
+    seen_nonces : (string, unit) Hashtbl.t;
+  }
+
+  let create ~id ~num_servers ~master ~trunc_len ~payload_elements =
+    {
+      id;
+      num_servers;
+      master;
+      trunc_len;
+      payload_elements;
+      accumulator = Array.make trunc_len F.zero;
+      accepted = 0;
+      seen_nonces = Hashtbl.create 1024;
+    }
+
+  (** Authenticate, decrypt, replay-check and expand one client packet into
+      this server's flat share vector. [None] on forgery, replay, or
+      malformed payload — the packet is dropped, as in the real system. *)
+  let receive t ~client_id (packet : Bytes.t) : (Bytes.t * F.t array) option =
+    let key = Authbox.derive_key ~client_id ~server_id:t.id ~master:t.master in
+    match Authbox.open_ ~key packet with
+    | None -> None
+    | Some body ->
+      if Bytes.length body < 16 then None
+      else begin
+        let nonce = Bytes.sub body 0 16 in
+        let nonce_key = Bytes.to_string nonce in
+        if Hashtbl.mem t.seen_nonces nonce_key then None
+        else begin
+          match
+            W.payload_of_bytes (Bytes.sub body 16 (Bytes.length body - 16))
+          with
+          | exception Invalid_argument _ -> None
+          | payload ->
+            (match Sh.expand payload ~len:t.payload_elements with
+            | exception Invalid_argument _ -> None
+            | share ->
+              Hashtbl.replace t.seen_nonces nonce_key ();
+              Some (nonce, share))
+        end
+      end
+
+  (** Aggregate step: fold the first k' components of an accepted encoding
+      share into the local accumulator. *)
+  let accumulate t (x_share : F.t array) =
+    for j = 0 to t.trunc_len - 1 do
+      t.accumulator.(j) <- F.add t.accumulator.(j) x_share.(j)
+    done;
+    t.accepted <- t.accepted + 1
+
+  (** Publish step: reveal the accumulator, optionally with this server's
+      differential-privacy noise share (§7). *)
+  let publish ?dp_noise t : F.t array =
+    match dp_noise with
+    | None -> Array.copy t.accumulator
+    | Some (rng, alpha) ->
+      Array.map
+        (fun v ->
+          let noise = Dp.server_noise_share rng ~num_servers:t.num_servers ~alpha in
+          F.add v (F.of_int noise))
+        t.accumulator
+end

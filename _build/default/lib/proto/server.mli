@@ -1,0 +1,35 @@
+(** One Prio server's local state and communication-free steps (Appendix
+    H steps 2–4); the inter-server message flow lives in {!Cluster} (and
+    {!Net} for the TCP runtime). *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module Sh : module type of Prio_share.Share.Make (F)
+
+  type t = {
+    id : int;
+    num_servers : int;
+    master : Bytes.t;
+    trunc_len : int;  (** accumulator width k' *)
+    payload_elements : int;  (** expected flat share-vector length *)
+    accumulator : F.t array;
+    mutable accepted : int;
+    seen_nonces : (string, unit) Hashtbl.t;
+  }
+
+  val create :
+    id:int -> num_servers:int -> master:Bytes.t -> trunc_len:int ->
+    payload_elements:int -> t
+
+  val receive : t -> client_id:int -> Bytes.t -> (Bytes.t * F.t array) option
+  (** Authenticate, decrypt, replay-check and PRG-expand one packet into
+      this server's flat share vector; [None] drops forgeries, replays
+      and malformed payloads. *)
+
+  val accumulate : t -> F.t array -> unit
+  (** Fold the first k' components of an accepted share into the local
+      accumulator. *)
+
+  val publish : ?dp_noise:Prio_crypto.Rng.t * float -> t -> F.t array
+  (** Reveal the accumulator, optionally with this server's
+      differential-privacy noise share (§7). *)
+end

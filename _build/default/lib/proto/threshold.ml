@@ -1,0 +1,80 @@
+(** Threshold aggregation — the Appendix B extension.
+
+    Prio proper uses s-out-of-s additive sharing: if any server goes
+    offline the epoch's aggregate is lost. Appendix B sketches the
+    alternative: replace additive sharing with Shamir threshold sharing so
+    any k+1 of the s servers can reconstruct the published aggregate —
+    tolerating s−k−1 faulty servers — at the documented privacy cost:
+    k+1 colluding servers can now reconstruct an individual client's
+    (encoded) submission, so privacy only holds against coalitions of at
+    most k servers (versus s−1 for standard Prio).
+
+    Shamir sharing is linear, so the servers still accumulate locally: the
+    sum of each server's share-points is a share-point of the summed
+    encodings. This module implements that aggregation core; pairing it
+    with SNIP verification would follow the same lines as {!Cluster} and is
+    orthogonal to what Appendix B establishes. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module Sh = Prio_share.Share.Make (F)
+  module P = Prio_poly.Poly.Make (F)
+  module Rng = Prio_crypto.Rng
+
+  type t = {
+    num_servers : int;
+    threshold : int;  (** servers needed to reconstruct (k+1) *)
+    len : int;
+    accumulators : F.t array array;  (** [server].(coordinate) share points *)
+    mutable accepted : int;
+  }
+
+  let create ~num_servers ~threshold ~len =
+    if threshold < 1 || threshold > num_servers then
+      invalid_arg "Threshold.create: need 1 <= threshold <= servers";
+    {
+      num_servers;
+      threshold;
+      len;
+      accumulators = Array.make_matrix num_servers len F.zero;
+      accepted = 0;
+    }
+
+  (** Number of crashed servers the deployment tolerates. *)
+  let fault_tolerance t = t.num_servers - t.threshold
+
+  (** Largest server coalition against which privacy still holds. *)
+  let privacy_threshold t = t.threshold - 1
+
+  (** Client upload: Shamir-split every encoding coordinate; server i
+      receives the share points at x = i+1. *)
+  let submit rng t (encoding : F.t array) =
+    if Array.length encoding <> t.len then invalid_arg "Threshold.submit: length";
+    for j = 0 to t.len - 1 do
+      let pts =
+        Sh.Shamir.split rng ~threshold:t.threshold ~shares:t.num_servers
+          encoding.(j)
+      in
+      Array.iteri
+        (fun i (_, y) ->
+          t.accumulators.(i).(j) <- F.add t.accumulators.(i).(j) y)
+        pts
+    done;
+    t.accepted <- t.accepted + 1
+
+  (** Reconstruct the aggregate from the accumulators of any
+      [>= threshold] surviving servers (given by index). *)
+  let publish t ~(servers : int list) : F.t array =
+    if List.length servers < t.threshold then
+      invalid_arg "Threshold.publish: not enough servers";
+    List.iter
+      (fun i ->
+        if i < 0 || i >= t.num_servers then invalid_arg "Threshold.publish: bad id")
+      servers;
+    Array.init t.len (fun j ->
+        let pts =
+          servers
+          |> List.map (fun i -> (F.of_int (i + 1), t.accumulators.(i).(j)))
+          |> Array.of_list
+        in
+        P.eval (P.interpolate pts) F.zero)
+end

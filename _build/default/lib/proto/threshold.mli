@@ -1,0 +1,25 @@
+(** Threshold aggregation — the Appendix B extension: Shamir-shared
+    accumulators let any k+1 of s servers reconstruct the aggregate,
+    tolerating s−k−1 crashed servers, at the cost Appendix B spells out —
+    privacy now only holds against coalitions of at most k servers. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  type t
+
+  val create : num_servers:int -> threshold:int -> len:int -> t
+  (** [threshold] servers are needed to reconstruct (k+1). *)
+
+  val fault_tolerance : t -> int
+  (** Crashed servers tolerated: s − threshold. *)
+
+  val privacy_threshold : t -> int
+  (** Largest coalition privacy still resists: threshold − 1. *)
+
+  val submit : Prio_crypto.Rng.t -> t -> F.t array -> unit
+  (** Shamir-split each encoding coordinate; server i accumulates the
+      share points at x = i+1 (Shamir is linear). *)
+
+  val publish : t -> servers:int list -> F.t array
+  (** Reconstruct from any ≥ threshold surviving servers' accumulators.
+      @raise Invalid_argument with fewer. *)
+end

@@ -1,0 +1,47 @@
+(** Wire format for Prio messages.
+
+    Every field element is serialized to its fixed-width canonical encoding,
+    so message sizes measured by the cluster's byte counters are exactly the
+    bytes a real deployment would put on the wire (this is what Figure 6
+    reports). Share payloads carry a one-byte tag distinguishing an explicit
+    vector from a 32-byte PRG seed (the Appendix I compressed form). *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module Sh = Prio_share.Share.Make (F)
+
+  let vector_to_bytes (v : F.t array) : Bytes.t =
+    let w = F.bytes_len in
+    let out = Bytes.create (Array.length v * w) in
+    Array.iteri (fun i x -> Bytes.blit (F.to_bytes x) 0 out (i * w) w) v;
+    out
+
+  let vector_of_bytes (b : Bytes.t) : F.t array =
+    let w = F.bytes_len in
+    let len = Bytes.length b in
+    if len mod w <> 0 then invalid_arg "Wire.vector_of_bytes: ragged payload";
+    Array.init (len / w) (fun i -> F.of_bytes (Bytes.sub b (i * w) w))
+
+  let tag_explicit = '\000'
+  let tag_seed = '\001'
+
+  let payload_to_bytes (c : Sh.compressed) : Bytes.t =
+    match c with
+    | Sh.Seed seed ->
+      assert (Bytes.length seed = Prio_crypto.Rng.seed_bytes);
+      Bytes.cat (Bytes.make 1 tag_seed) seed
+    | Sh.Explicit v -> Bytes.cat (Bytes.make 1 tag_explicit) (vector_to_bytes v)
+
+  let payload_of_bytes (b : Bytes.t) : Sh.compressed =
+    if Bytes.length b < 1 then invalid_arg "Wire.payload_of_bytes: empty";
+    let body = Bytes.sub b 1 (Bytes.length b - 1) in
+    match Bytes.get b 0 with
+    | c when c = tag_seed ->
+      if Bytes.length body <> Prio_crypto.Rng.seed_bytes then
+        invalid_arg "Wire.payload_of_bytes: bad seed length";
+      Sh.Seed body
+    | c when c = tag_explicit -> Sh.Explicit (vector_of_bytes body)
+    | _ -> invalid_arg "Wire.payload_of_bytes: unknown tag"
+
+  (** Size in bytes of a serialized element count. *)
+  let elements_bytes n = n * F.bytes_len
+end

@@ -1,0 +1,21 @@
+(** Wire format for Prio messages: fixed-width canonical field-element
+    vectors plus the tagged compressed-share payloads of Appendix I.
+    Message sizes measured by the cluster's byte counters are exactly the
+    bytes a deployment would send (Figure 6). *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module Sh : module type of Prio_share.Share.Make (F)
+
+  val vector_to_bytes : F.t array -> Bytes.t
+  val vector_of_bytes : Bytes.t -> F.t array
+  (** @raise Invalid_argument on ragged or non-canonical input. *)
+
+  val payload_to_bytes : Sh.compressed -> Bytes.t
+  (** One tag byte + either the 32-byte seed or the explicit vector. *)
+
+  val payload_of_bytes : Bytes.t -> Sh.compressed
+  (** @raise Invalid_argument on unknown tags or bad seed lengths. *)
+
+  val elements_bytes : int -> int
+  (** Serialized size of [n] field elements. *)
+end

@@ -1,0 +1,1 @@
+lib/share/dpf.ml: Array Bytes Char Prio_crypto Prio_field

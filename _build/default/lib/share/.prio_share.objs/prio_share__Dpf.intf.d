@@ -1,0 +1,1 @@
+lib/share/dpf.mli: Prio_crypto Prio_field

@@ -1,0 +1,1 @@
+lib/share/share.ml: Array Bytes Prio_crypto Prio_field Prio_poly

@@ -1,0 +1,1 @@
+lib/share/share.mli: Bytes Prio_crypto Prio_field

@@ -1,0 +1,151 @@
+(** Two-party distributed point functions (function secret sharing).
+
+    The paper's Appendix G ("Share compression") observes that a client
+    whose encoding is a one-hot vector — a histogram vote, or each row of a
+    count-min sketch — need not ship Θ(domain) field elements per server:
+    with two servers, a {e distributed point function} (Boyle–Gilboa–Ishai)
+    splits the point function f(x) = β·[x = α] into two keys of size
+    O(log |domain|) such that the two servers' evaluations sum to the
+    one-hot vector, yet either key alone reveals nothing about α or β.
+
+    This is the tree-based BGI construction over our ChaCha20 PRG: each key
+    holds a root seed plus one correction word per level and a final
+    field-element correction. [eval_all] expands a key into the server's
+    full additive share of the length-2^bits vector.
+
+    Robustness note: as the paper says, combining compressed shares with
+    SNIP validity checking is future work (it needs sketching-based
+    checks); here DPF submissions are the two-server analogue of the
+    no-robustness pipeline, and the tests cover privacy-shape and
+    correctness properties only. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module Rng = Prio_crypto.Rng
+  module Chacha20 = Prio_crypto.Chacha20
+
+  let seed_len = 16
+
+  (* PRG: one ChaCha20 block keyed by the 16-byte seed (padded), yielding
+     two child seeds and two child control bits. *)
+  let expand (seed : Bytes.t) : Bytes.t * bool * Bytes.t * bool =
+    let key = Bytes.make 32 '\000' in
+    Bytes.blit seed 0 key 0 seed_len;
+    let block = Chacha20.block ~key ~counter:0 ~nonce:(Bytes.make 12 '\000') in
+    let left = Bytes.sub block 0 seed_len in
+    let right = Bytes.sub block seed_len seed_len in
+    let t_left = Char.code (Bytes.get block 32) land 1 = 1 in
+    let t_right = Char.code (Bytes.get block 33) land 1 = 1 in
+    (left, t_left, right, t_right)
+
+  (* field element pseudo-randomly derived from a leaf seed *)
+  let convert (seed : Bytes.t) : F.t =
+    F.random (Rng.of_seed seed)
+
+  let xor_bytes a b =
+    Bytes.init (Bytes.length a) (fun i ->
+        Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
+
+  type correction = {
+    cw_seed : Bytes.t;
+    cw_t_left : bool;
+    cw_t_right : bool;
+  }
+
+  type key = {
+    party : int; (* 0 or 1 *)
+    bits : int; (* domain is [0, 2^bits) *)
+    root : Bytes.t;
+    corrections : correction array; (* one per level *)
+    final : F.t; (* output correction word *)
+  }
+
+  let key_bytes k =
+    (* root seed + per-level (seed + 2 bits ≈ 1 byte) + final element *)
+    seed_len + (Array.length k.corrections * (seed_len + 1)) + F.bytes_len
+
+  (** [gen rng ~bits ~alpha ~beta] produces the two parties' keys for the
+      point function that is [beta] at [alpha] and zero elsewhere on
+      [0, 2^bits). On the path to α the parties' control bits stay unequal
+      (their seeds stay independent); off the path the correction words
+      force their states equal, so every off-path leaf cancels. *)
+  let gen rng ~bits ~alpha ~beta : key * key =
+    if bits < 1 || bits > 30 then invalid_arg "Dpf.gen: bits out of range";
+    if alpha < 0 || alpha >= 1 lsl bits then invalid_arg "Dpf.gen: alpha out of range";
+    let root0 = Rng.bytes rng seed_len in
+    let root1 = Rng.bytes rng seed_len in
+    let s0 = ref root0 and s1 = ref root1 in
+    let t0 = ref false and t1 = ref true in
+    let corrections =
+      Array.make bits { cw_seed = Bytes.create 0; cw_t_left = false; cw_t_right = false }
+    in
+    for i = 0 to bits - 1 do
+      let bit = (alpha lsr (bits - 1 - i)) land 1 = 1 in
+      let l0, tl0, r0, tr0 = expand !s0 in
+      let l1, tl1, r1, tr1 = expand !s1 in
+      let s_lose0, s_lose1 = if bit then (l0, l1) else (r0, r1) in
+      let s_keep0, s_keep1 = if bit then (r0, r1) else (l0, l1) in
+      let t_keep0, t_keep1 = if bit then (tr0, tr1) else (tl0, tl1) in
+      let cw_seed = xor_bytes s_lose0 s_lose1 in
+      let cw_t_left = tl0 <> tl1 <> (not bit) in
+      let cw_t_right = tr0 <> tr1 <> bit in
+      corrections.(i) <- { cw_seed; cw_t_left; cw_t_right };
+      let cw_t_keep = if bit then cw_t_right else cw_t_left in
+      let next_s0 = if !t0 then xor_bytes s_keep0 cw_seed else s_keep0 in
+      let next_s1 = if !t1 then xor_bytes s_keep1 cw_seed else s_keep1 in
+      let next_t0 = t_keep0 <> (!t0 && cw_t_keep) in
+      let next_t1 = t_keep1 <> (!t1 && cw_t_keep) in
+      s0 := next_s0;
+      s1 := next_s1;
+      t0 := next_t0;
+      t1 := next_t1
+    done;
+    let diff = F.sub beta (F.sub (convert !s0) (convert !s1)) in
+    let final = if !t1 then F.neg diff else diff in
+    ( { party = 0; bits; root = root0; corrections; final },
+      { party = 1; bits; root = root1; corrections; final } )
+
+  (** Evaluate one party's key at a single point. The two parties' results
+      sum to β at α and to zero elsewhere. *)
+  let eval (k : key) (x : int) : F.t =
+    if x < 0 || x >= 1 lsl k.bits then invalid_arg "Dpf.eval: out of domain";
+    let s = ref k.root and t = ref (k.party = 1) in
+    for i = 0 to k.bits - 1 do
+      let bit = (x lsr (k.bits - 1 - i)) land 1 = 1 in
+      let l, tl, r, tr = expand !s in
+      let child_s, child_t = if bit then (r, tr) else (l, tl) in
+      let cw = k.corrections.(i) in
+      let cw_t = if bit then cw.cw_t_right else cw.cw_t_left in
+      let next_s = if !t then xor_bytes child_s cw.cw_seed else child_s in
+      let next_t = child_t <> (!t && cw_t) in
+      s := next_s;
+      t := next_t
+    done;
+    let v = if !t then F.add (convert !s) k.final else convert !s in
+    if k.party = 1 then F.neg v else v
+
+  (** Expand a key into the party's additive share of the whole length-2^bits
+      vector (a compressed one-hot submission, Appendix G). Runs the tree
+      once per leaf subtree rather than per point. *)
+  let eval_all (k : key) : F.t array =
+    let n = 1 lsl k.bits in
+    let out = Array.make n F.zero in
+    (* depth-first expansion sharing internal nodes *)
+    let rec walk i s t base =
+      if i = k.bits then begin
+        let v = if t then F.add (convert s) k.final else convert s in
+        out.(base) <- (if k.party = 1 then F.neg v else v)
+      end
+      else begin
+        let l, tl, r, tr = expand s in
+        let cw = k.corrections.(i) in
+        let sl = if t then xor_bytes l cw.cw_seed else l in
+        let sr = if t then xor_bytes r cw.cw_seed else r in
+        let ttl = tl <> (t && cw.cw_t_left) in
+        let ttr = tr <> (t && cw.cw_t_right) in
+        walk (i + 1) sl ttl (base lsl 1);
+        walk (i + 1) sr ttr ((base lsl 1) lor 1)
+      end
+    in
+    walk 0 k.root (k.party = 1) 0;
+    out
+end

@@ -1,0 +1,32 @@
+(** Two-party distributed point functions — tree-based function secret
+    sharing (Boyle–Gilboa–Ishai) over the ChaCha20 PRG.
+
+    The Appendix G share-compression primitive: with two servers, a
+    client's one-hot submission f(x) = β·[x = α] over [0, 2^bits) splits
+    into two keys of O(bits) size whose evaluations sum to the one-hot
+    vector, while either key alone reveals nothing about α or β.
+
+    Robustness for compressed submissions is future work (as in the
+    paper); see {!Prio_proto.Compressed} for the aggregation pipeline. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  type key
+  (** One party's key: root seed, one correction word per level, and a
+      final output correction. *)
+
+  val key_bytes : key -> int
+  (** Serialized key size — O(bits), vs O(2^bits) explicit shares. *)
+
+  val gen : Prio_crypto.Rng.t -> bits:int -> alpha:int -> beta:F.t -> key * key
+  (** Keys for the point function that is [beta] at [alpha] and zero
+      elsewhere on [0, 2^bits).
+      @raise Invalid_argument for bits outside 1..30 or alpha out of
+      domain. *)
+
+  val eval : key -> int -> F.t
+  (** One party's share of f at one point. *)
+
+  val eval_all : key -> F.t array
+  (** The party's additive share of the entire length-2^bits vector
+      (shares internal tree nodes; O(2^bits) PRG calls total). *)
+end

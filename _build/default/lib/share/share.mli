@@ -1,0 +1,54 @@
+(** Secret sharing over a prime field.
+
+    Prio uses s-out-of-s {e additive} sharing (§3): x splits into uniform
+    shares summing to x, so any s−1 of them are information-theoretically
+    independent of x, and sharing is linear — servers aggregate by adding
+    shares locally. The compressed variant (Appendix I) replaces the
+    first s−1 shares with 32-byte PRG seeds. {!Shamir} provides the
+    threshold sharing of the Appendix B extension. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  val split : Prio_crypto.Rng.t -> s:int -> F.t -> F.t array
+  (** s uniform shares summing to the secret. *)
+
+  val reconstruct : F.t array -> F.t
+
+  val split_vector : Prio_crypto.Rng.t -> s:int -> F.t array -> F.t array array
+  (** Coordinate-wise sharing of a vector; result indexed [share].(coord). *)
+
+  val reconstruct_vector : F.t array array -> F.t array
+
+  val add_into : dst:F.t array -> F.t array -> unit
+  (** Accumulate a share vector (the servers' Aggregate step). *)
+
+  (** {1 PRG-compressed shares (Appendix I)} *)
+
+  type compressed =
+    | Seed of Bytes.t  (** 32-byte seed; expand with the PRG *)
+    | Explicit of F.t array
+
+  val expand_seed : Bytes.t -> len:int -> F.t array
+  (** Deterministic seed → length-[len] share vector. *)
+
+  val expand : compressed -> len:int -> F.t array
+
+  val split_compressed : Prio_crypto.Rng.t -> s:int -> F.t array -> compressed array
+  (** First s−1 shares are seeds, the last explicit: upload cost drops
+      from s·L to L + O(s) elements. *)
+
+  val compressed_size : compressed -> int
+  (** Serialized bytes of one compressed share. *)
+
+  (** {1 Shamir threshold sharing (Appendix B)} *)
+
+  module Shamir : sig
+    val split :
+      Prio_crypto.Rng.t -> threshold:int -> shares:int -> F.t -> (F.t * F.t) array
+    (** Evaluations of a random degree-(threshold−1) polynomial with the
+        secret at 0, at points 1..shares. Any [threshold] shares
+        reconstruct; fewer reveal nothing. *)
+
+    val reconstruct : (F.t * F.t) array -> F.t
+    (** Lagrange interpolation at zero (needs ≥ threshold points). *)
+  end
+end

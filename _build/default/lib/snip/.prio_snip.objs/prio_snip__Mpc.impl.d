@@ -1,0 +1,1 @@
+lib/snip/mpc.ml: Array Prio_circuit Prio_crypto Prio_field Prio_share Snip

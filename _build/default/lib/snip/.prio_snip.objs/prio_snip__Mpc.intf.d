@@ -1,0 +1,1 @@
+lib/snip/mpc.mli: Prio_circuit Prio_crypto Prio_field

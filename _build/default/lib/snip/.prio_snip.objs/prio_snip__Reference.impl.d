@@ -1,0 +1,1 @@
+lib/snip/reference.ml: Array Fun List Prio_circuit Prio_crypto Prio_field Prio_poly Prio_share

@@ -1,0 +1,1 @@
+lib/snip/reference.mli: Prio_circuit Prio_crypto Prio_field

@@ -1,0 +1,1 @@
+lib/snip/snip.ml: Array Option Printf Prio_circuit Prio_crypto Prio_field Prio_poly Prio_share

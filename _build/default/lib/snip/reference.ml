@@ -1,0 +1,168 @@
+(** Reference SNIP: the paper's §4.2 construction taken literally.
+
+    Where {!Snip} places wire values on a root-of-unity grid and uses the
+    NTT plus the fixed-point evaluation contexts of Appendix I, this module
+    interpolates f and g through the integer points 0, 1, …, M with textbook
+    O(M²) Lagrange interpolation, ships h as a coefficient vector, and has
+    each verifier interpolate explicitly — exactly the protocol as first
+    described, before the optimizations.
+
+    It exists as an executable specification: the test suite cross-checks
+    that the optimized {!Snip} and this reference accept and reject the
+    same submissions, and the benchmark suite uses it to quantify what the
+    Appendix I optimizations buy. Do not use it for large circuits. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module C = Prio_circuit.Circuit.Make (F)
+  module P = Prio_poly.Poly.Make (F)
+  module Sh = Prio_share.Share.Make (F)
+  module Rng = Prio_crypto.Rng
+
+  type proof_share = {
+    f0 : F.t;
+    g0 : F.t;
+    h_coeffs : F.t array;  (** shares of the coefficients of h, degree ≤ 2M *)
+    a : F.t;
+    b : F.t;
+    c : F.t;
+  }
+
+  type submission_share = { x_share : F.t array; proof : proof_share }
+
+  (** Client: evaluate Valid(x), interpolate f and g through
+      (t, wire values) for t = 0..M with random slot 0, set h = f·g
+      (schoolbook), and share everything. *)
+  let prove ~rng ~(circuit : C.t) ~num_servers ~(inputs : F.t array) :
+      submission_share array =
+    let s = num_servers in
+    let m = C.num_mul_gates circuit in
+    let x_shares = Sh.split_vector rng ~s inputs in
+    if m = 0 then
+      Array.map
+        (fun x_share ->
+          { x_share;
+            proof = { f0 = F.zero; g0 = F.zero; h_coeffs = [||]; a = F.zero; b = F.zero; c = F.zero } })
+        x_shares
+    else begin
+      let _, pairs = C.eval_mul_pairs circuit ~inputs in
+      let u0 = F.random rng and v0 = F.random rng in
+      let pts side =
+        Array.init (m + 1) (fun t ->
+            let y =
+              if t = 0 then (if side = `L then u0 else v0)
+              else begin
+                let u, v = pairs.(t - 1) in
+                if side = `L then u else v
+              end
+            in
+            (F.of_int t, y))
+      in
+      let f = P.interpolate (pts `L) in
+      let g = P.interpolate (pts `R) in
+      let h = P.mul_naive f g in
+      let a = F.random rng and b = F.random rng in
+      let c = F.mul a b in
+      let f0_sh = Sh.split rng ~s u0 in
+      let g0_sh = Sh.split rng ~s v0 in
+      let h_sh = Sh.split_vector rng ~s h in
+      let a_sh = Sh.split rng ~s a and b_sh = Sh.split rng ~s b and c_sh = Sh.split rng ~s c in
+      Array.init s (fun i ->
+          {
+            x_share = x_shares.(i);
+            proof =
+              { f0 = f0_sh.(i); g0 = g0_sh.(i); h_coeffs = h_sh.(i);
+                a = a_sh.(i); b = b_sh.(i); c = c_sh.(i) };
+          })
+    end
+
+  (** Servers (simulated in one process): each server walks the circuit on
+      its shares with mul outputs [h(t)]ᵢ, interpolates its [f]ᵢ and [g]ᵢ
+      through points 0..M, evaluates everything at a fresh random r, and
+      the cluster runs the Beaver-assisted polynomial identity test plus
+      the assert-zero combination. *)
+  let verify ~rng (circuit : C.t) (subs : submission_share array) : bool =
+    let s = Array.length subs in
+    let m = C.num_mul_gates circuit in
+    let inv_s = F.inv (F.of_int s) in
+    let zcoef =
+      Array.init (Array.length circuit.C.assert_zero) (fun _ -> F.random rng)
+    in
+    (* avoid the interpolation points, as the paper's Appendix D requires *)
+    let rec sample_r () =
+      let r = F.random rng in
+      let collides =
+        List.exists (fun t -> F.equal r (F.of_int t)) (List.init (m + 1) Fun.id)
+      in
+      if collides then sample_r () else r
+    in
+    let r = if m = 0 then F.zero else sample_r () in
+    let states =
+      Array.map
+        (fun sub ->
+          let mul_outputs =
+            Array.init m (fun t -> P.eval sub.proof.h_coeffs (F.of_int (t + 1)))
+          in
+          let wires, mul_pairs =
+            C.eval_shares circuit ~const_share_of_one:inv_s ~inputs:sub.x_share
+              ~mul_outputs
+          in
+          let zero =
+            let acc = ref F.zero in
+            Array.iteri
+              (fun j z -> acc := F.add !acc (F.mul zcoef.(j) wires.(z)))
+              circuit.C.assert_zero;
+            !acc
+          in
+          if m = 0 then (F.zero, F.zero, F.zero, zero, sub.proof)
+          else begin
+            let pts side =
+              Array.init (m + 1) (fun t ->
+                  let y =
+                    if t = 0 then (if side = `L then sub.proof.f0 else sub.proof.g0)
+                    else begin
+                      let u, v = mul_pairs.(t - 1) in
+                      if side = `L then u else v
+                    end
+                  in
+                  (F.of_int t, y))
+            in
+            let fr = P.eval (P.interpolate (pts `L)) r in
+            let gr = P.eval (P.interpolate (pts `R)) r in
+            let hr = P.eval sub.proof.h_coeffs r in
+            (fr, gr, hr, zero, sub.proof)
+          end)
+        subs
+    in
+    if m = 0 then begin
+      let zero =
+        Array.fold_left (fun acc (_, _, _, z, _) -> F.add acc z) F.zero states
+      in
+      F.is_zero zero
+    end
+    else begin
+      (* Beaver openings *)
+      let d =
+        Array.fold_left (fun acc (fr, _, _, _, p) -> F.add acc (F.sub fr p.a)) F.zero states
+      in
+      let e =
+        Array.fold_left
+          (fun acc (_, gr, _, _, p) -> F.add acc (F.sub (F.mul r gr) p.b))
+          F.zero states
+      in
+      let sigma =
+        Array.fold_left
+          (fun acc (_, _, hr, _, p) ->
+            F.add acc
+              (F.sub
+                 (F.add
+                    (F.add (F.mul (F.mul d e) inv_s) (F.mul d p.b))
+                    (F.add (F.mul e p.a) p.c))
+                 (F.mul r hr)))
+          F.zero states
+      in
+      let zero =
+        Array.fold_left (fun acc (_, _, _, z, _) -> F.add acc z) F.zero states
+      in
+      F.is_zero sigma && F.is_zero zero
+    end
+end

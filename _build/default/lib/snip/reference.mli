@@ -1,0 +1,32 @@
+(** The paper-literal SNIP of §4.2 as an executable specification:
+    Lagrange interpolation of f and g through the integer points 0..M
+    (O(M²)), h shipped as coefficients, verifiers interpolating
+    explicitly — the protocol before the Appendix I optimizations.
+
+    The test suite cross-checks that this construction and the optimized
+    {!Snip} accept and reject identically; the `ablation` benchmark
+    measures the orders-of-magnitude gap. Do not use for large
+    circuits. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module C : module type of Prio_circuit.Circuit.Make (F)
+
+  type proof_share = {
+    f0 : F.t;
+    g0 : F.t;
+    h_coeffs : F.t array;  (** shares of h's coefficients, degree ≤ 2M *)
+    a : F.t;
+    b : F.t;
+    c : F.t;
+  }
+
+  type submission_share = { x_share : F.t array; proof : proof_share }
+
+  val prove :
+    rng:Prio_crypto.Rng.t -> circuit:C.t -> num_servers:int ->
+    inputs:F.t array -> submission_share array
+
+  val verify : rng:Prio_crypto.Rng.t -> C.t -> submission_share array -> bool
+  (** The full check, all servers simulated in one process, with a fresh
+      identity-test point per call. *)
+end

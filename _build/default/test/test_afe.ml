@@ -1,0 +1,477 @@
+(* AFE tests (paper §5, Appendices F/G): for every encoding we check
+   correctness of the encode→aggregate→decode path, soundness of the Valid
+   circuit (well-formed encodings accepted, malformed rejected), and
+   structural invariants (arity, truncation). The regression and count-min
+   AFEs additionally get end-to-end SNIP checks. *)
+
+module Rng = Prio_crypto.Rng
+module B = Prio_bigint.Bigint
+module F = Prio_field.F87
+module A = Prio_afe.Afe.Make (F)
+module Sum = Prio_afe.Sum.Make (F)
+module Stats = Prio_afe.Stats.Make (F)
+module Bool = Prio_afe.Boolean.Make (F)
+module MM = Prio_afe.Minmax.Make (F)
+module H = Prio_afe.Histogram.Make (F)
+module Pop = Prio_afe.Popular.Make (F)
+module CM = Prio_afe.Countmin.Make (F)
+module Reg = Prio_afe.Regression.Make (F)
+module Prod = Prio_afe.Product.Make (F)
+module Snip = Prio_snip.Snip.Make (F)
+
+let rng = Rng.of_string_seed "afe-tests"
+
+let check_well_formed name afe =
+  Alcotest.(check bool) (name ^ " well-formed") true (A.well_formed afe)
+
+let check_encodings_valid name afe inputs =
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) (name ^ " encoding valid") true
+        (A.valid afe (afe.A.encode ~rng x)))
+    inputs
+
+(* ------------------------------- sum -------------------------------- *)
+
+let test_sum () =
+  let afe = Sum.sum ~bits:4 in
+  check_well_formed "sum" afe;
+  Alcotest.(check int) "k" 5 afe.A.encoding_len;
+  Alcotest.(check int) "k'" 1 afe.A.trunc_len;
+  Alcotest.(check int) "mul gates = bits" 4 (A.C.num_mul_gates afe.A.circuit);
+  check_encodings_valid "sum" afe [ 0; 1; 7; 15 ];
+  Alcotest.(check string) "total" "34"
+    (B.to_string (A.run_plain afe ~rng [ 3; 7; 15; 0; 9 ]));
+  Alcotest.(check string) "empty sum" "0" (B.to_string (A.run_plain afe ~rng []));
+  (* encode range check *)
+  Alcotest.(check bool) "rejects 16" true
+    (match afe.A.encode ~rng 16 with exception Invalid_argument _ -> true | _ -> false);
+  (* malformed encodings rejected by the circuit *)
+  let e = afe.A.encode ~rng 11 in
+  let bad = Array.copy e in
+  bad.(0) <- F.of_int 12;
+  Alcotest.(check bool) "value/bits mismatch" false (A.valid afe bad);
+  let bad2 = Array.copy e in
+  bad2.(1) <- F.two;
+  Alcotest.(check bool) "non-bit digit" false (A.valid afe bad2)
+
+let test_mean () =
+  let afe = Sum.mean ~bits:8 in
+  let m = A.run_plain afe ~rng [ 10; 20; 30; 60 ] in
+  Alcotest.(check (float 1e-9)) "mean" 30.0 m
+
+let test_count () =
+  let afe = Sum.count_bits in
+  Alcotest.(check int) "count" 3 (A.run_plain afe ~rng [ true; false; true; true ])
+
+(* ----------------------------- variance ----------------------------- *)
+
+let test_variance () =
+  let afe = Stats.variance ~bits:6 in
+  check_well_formed "variance" afe;
+  Alcotest.(check int) "mul gates = bits + 1" 7 (A.C.num_mul_gates afe.A.circuit);
+  check_encodings_valid "variance" afe [ 0; 5; 63 ];
+  let m = A.run_plain afe ~rng [ 2; 4; 4; 4; 5; 5; 7; 9 ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 m.Stats.mean;
+  Alcotest.(check (float 1e-9)) "variance" 4.0 m.Stats.variance;
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 m.Stats.stddev;
+  (* an encoding whose second component is not the square is rejected *)
+  let e = afe.A.encode ~rng 5 in
+  let bad = Array.copy e in
+  bad.(1) <- F.of_int 26;
+  Alcotest.(check bool) "x² mismatch" false (A.valid afe bad)
+
+(* ----------------------------- booleans ----------------------------- *)
+
+let test_bool_or_and () =
+  let bor = Bool.bool_or () and band = Bool.bool_and () in
+  check_well_formed "or" bor;
+  Alcotest.(check int) "or has no mul gates" 0 (A.C.num_mul_gates bor.A.circuit);
+  List.iter
+    (fun (inputs, expect) ->
+      Alcotest.(check bool) "or" expect (A.run_plain bor ~rng inputs))
+    [ ([ false; false; false ], false); ([ false; true ], true);
+      ([ true; true; true ], true); ([], false) ];
+  List.iter
+    (fun (inputs, expect) ->
+      Alcotest.(check bool) "and" expect (A.run_plain band ~rng inputs))
+    [ ([ true; true; true ], true); ([ true; false ], false); ([], true) ]
+
+let test_or_randomized_encoding () =
+  (* two encodings of `true` must (whp) differ — the randomization is what
+     gives or-privacy *)
+  let bor = Bool.bool_or () in
+  let a = bor.A.encode ~rng true and b = bor.A.encode ~rng true in
+  Alcotest.(check bool) "distinct" false (F.equal a.(0) b.(0));
+  let z = bor.A.encode ~rng false in
+  Alcotest.(check bool) "false is zeros" true (Array.for_all F.is_zero z)
+
+let test_sets () =
+  let u = Bool.set_union ~universe:6 () in
+  let s1 = [| true; false; true; false; false; false |] in
+  let s2 = [| false; false; true; true; false; false |] in
+  Alcotest.(check (array bool)) "union"
+    [| true; false; true; true; false; false |]
+    (A.run_plain u ~rng [ s1; s2 ]);
+  let i = Bool.set_intersection ~universe:6 () in
+  Alcotest.(check (array bool)) "intersection"
+    [| false; false; true; false; false; false |]
+    (A.run_plain i ~rng [ s1; s2 ])
+
+(* ----------------------------- min/max ------------------------------ *)
+
+let test_minmax () =
+  let mx = MM.max_small ~range:32 () and mn = MM.min_small ~range:32 () in
+  Alcotest.(check int) "max" 29 (A.run_plain mx ~rng [ 3; 29; 17 ]);
+  Alcotest.(check int) "min" 3 (A.run_plain mn ~rng [ 3; 29; 17 ]);
+  Alcotest.(check int) "singleton max" 7 (A.run_plain mx ~rng [ 7 ]);
+  Alcotest.(check int) "empty max" (-1) (A.run_plain mx ~rng []);
+  Alcotest.(check int) "zero min" 0 (A.run_plain mn ~rng [ 0; 5 ])
+
+let test_approx_max () =
+  let afe = MM.approx_max ~c:2 ~range:1_000_000 () in
+  check_well_formed "approx-max" afe;
+  List.iter
+    (fun values ->
+      let true_max = List.fold_left Stdlib.max 0 values in
+      let approx = A.run_plain afe ~rng values in
+      (* the result is the lower edge of the occupied bin: the true maximum
+         must lie inside that bin, i.e. within a factor of c = 2 *)
+      let upper = if approx = 0 then 1 else (approx * 2) - 1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "within factor 2 (true=%d approx=%d)" true_max approx)
+        true
+        (approx <= true_max && true_max <= upper))
+    [ [ 5; 100; 37 ]; [ 1 ]; [ 999_999; 3 ]; [ 0; 0 ] ]
+
+(* ---------------------------- histogram ----------------------------- *)
+
+let test_histogram () =
+  let afe = H.histogram ~buckets:5 in
+  check_well_formed "histogram" afe;
+  Alcotest.(check int) "mul gates = buckets" 5 (A.C.num_mul_gates afe.A.circuit);
+  check_encodings_valid "histogram" afe [ 0; 2; 4 ];
+  let counts = A.run_plain afe ~rng [ 0; 1; 1; 4; 4; 4 ] in
+  Alcotest.(check (array int)) "counts" [| 1; 2; 0; 0; 3 |] counts;
+  (* two-hot encoding is rejected *)
+  let bad = Array.make 5 F.zero in
+  bad.(0) <- F.one;
+  bad.(1) <- F.one;
+  Alcotest.(check bool) "two-hot rejected" false (A.valid afe bad);
+  Alcotest.(check bool) "all-zero rejected" false
+    (A.valid afe (Array.make 5 F.zero))
+
+let test_quantiles () =
+  Alcotest.(check int) "median" 1 (H.quantile_of_counts [| 1; 2; 0; 0; 3 |] 0.5);
+  Alcotest.(check int) "p100" 4 (H.quantile_of_counts [| 1; 2; 0; 0; 3 |] 1.0);
+  Alcotest.(check int) "p0+" 0 (H.quantile_of_counts [| 1; 2; 0; 0; 3 |] 0.01);
+  Alcotest.(check int) "empty" (-1) (H.quantile_of_counts [| 0; 0 |] 0.5)
+
+(* ----------------------------- popular ------------------------------ *)
+
+let test_popular () =
+  let afe = Pop.most_popular ~bits:8 in
+  check_well_formed "popular" afe;
+  let target = Pop.bits_of_string "10110010" in
+  let other = Pop.bits_of_string "01001101" in
+  let res = A.run_plain afe ~rng [ target; target; other; target; other ] in
+  Alcotest.(check string) "majority string" "10110010" (Pop.string_of_bits res);
+  (* non-bit coordinate rejected *)
+  let bad = Array.make 8 F.zero in
+  bad.(3) <- F.two;
+  Alcotest.(check bool) "non-bit rejected" false (A.valid afe bad)
+
+let test_popular_buckets () =
+  let bits = 12 and buckets = 8 in
+  let afe = Pop.popular_buckets ~bits ~buckets in
+  check_well_formed "popular-buckets" afe;
+  (* three strings, each ~25% popular — below the single-majority bar but
+     recoverable per-bucket *)
+  let strings = [ "101100101100"; "010011010011"; "111000111000" ] in
+  let inputs =
+    List.concat_map (fun s -> List.init 10 (fun _ -> Pop.bits_of_string s)) strings
+    @ List.init 6 (fun i -> Pop.bits_of_string (if i mod 2 = 0 then "000000000001" else "100000000000"))
+  in
+  let found = A.run_plain afe ~rng inputs in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("recovers " ^ s) true
+        (List.exists (fun (pop, cand) -> cand = s && pop >= 10) found))
+    strings;
+  (* populations sum to the number of clients *)
+  let total_pop = List.fold_left (fun acc (p, _) -> acc + p) 0 found in
+  Alcotest.(check int) "populations total" (List.length inputs) total_pop;
+  (* a two-bucket vote is rejected by the circuit *)
+  let bad = afe.A.encode ~rng (Pop.bits_of_string "101100101100") in
+  let other_bucket = if F.is_zero bad.(0) then 0 else 1 in
+  bad.(other_bucket) <- F.one;
+  Alcotest.(check bool) "bucket stuffing rejected" false (A.valid afe bad)
+
+(* ---------------------------- count-min ----------------------------- *)
+
+let test_countmin () =
+  let params = CM.{ depth = 5; width = 64 } in
+  let afe = CM.count_min ~params in
+  check_well_formed "count-min" afe;
+  Alcotest.(check int) "mul gates = depth*width" (5 * 64)
+    (A.C.num_mul_gates afe.A.circuit);
+  let keys =
+    List.concat
+      [ List.init 10 (fun _ -> "popular.example.com");
+        List.init 3 (fun _ -> "rare.example.org"); [ "one.example.net" ] ]
+  in
+  let sk = A.run_plain afe ~rng keys in
+  let n = List.length keys in
+  let check_key key truth =
+    let est = CM.query sk key in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %d <= est=%d <= %d + eps*n" key truth est truth)
+      true
+      (est >= truth && est <= truth + n)
+  in
+  check_key "popular.example.com" 10;
+  check_key "rare.example.org" 3;
+  check_key "one.example.net" 1;
+  check_key "absent.example.io" 0
+
+let test_countmin_params () =
+  let p = CM.params_of_eps_delta ~eps:0.1 ~delta:(2. ** -10.) in
+  Alcotest.(check int) "depth = ceil(ln 2^10)" 7 p.CM.depth;
+  Alcotest.(check int) "width = ceil(e/eps)" 28 p.CM.width;
+  (* hashes are stable and in range *)
+  let params = CM.{ depth = 3; width = 17 } in
+  for row = 0 to 2 do
+    let h1 = CM.hash ~params ~row "key" and h2 = CM.hash ~params ~row "key" in
+    Alcotest.(check int) "stable" h1 h2;
+    Alcotest.(check bool) "in range" true (h1 >= 0 && h1 < 17)
+  done;
+  Alcotest.(check bool) "rows differ (whp)" true
+    (CM.hash ~params ~row:0 "key" <> CM.hash ~params ~row:1 "key"
+    || CM.hash ~params ~row:0 "other" <> CM.hash ~params ~row:1 "other")
+
+(* ---------------------------- regression ---------------------------- *)
+
+let test_regression_exact_fit () =
+  let afe = Reg.least_squares ~d:3 ~bits:8 in
+  check_well_formed "regression" afe;
+  (* exact linear data: y = 7 + x1 + 2 x2 + 3 x3 *)
+  let exs =
+    List.init 25 (fun i ->
+        let x1 = (i * 7) mod 40 and x2 = (i * 13) mod 30 and x3 = (i * 3) mod 20 in
+        Reg.{ features = [| x1; x2; x3 |]; target = 7 + x1 + (2 * x2) + (3 * x3) })
+  in
+  let c = A.run_plain afe ~rng exs in
+  Alcotest.(check (float 1e-6)) "c0" 7. c.(0);
+  Alcotest.(check (float 1e-6)) "c1" 1. c.(1);
+  Alcotest.(check (float 1e-6)) "c2" 2. c.(2);
+  Alcotest.(check (float 1e-6)) "c3" 3. c.(3)
+
+let test_regression_least_squares_property () =
+  (* noisy data: the recovered fit must have residuals orthogonal to the
+     design matrix (the defining property of least squares) *)
+  let d = 2 in
+  let afe = Reg.least_squares ~d ~bits:10 in
+  let exs =
+    List.init 40 (fun i ->
+        let x1 = (i * 17) mod 100 and x2 = (i * 29) mod 90 in
+        let noise = (i * 31 mod 11) - 5 in
+        Reg.{ features = [| x1; x2 |]; target = Stdlib.max 0 (50 + (2 * x1) + x2 + noise) })
+  in
+  let c = A.run_plain afe ~rng exs in
+  let resid ex =
+    float_of_int ex.Reg.target
+    -. (c.(0) +. (c.(1) *. float_of_int ex.Reg.features.(0))
+        +. (c.(2) *. float_of_int ex.Reg.features.(1)))
+  in
+  let dot f = List.fold_left (fun acc ex -> acc +. (resid ex *. f ex)) 0. exs in
+  Alcotest.(check bool) "sum resid ~ 0" true (abs_float (dot (fun _ -> 1.)) < 1e-5);
+  Alcotest.(check bool) "x1 . resid ~ 0" true
+    (abs_float (dot (fun e -> float_of_int e.Reg.features.(0))) < 1e-3);
+  Alcotest.(check bool) "x2 . resid ~ 0" true
+    (abs_float (dot (fun e -> float_of_int e.Reg.features.(1))) < 1e-3)
+
+let test_regression_circuit_soundness () =
+  let afe = Reg.least_squares ~d:2 ~bits:6 in
+  let e = afe.A.encode ~rng Reg.{ features = [| 10; 20 |]; target = 53 } in
+  Alcotest.(check bool) "honest valid" true (A.valid afe e);
+  (* corrupt the x1*x2 cross term *)
+  let bad = Array.copy e in
+  bad.(3) <- F.add bad.(3) F.one;
+  Alcotest.(check bool) "cross-term mismatch" false (A.valid afe bad);
+  (* corrupt the x*y moment *)
+  let bad2 = Array.copy e in
+  bad2.(Reg.idx_xy 2 0) <- F.add bad2.(Reg.idx_xy 2 0) F.one;
+  Alcotest.(check bool) "xy mismatch" false (A.valid afe bad2)
+
+let test_regression_snip_end_to_end () =
+  let afe = Reg.least_squares ~d:2 ~bits:8 in
+  let ctx = Snip.make_batch_ctx ~rng ~circuit:afe.A.circuit ~num_servers:5 in
+  let enc = afe.A.encode ~rng Reg.{ features = [| 100; 200 |]; target = 77 } in
+  let subs = Snip.prove ~rng ~circuit:afe.A.circuit ~num_servers:5 ~inputs:enc in
+  Alcotest.(check bool) "snip accepts" true (Snip.verify_all ctx subs);
+  let bad = Array.copy enc in
+  bad.(0) <- F.add bad.(0) F.one;
+  let subs = Snip.prove ~rng ~circuit:afe.A.circuit ~num_servers:5 ~inputs:bad in
+  Alcotest.(check bool) "snip rejects" false (Snip.verify_all ctx subs)
+
+let test_regression_gate_counts () =
+  (* the BrCa configuration of Figure 7: d=30 features of 14-bit values
+     gives ~930 multiplication gates *)
+  let afe = Reg.least_squares ~d:30 ~bits:14 in
+  Alcotest.(check int) "BrCa-scale gate count" 929
+    (A.C.num_mul_gates afe.A.circuit)
+
+let test_r_squared () =
+  let model = Reg.{ intercept = 3; coefs = [| 2; 1 |]; frac_bits = 0 } in
+  let afe = Reg.r_squared ~model ~bits:8 in
+  check_well_formed "r2" afe;
+  let perfect =
+    List.init 20 (fun i ->
+        let x1 = (i * 7) mod 50 and x2 = (i * 13) mod 40 in
+        Reg.{ features = [| x1; x2 |]; target = 3 + (2 * x1) + x2 })
+  in
+  Alcotest.(check (float 1e-9)) "perfect model" 1.0 (A.run_plain afe ~rng perfect);
+  (* a bad model scores below 1 *)
+  let bad_model = Reg.{ intercept = 0; coefs = [| 0; 0 |]; frac_bits = 0 } in
+  let afe_bad = Reg.r_squared ~model:bad_model ~bits:8 in
+  let r2 = A.run_plain afe_bad ~rng perfect in
+  Alcotest.(check bool) "constant-zero model scores poorly" true (r2 < 0.5);
+  (* prediction helper *)
+  Alcotest.(check (float 1e-9)) "predict" 25.
+    (Reg.predict model [| 10; 2 |])
+
+(* ---------------------------- combinators --------------------------- *)
+
+let test_pair_combinator () =
+  (* the paper's browser deployment in miniature: average CPU (sum of 7-bit
+     percentages) plus a URL histogram, in ONE submission with ONE SNIP *)
+  let cpu = Sum.mean ~bits:7 in
+  let urls = H.histogram ~buckets:8 in
+  let both = A.pair cpu urls in
+  check_well_formed "pair" both;
+  Alcotest.(check int) "gate counts add" 15 (A.C.num_mul_gates both.A.circuit);
+  Alcotest.(check int) "trunc adds" (1 + 8) both.A.trunc_len;
+  let inputs = [ (50, 2); (70, 2); (90, 5) ] in
+  let mean, counts = A.run_plain both ~rng inputs in
+  Alcotest.(check (float 1e-9)) "cpu mean" 70. mean;
+  Alcotest.(check (array int)) "url counts" [| 0; 0; 2; 0; 0; 1; 0; 0 |] counts;
+  (* each half's constraints still bite in the combined circuit *)
+  let enc = both.A.encode ~rng (50, 3) in
+  Alcotest.(check bool) "combined encoding valid" true (A.valid both enc);
+  let bad = Array.copy enc in
+  bad.(0) <- F.of_int 200;
+  (* cpu value out of sync with its bits *)
+  Alcotest.(check bool) "cpu half enforced" false (A.valid both bad);
+  let bad2 = both.A.encode ~rng (50, 3) in
+  bad2.(1 + 4) <- F.add bad2.(1 + 4) F.one;
+  (* extra URL vote *)
+  Alcotest.(check bool) "histogram half enforced" false (A.valid both bad2);
+  (* and the combined circuit is SNIP-provable *)
+  let ctx = Snip.make_batch_ctx ~rng ~circuit:both.A.circuit ~num_servers:3 in
+  let subs = Snip.prove ~rng ~circuit:both.A.circuit ~num_servers:3 ~inputs:enc in
+  Alcotest.(check bool) "snip over pair" true (Snip.verify_all ctx subs)
+
+let test_map_contramap () =
+  let celsius_sum =
+    A.contramap_input (fun fahrenheit -> (fahrenheit - 32) * 5 / 9) (Sum.sum ~bits:7)
+  in
+  let v = A.run_plain celsius_sum ~rng [ 32; 212 ] in
+  Alcotest.(check string) "contramap" "100" (B.to_string v);
+  let doubled = A.map_output (fun b -> B.mul_int b 2) (Sum.sum ~bits:4) in
+  Alcotest.(check string) "map_output" "20" (B.to_string (A.run_plain doubled ~rng [ 4; 6 ]))
+
+(* ------------------------------ product ----------------------------- *)
+
+let test_product_geomean () =
+  let p = Prod.product ~bits:20 ~frac_bits:8 in
+  let v = A.run_plain p ~rng [ 2.; 8.; 4. ] in
+  Alcotest.(check bool) "product ~ 64" true (abs_float (v -. 64.) < 1.);
+  let g = Prod.geometric_mean ~bits:20 ~frac_bits:8 in
+  let v = A.run_plain g ~rng [ 2.; 8. ] in
+  Alcotest.(check bool) "geomean ~ 4" true (abs_float (v -. 4.) < 0.05);
+  Alcotest.(check bool) "rejects non-positive" true
+    (match p.A.encode ~rng 0. with exception Invalid_argument _ -> true | _ -> false)
+
+(* ---------------------------- fixed point ---------------------------- *)
+
+module Fx = Prio_afe.Fixed_point.Make (F)
+
+let test_fixed_point () =
+  let r = Fx.{ int_bits = 8; frac_bits = 6 } in
+  (* representation roundtrip within one quantum *)
+  List.iter
+    (fun v ->
+      let back = Fx.of_int r (Fx.to_int r v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "quantize %.4f -> %.4f" v back)
+        true
+        (abs_float (back -. v) <= Fx.quantum r))
+    [ 0.; 0.25; 3.141; 99.99; 255.9 ];
+  Alcotest.(check bool) "rejects negatives" true
+    (match Fx.to_int r (-1.) with exception Invalid_argument _ -> true | _ -> false);
+  Alcotest.(check bool) "rejects too large" true
+    (match Fx.to_int r 256. with exception Invalid_argument _ -> true | _ -> false);
+  (* private sums and means of reals *)
+  let values = [ 1.5; 2.25; 0.125; 10.0 ] in
+  let s = A.run_plain (Fx.sum r) ~rng values in
+  Alcotest.(check (float 1e-6)) "sum" 13.875 s;
+  let m = A.run_plain (Fx.mean r) ~rng values in
+  Alcotest.(check (float 1e-6)) "mean" 3.46875 m;
+  (* field sizing check: F87 holds ~2^59 clients of 14-bit values *)
+  Alcotest.(check bool) "f87 fits a billion clients" true
+    (Fx.field_fits Fx.{ int_bits = 8; frac_bits = 6 } ~clients:1_000_000_000)
+
+let () =
+  Alcotest.run "afe"
+    [
+      ( "sum/mean",
+        [
+          Alcotest.test_case "sum" `Quick test_sum;
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "count" `Quick test_count;
+        ] );
+      ("variance", [ Alcotest.test_case "variance/stddev" `Quick test_variance ]);
+      ( "boolean",
+        [
+          Alcotest.test_case "or/and" `Quick test_bool_or_and;
+          Alcotest.test_case "randomized encoding" `Quick test_or_randomized_encoding;
+          Alcotest.test_case "sets" `Quick test_sets;
+        ] );
+      ( "minmax",
+        [
+          Alcotest.test_case "exact" `Quick test_minmax;
+          Alcotest.test_case "approximate" `Quick test_approx_max;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "counts" `Quick test_histogram;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+        ] );
+      ( "popular",
+        [
+          Alcotest.test_case "majority string" `Quick test_popular;
+          Alcotest.test_case "bucketed (App. G)" `Quick test_popular_buckets;
+        ] );
+      ( "countmin",
+        [
+          Alcotest.test_case "estimates" `Quick test_countmin;
+          Alcotest.test_case "parameters/hashing" `Quick test_countmin_params;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "exact fit" `Quick test_regression_exact_fit;
+          Alcotest.test_case "least-squares property" `Quick
+            test_regression_least_squares_property;
+          Alcotest.test_case "circuit soundness" `Quick test_regression_circuit_soundness;
+          Alcotest.test_case "snip end-to-end" `Quick test_regression_snip_end_to_end;
+          Alcotest.test_case "paper gate counts" `Quick test_regression_gate_counts;
+          Alcotest.test_case "r-squared" `Quick test_r_squared;
+        ] );
+      ( "combinators",
+        [
+          Alcotest.test_case "pair" `Quick test_pair_combinator;
+          Alcotest.test_case "map/contramap" `Quick test_map_contramap;
+        ] );
+      ("product", [ Alcotest.test_case "product/geomean" `Quick test_product_geomean ]);
+      ("fixed point", [ Alcotest.test_case "reals" `Quick test_fixed_point ]);
+    ]

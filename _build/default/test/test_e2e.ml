@@ -1,0 +1,203 @@
+(* End-to-end scenarios through the one-call `Prio` facade, mirroring the
+   paper's §6.2 application domains: anonymous surveys, health-data
+   regression, cell-signal histograms, and browser statistics — each run
+   through the full pipeline (encode → PRG-compressed shares → SNIP →
+   sealed packets → verification → aggregation → decode). *)
+
+open Core
+
+module P87 = Prio.Make (Prio.F87)
+module P265 = Prio.Make (Prio.F265)
+module Pbb = Prio.Make (Prio.Babybear)
+
+let rng () = Prio.Rng.of_string_seed "e2e-tests"
+
+(* ----------------------- simple sum, all fields ---------------------- *)
+
+let test_sum_across_fields () =
+  (* F87 *)
+  let d = P87.deploy ~rng:(rng ()) ~num_servers:3 (P87.Afe_sum.sum ~bits:8) in
+  let total, stats = P87.collect d [ 10; 20; 30; 40 ] in
+  Alcotest.(check string) "f87 total" "100" (Prio.Bigint.to_string total);
+  Alcotest.(check int) "f87 accepted" 4 stats.P87.accepted;
+  (* F265 *)
+  let d = P265.deploy ~rng:(rng ()) ~num_servers:3 (P265.Afe_sum.sum ~bits:8) in
+  let total, _ = P265.collect d [ 10; 20; 30; 40 ] in
+  Alcotest.(check string) "f265 total" "100" (Prio.Bigint.to_string total);
+  (* BabyBear *)
+  let d = Pbb.deploy ~rng:(rng ()) ~num_servers:3 (Pbb.Afe_sum.sum ~bits:8) in
+  let total, _ = Pbb.collect d [ 10; 20; 30; 40 ] in
+  Alcotest.(check string) "babybear total" "100" (Prio.Bigint.to_string total)
+
+(* --------------------------- survey (§6.2) --------------------------- *)
+
+(* A Beck-Depression-Inventory-style survey: 21 questions on a 1–4 scale,
+   collected as 21 parallel histograms. One deployment per question would
+   also work; we use a single histogram AFE over question × answer. *)
+let test_survey () =
+  let questions = 21 and scale = 4 in
+  let afe = P87.Afe_histogram.histogram ~buckets:(questions * scale) in
+  let d = P87.deploy ~rng:(rng ()) ~num_servers:5 afe in
+  (* each respondent answers question (i mod questions) with answer i mod 4 *)
+  let responses = List.init 50 (fun i -> ((i mod questions) * scale) + (i mod scale)) in
+  let counts, stats = P87.collect d responses in
+  Alcotest.(check int) "all respondents counted" 50
+    (Array.fold_left ( + ) 0 counts);
+  Alcotest.(check int) "none rejected" 0 stats.P87.rejected
+
+(* ----------------------- health regression (§6.3) -------------------- *)
+
+let test_health_regression () =
+  let d_features = 3 and bits = 10 in
+  let afe = P265.Afe_regression.least_squares ~d:d_features ~bits in
+  let d = P265.deploy ~rng:(rng ()) ~num_servers:5 afe in
+  (* synthetic "steps vs blood pressure" style data: exact linear relation *)
+  let examples =
+    List.init 30 (fun i ->
+        let x1 = (i * 11) mod 200 and x2 = (i * 7) mod 100 and x3 = i mod 50 in
+        P265.Afe_regression.
+          { features = [| x1; x2; x3 |]; target = 40 + x1 + (2 * x2) + (3 * x3) })
+  in
+  let coefs, stats = P265.collect d examples in
+  Alcotest.(check int) "all accepted" 30 stats.P265.accepted;
+  Alcotest.(check (float 1e-5)) "intercept" 40. coefs.(0);
+  Alcotest.(check (float 1e-5)) "c1" 1. coefs.(1);
+  Alcotest.(check (float 1e-5)) "c2" 2. coefs.(2);
+  Alcotest.(check (float 1e-5)) "c3" 3. coefs.(3)
+
+(* ------------------------ cell signal (§6.2) ------------------------- *)
+
+let test_cell_signal () =
+  (* 8×8 grid, 4-bit signal strength: average per cell via one histogram of
+     cells plus a sum of signal values per cell. Here we aggregate the
+     distribution of (cell, strength) pairs. *)
+  let cells = 16 and levels = 16 in
+  let afe = P87.Afe_histogram.histogram ~buckets:(cells * levels) in
+  let d = P87.deploy ~rng:(rng ()) ~num_servers:5 afe in
+  let readings = List.init 64 (fun i -> ((i mod cells) * levels) + (i * 3 mod levels)) in
+  let counts, _ = P87.collect d readings in
+  Alcotest.(check int) "readings counted" 64 (Array.fold_left ( + ) 0 counts)
+
+(* ----------------------- browser stats (App. G) ---------------------- *)
+
+let test_browser_stats () =
+  let params = P87.Afe_countmin.{ depth = 4; width = 20 } in
+  let afe = P87.Afe_countmin.count_min ~params in
+  let d = P87.deploy ~rng:(rng ()) ~num_servers:3 afe in
+  let visits =
+    List.concat
+      [ List.init 12 (fun _ -> "https://popular.example");
+        List.init 4 (fun _ -> "https://rare.example") ]
+  in
+  let sk, stats = P87.collect d visits in
+  Alcotest.(check int) "accepted" 16 stats.P87.accepted;
+  let est = P87.Afe_countmin.query sk "https://popular.example" in
+  Alcotest.(check bool) "popular count sane" true (est >= 12 && est <= 16)
+
+(* -------------------- malicious client quarantine -------------------- *)
+
+let test_malicious_client_mixed_in () =
+  let afe = P87.Afe_sum.sum ~bits:4 in
+  let d = P87.deploy ~rng:(rng ()) ~num_servers:3 afe in
+  Alcotest.(check bool) "ok 1" true (P87.submit d 5);
+  (* a malicious client submits an over-range encoding directly *)
+  let bad_enc = afe.P87.Afe.encode ~rng:(rng ()) 3 in
+  bad_enc.(0) <- P87.Field.of_int 15_000;
+  let pk =
+    P87.Client.submit ~rng:(rng ())
+      ~mode:(P87.Cluster.client_mode d.P87.cluster)
+      ~num_servers:3 ~client_id:77 ~master:d.P87.cluster.P87.Cluster.master
+      bad_enc
+  in
+  Alcotest.(check bool) "cheater rejected" false
+    (P87.Cluster.submit d.P87.cluster ~client_id:77 pk);
+  Alcotest.(check bool) "ok 2" true (P87.submit d 7);
+  let total, stats = P87.publish d in
+  Alcotest.(check string) "only honest values" "12" (Prio.Bigint.to_string total);
+  Alcotest.(check int) "one rejection" 1 stats.P87.rejected
+
+(* -------------------------- DP integration --------------------------- *)
+
+let test_dp_collection () =
+  let afe = P87.Afe_sum.sum ~bits:4 in
+  let d = P87.deploy ~rng:(rng ()) ~num_servers:5 afe in
+  let alpha = Prio.Dp.alpha_of_epsilon ~epsilon:1.0 ~sensitivity:15 in
+  let total, _ = P87.collect ~dp_alpha:alpha d (List.init 40 (fun i -> i mod 16)) in
+  let t = Prio.Bigint.to_int_exn total in
+  (* true total = 40/16 groups: sum_{i<40} (i mod 16) = 2*120 + 0+..+7 = 268 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "noised total near 268 (got %d)" t)
+    true
+    (abs (t - 268) < 400)
+
+(* --------------------- intersection attack (§7) ---------------------- *)
+
+(* The attack the paper's DP extension defends against: observe the exact
+   aggregate with and without one client; the difference is that client's
+   value. With server-added noise the difference is smeared. *)
+let test_intersection_attack_and_defense () =
+  let afe = P87.Afe_sum.sum ~bits:4 in
+  let population = List.init 30 (fun i -> (i * 7) mod 16) in
+  let victim = 13 in
+  let run ?dp_alpha ~seed values =
+    let d =
+      P87.deploy ~rng:(Prio.Rng.of_string_seed ("intersection-" ^ seed))
+        ~num_servers:3 afe
+    in
+    let total, _ = P87.collect ?dp_alpha d values in
+    Prio.Bigint.to_int_exn total
+  in
+  (* exact aggregates: the adversary recovers the victim's value exactly *)
+  let with_victim = run ~seed:"a" (victim :: population) in
+  let without_victim = run ~seed:"b" population in
+  Alcotest.(check int) "exact outputs leak the victim" victim
+    (with_victim - without_victim);
+  (* with distributed DP noise the two runs rarely differ by exactly the
+     victim's value; across several epochs the recovered guesses scatter *)
+  let alpha = Prio.Dp.alpha_of_epsilon ~epsilon:0.2 ~sensitivity:15 in
+  let guesses =
+    List.init 12 (fun i ->
+        run ~dp_alpha:alpha ~seed:(Printf.sprintf "w%d" i) (victim :: population)
+        - run ~dp_alpha:alpha ~seed:(Printf.sprintf "o%d" i) population)
+  in
+  let distinct = List.sort_uniq compare guesses in
+  Alcotest.(check bool)
+    (Printf.sprintf "noised guesses scatter (%d distinct)" (List.length distinct))
+    true
+    (List.length distinct > 3)
+
+(* ----------------------------- MPC mode ------------------------------ *)
+
+let test_mpc_deployment () =
+  let afe = P87.Afe_sum.sum ~bits:4 in
+  let d =
+    P87.deploy ~mode:P87.Cluster.Robust_mpc ~rng:(rng ()) ~num_servers:3 afe
+  in
+  let total, stats = P87.collect d [ 1; 2; 3; 4 ] in
+  Alcotest.(check string) "mpc total" "10" (Prio.Bigint.to_string total);
+  Alcotest.(check int) "accepted" 4 stats.P87.accepted
+
+let () =
+  Alcotest.run "e2e"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "sum across fields" `Quick test_sum_across_fields;
+          Alcotest.test_case "anonymous survey" `Quick test_survey;
+          Alcotest.test_case "health regression" `Quick test_health_regression;
+          Alcotest.test_case "cell signal" `Quick test_cell_signal;
+          Alcotest.test_case "browser stats" `Quick test_browser_stats;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "malicious client quarantined" `Quick
+            test_malicious_client_mixed_in;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "differential privacy" `Quick test_dp_collection;
+          Alcotest.test_case "intersection attack & defense" `Quick
+            test_intersection_attack_and_defense;
+          Alcotest.test_case "mpc mode" `Quick test_mpc_deployment;
+        ] );
+    ]

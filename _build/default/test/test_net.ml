@@ -1,0 +1,73 @@
+(* Integration tests for the TCP deployment: one OS process per server on
+   loopback sockets, clients uploading sealed packets over real
+   connections, the leader driving SNIP verification over persistent
+   server-to-server links. *)
+
+module F = Prio_field.F87
+module Net = Prio_proto.Net.Make (F)
+module Sum = Prio_afe.Sum.Make (F)
+module Hist = Prio_afe.Histogram.Make (F)
+module A = Prio_afe.Afe.Make (F)
+module Rng = Prio_crypto.Rng
+
+let rng = Rng.of_string_seed "net-tests"
+
+let with_deployment ?(num_servers = 3) afe f =
+  let cfg =
+    Net.
+      {
+        circuit = afe.A.circuit;
+        trunc_len = afe.A.trunc_len;
+        num_servers;
+        master = Rng.bytes rng 32;
+        batch_seed = Rng.bytes rng 32;
+      }
+  in
+  let d = Net.launch cfg in
+  Fun.protect ~finally:(fun () -> Net.shutdown d) (fun () -> f d)
+
+let test_sum_end_to_end () =
+  let afe = Sum.sum ~bits:4 in
+  with_deployment afe (fun d ->
+      List.iteri
+        (fun i x ->
+          Alcotest.(check bool) "accepted over TCP" true
+            (Net.submit d ~rng ~client_id:i (afe.A.encode ~rng x)))
+        [ 3; 7; 15; 0; 9 ];
+      let total = afe.A.decode ~n:5 (Net.collect_aggregate d) in
+      Alcotest.(check string) "aggregate" "34" (Prio_bigint.Bigint.to_string total))
+
+let test_rejects_cheater () =
+  let afe = Sum.sum ~bits:4 in
+  with_deployment afe (fun d ->
+      Alcotest.(check bool) "honest ok" true
+        (Net.submit d ~rng ~client_id:0 (afe.A.encode ~rng 5));
+      let bad = afe.A.encode ~rng 3 in
+      bad.(0) <- F.of_int 999;
+      Alcotest.(check bool) "cheater rejected over TCP" false
+        (Net.submit d ~rng ~client_id:1 bad);
+      let total = afe.A.decode ~n:1 (Net.collect_aggregate d) in
+      Alcotest.(check string) "aggregate unpolluted" "5"
+        (Prio_bigint.Bigint.to_string total))
+
+let test_five_servers_histogram () =
+  let afe = Hist.histogram ~buckets:4 in
+  with_deployment ~num_servers:5 afe (fun d ->
+      List.iteri
+        (fun i x ->
+          Alcotest.(check bool) "accepted" true
+            (Net.submit d ~rng ~client_id:i (afe.A.encode ~rng x)))
+        [ 0; 1; 1; 3; 3; 3 ];
+      let counts = afe.A.decode ~n:6 (Net.collect_aggregate d) in
+      Alcotest.(check (array int)) "histogram over TCP" [| 1; 2; 0; 3 |] counts)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "tcp deployment",
+        [
+          Alcotest.test_case "sum end-to-end" `Quick test_sum_end_to_end;
+          Alcotest.test_case "rejects cheater" `Quick test_rejects_cheater;
+          Alcotest.test_case "five servers histogram" `Quick test_five_servers_histogram;
+        ] );
+    ]

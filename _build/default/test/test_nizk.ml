@@ -1,0 +1,185 @@
+(* NIZK baseline tests: Schnorr group structure, Pedersen commitments, and
+   the Fiat–Shamir 0/1 OR-proofs (completeness and soundness). *)
+
+module B = Prio_bigint.Bigint
+module Rng = Prio_crypto.Rng
+module G = Prio_nizk.Group
+module Ped = Prio_nizk.Pedersen
+module Bp = Prio_nizk.Bitproof
+
+let rng = Rng.of_string_seed "nizk-tests"
+
+(* ------------------------------ group ------------------------------- *)
+
+let test_group_parameters () =
+  Alcotest.(check bool) "p prime" true (B.is_probable_prime G.p);
+  Alcotest.(check bool) "q prime" true (B.is_probable_prime G.q);
+  Alcotest.(check bool) "p = 2q + 1" true
+    (B.equal G.p (B.succ (B.shift_left G.q 1)));
+  Alcotest.(check int) "p is 256-bit" 256 (B.num_bits G.p)
+
+let test_group_orders () =
+  (* g and h have order exactly q *)
+  Alcotest.(check bool) "g^q = 1" true (G.equal (G.exp G.g G.q) G.one);
+  Alcotest.(check bool) "g <> 1" false (G.equal G.g G.one);
+  Alcotest.(check bool) "h^q = 1" true (G.equal (G.exp G.h G.q) G.one);
+  Alcotest.(check bool) "h <> 1" false (G.equal G.h G.one);
+  Alcotest.(check bool) "h <> g" false (G.equal G.h G.g)
+
+let test_group_ops () =
+  for _ = 1 to 20 do
+    let a = G.random_exponent rng and b = G.random_exponent rng in
+    let x = G.exp G.g a and y = G.exp G.g b in
+    (* homomorphism *)
+    Alcotest.(check bool) "g^a g^b = g^(a+b)" true
+      (G.equal (G.mul x y) (G.exp G.g (B.erem (B.add a b) G.q)));
+    (* inverse *)
+    Alcotest.(check bool) "x x^-1 = 1" true (G.equal (G.mul x (G.inv x)) G.one)
+  done
+
+let test_challenge_deterministic () =
+  let c1 = G.challenge [ Bytes.of_string "a"; Bytes.of_string "b" ] in
+  let c2 = G.challenge [ Bytes.of_string "a"; Bytes.of_string "b" ] in
+  let c3 = G.challenge [ Bytes.of_string "ab" ] in
+  Alcotest.(check bool) "deterministic" true (B.equal c1 c2);
+  Alcotest.(check bool) "in range" true (B.compare c1 G.q < 0);
+  ignore c3
+
+(* ----------------------------- pedersen ----------------------------- *)
+
+let test_pedersen () =
+  for _ = 1 to 10 do
+    let v = B.of_int (Rng.int_below rng 1000) in
+    let c, o = Ped.commit_fresh rng ~value:v in
+    Alcotest.(check bool) "opens" true (Ped.verify c o);
+    Alcotest.(check bool) "wrong value fails" false
+      (Ped.verify c { o with Ped.value = B.succ v })
+  done;
+  (* homomorphism: C(a) * C(b) opens to a+b *)
+  let c1, o1 = Ped.commit_fresh rng ~value:(B.of_int 3) in
+  let c2, o2 = Ped.commit_fresh rng ~value:(B.of_int 4) in
+  let combined = Ped.combine c1 c2 in
+  Alcotest.(check bool) "homomorphic" true
+    (Ped.verify combined
+       {
+         Ped.value = B.of_int 7;
+         randomness = B.erem (B.add o1.Ped.randomness o2.Ped.randomness) G.q;
+       })
+
+let test_pedersen_hiding () =
+  (* commitments to the same value under fresh randomness differ *)
+  let c1, _ = Ped.commit_fresh rng ~value:B.one in
+  let c2, _ = Ped.commit_fresh rng ~value:B.one in
+  Alcotest.(check bool) "fresh randomness" false (G.equal c1 c2)
+
+(* ----------------------------- bitproof ----------------------------- *)
+
+let test_bitproof_completeness () =
+  List.iter
+    (fun bit ->
+      for _ = 1 to 5 do
+        let c, o = Ped.commit_fresh rng ~value:(B.of_int bit) in
+        let pi = Bp.prove rng ~bit ~commitment:c ~randomness:o.Ped.randomness in
+        Alcotest.(check bool) (Printf.sprintf "bit %d verifies" bit) true
+          (Bp.verify c pi)
+      done)
+    [ 0; 1 ]
+
+let test_bitproof_soundness () =
+  (* a commitment to 2 admits no honest proof; simulate a cheater reusing a
+     valid proof for a different commitment *)
+  let c0, o0 = Ped.commit_fresh rng ~value:B.zero in
+  let pi = Bp.prove rng ~bit:0 ~commitment:c0 ~randomness:o0.Ped.randomness in
+  let c2, _ = Ped.commit_fresh rng ~value:(B.of_int 2) in
+  Alcotest.(check bool) "transplanted proof fails" false (Bp.verify c2 pi);
+  (* tampered responses fail *)
+  let bad = { pi with Bp.z0 = B.erem (B.succ pi.Bp.z0) G.q } in
+  Alcotest.(check bool) "tampered z0 fails" false (Bp.verify c0 bad);
+  let bad = { pi with Bp.c0 = B.erem (B.succ pi.Bp.c0) G.q } in
+  Alcotest.(check bool) "tampered c0 fails" false (Bp.verify c0 bad);
+  Alcotest.(check bool) "non-bit prove refused" true
+    (match Bp.prove rng ~bit:2 ~commitment:c0 ~randomness:B.zero with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_vector_submission () =
+  let bits = [| 1; 0; 1; 1; 0; 0; 1 |] in
+  let sub = Bp.client_encode rng bits in
+  Alcotest.(check bool) "verifies" true (Bp.server_verify sub);
+  Array.iteri
+    (fun i o ->
+      Alcotest.(check bool) "opening matches bit" true
+        (B.equal o.Ped.value (B.of_int bits.(i))))
+    sub.Bp.openings;
+  (* flipping any commitment must break verification *)
+  let bad = { sub with Bp.commitments = Array.copy sub.Bp.commitments } in
+  bad.Bp.commitments.(4) <- G.mul bad.Bp.commitments.(4) G.g;
+  Alcotest.(check bool) "tampered rejected" false (Bp.server_verify bad)
+
+let test_proof_size () =
+  (* the Θ(M) proof-length row of Table 2: one proof per coordinate *)
+  Alcotest.(check int) "per-bit proof bytes" (64 + 128) Bp.proof_bytes
+
+(* ----------------------------- schnorr ------------------------------ *)
+
+module Sig_ = Prio_nizk.Schnorr
+
+let test_schnorr_roundtrip () =
+  for _ = 1 to 10 do
+    let sk, pk = Sig_.keygen rng in
+    let msg = Rng.bytes rng (Rng.int_below rng 100) in
+    let s = Sig_.sign rng sk msg in
+    Alcotest.(check bool) "verifies" true (Sig_.verify pk msg s)
+  done
+
+let test_schnorr_soundness () =
+  let sk, pk = Sig_.keygen rng in
+  let _, pk2 = Sig_.keygen rng in
+  let msg = Bytes.of_string "a message" in
+  let s = Sig_.sign rng sk msg in
+  Alcotest.(check bool) "wrong message" false
+    (Sig_.verify pk (Bytes.of_string "another") s);
+  Alcotest.(check bool) "wrong key" false (Sig_.verify pk2 msg s);
+  Alcotest.(check bool) "tampered response" false
+    (Sig_.verify pk msg { s with Sig_.response = B.erem (B.succ s.Sig_.response) G.q });
+  Alcotest.(check bool) "tampered challenge" false
+    (Sig_.verify pk msg { s with Sig_.challenge = B.erem (B.succ s.Sig_.challenge) G.q })
+
+let test_schnorr_randomized () =
+  (* two signatures of the same message differ (fresh nonce) *)
+  let sk, pk = Sig_.keygen rng in
+  let msg = Bytes.of_string "same message" in
+  let s1 = Sig_.sign rng sk msg and s2 = Sig_.sign rng sk msg in
+  Alcotest.(check bool) "both verify" true
+    (Sig_.verify pk msg s1 && Sig_.verify pk msg s2);
+  Alcotest.(check bool) "nonces fresh" false (B.equal s1.Sig_.challenge s2.Sig_.challenge)
+
+let () =
+  Alcotest.run "nizk"
+    [
+      ( "group",
+        [
+          Alcotest.test_case "safe-prime parameters" `Slow test_group_parameters;
+          Alcotest.test_case "element orders" `Quick test_group_orders;
+          Alcotest.test_case "operations" `Quick test_group_ops;
+          Alcotest.test_case "fiat-shamir challenge" `Quick test_challenge_deterministic;
+        ] );
+      ( "pedersen",
+        [
+          Alcotest.test_case "commit/verify" `Quick test_pedersen;
+          Alcotest.test_case "hiding" `Quick test_pedersen_hiding;
+        ] );
+      ( "schnorr",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_schnorr_roundtrip;
+          Alcotest.test_case "soundness" `Quick test_schnorr_soundness;
+          Alcotest.test_case "randomized" `Quick test_schnorr_randomized;
+        ] );
+      ( "bitproof",
+        [
+          Alcotest.test_case "completeness" `Quick test_bitproof_completeness;
+          Alcotest.test_case "soundness" `Quick test_bitproof_soundness;
+          Alcotest.test_case "vector submission" `Quick test_vector_submission;
+          Alcotest.test_case "proof size" `Quick test_proof_size;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+(* Polynomial layer tests: dense ops, Lagrange interpolation, the NTT fast
+   path against the naive path, and the fixed-point evaluation contexts
+   (the Appendix I optimization). *)
+
+module Rng = Prio_crypto.Rng
+open Prio_field
+
+module Suite (F : Field_intf.S) = struct
+  module P = Prio_poly.Poly.Make (F)
+  module N = Prio_poly.Ntt.Make (F)
+  module R = Prio_poly.Roots_eval.Make (F)
+
+  let rng = Rng.of_string_seed ("poly-tests-" ^ F.name)
+
+  let random_poly len = Array.init len (fun _ -> F.random rng)
+
+  let test_eval_horner () =
+    (* p(x) = 3 + 2x + x^2 at x = 5 -> 38 *)
+    let p = [| F.of_int 3; F.of_int 2; F.one |] in
+    Alcotest.(check bool) "horner" true
+      (F.equal (P.eval p (F.of_int 5)) (F.of_int 38));
+    Alcotest.(check bool) "empty poly" true (F.is_zero (P.eval [||] (F.of_int 9)))
+
+  let test_degree_normalize () =
+    Alcotest.(check int) "zero degree" (-1) (P.degree [||]);
+    Alcotest.(check int) "trailing zeros" 1
+      (P.degree [| F.one; F.one; F.zero; F.zero |]);
+    Alcotest.(check bool) "equal modulo zeros" true
+      (P.equal [| F.one |] [| F.one; F.zero |])
+
+  let test_add_sub_scale () =
+    for _ = 1 to 20 do
+      let p = random_poly 8 and q = random_poly 5 in
+      let x = F.random rng in
+      Alcotest.(check bool) "add pointwise" true
+        (F.equal (P.eval (P.add p q) x) (F.add (P.eval p x) (P.eval q x)));
+      Alcotest.(check bool) "sub pointwise" true
+        (F.equal (P.eval (P.sub p q) x) (F.sub (P.eval p x) (P.eval q x)));
+      let c = F.random rng in
+      Alcotest.(check bool) "scale pointwise" true
+        (F.equal (P.eval (P.scale c p) x) (F.mul c (P.eval p x)))
+    done
+
+  let test_mul_naive () =
+    for _ = 1 to 20 do
+      let p = random_poly (1 + Rng.int_below rng 10) in
+      let q = random_poly (1 + Rng.int_below rng 10) in
+      let x = F.random rng in
+      Alcotest.(check bool) "mul pointwise" true
+        (F.equal (P.eval (P.mul_naive p q) x) (F.mul (P.eval p x) (P.eval q x)))
+    done
+
+  let test_lagrange () =
+    for _ = 1 to 10 do
+      let deg = 1 + Rng.int_below rng 8 in
+      let coeffs = random_poly (deg + 1) in
+      let points =
+        Array.init (deg + 1) (fun i -> (F.of_int i, P.eval coeffs (F.of_int i)))
+      in
+      Alcotest.(check bool) "recovers coefficients" true
+        (P.equal (P.interpolate points) coeffs)
+    done;
+    (* interpolation through arbitrary (distinct) points *)
+    let pts = [| (F.of_int 2, F.of_int 7); (F.of_int 11, F.of_int 3) |] in
+    let p = P.interpolate pts in
+    Alcotest.(check bool) "fits point 1" true (F.equal (P.eval p (F.of_int 2)) (F.of_int 7));
+    Alcotest.(check bool) "fits point 2" true (F.equal (P.eval p (F.of_int 11)) (F.of_int 3));
+    Alcotest.(check int) "degree <= 1" 1 (P.degree p)
+
+  let test_batch_invert () =
+    for _ = 1 to 10 do
+      let xs = Array.init (1 + Rng.int_below rng 20) (fun _ -> F.random_nonzero rng) in
+      let invs = P.batch_invert xs in
+      Array.iteri
+        (fun i x ->
+          Alcotest.(check bool) "x * x^-1 = 1" true (F.is_one (F.mul x invs.(i))))
+        xs
+    done;
+    Alcotest.(check bool) "empty" true (P.batch_invert [||] = [||])
+
+  let test_ntt_roundtrip () =
+    List.iter
+      (fun n ->
+        let c = random_poly n in
+        Alcotest.(check bool)
+          (Printf.sprintf "intt . ntt = id (n=%d)" n)
+          true
+          (Array.for_all2 F.equal (N.intt (N.ntt c)) c))
+      [ 1; 2; 4; 16; 64; 256 ]
+
+  let test_ntt_is_evaluation () =
+    (* ntt must agree with naive evaluation at the root powers *)
+    let n = 16 in
+    let c = random_poly n in
+    let w = F.root_of_unity 4 in
+    let vals = N.ntt c in
+    let x = ref F.one in
+    for j = 0 to n - 1 do
+      Alcotest.(check bool) (Printf.sprintf "value at w^%d" j) true
+        (F.equal vals.(j) (P.eval c !x));
+      x := F.mul !x w
+    done
+
+  let test_ntt_mul_vs_naive () =
+    for _ = 1 to 15 do
+      let p = random_poly (1 + Rng.int_below rng 40) in
+      let q = random_poly (1 + Rng.int_below rng 40) in
+      Alcotest.(check bool) "products agree" true
+        (P.equal (N.mul p q) (P.mul_naive p q))
+    done
+
+  let test_ntt_bad_size () =
+    Alcotest.check_raises "non power of two"
+      (Invalid_argument "Ntt.transform: size must be a power of two") (fun () ->
+        ignore (N.ntt (random_poly 3)))
+
+  let test_roots_eval () =
+    List.iter
+      (fun n ->
+        let values = random_poly n in
+        let coeffs = N.intt values in
+        let rec fresh_r () =
+          let r = F.random rng in
+          if R.r_collides ~n r then fresh_r () else r
+        in
+        let r = fresh_r () in
+        let ctx = R.create ~n ~r in
+        Alcotest.(check bool)
+          (Printf.sprintf "matches interpolate-then-eval (n=%d)" n)
+          true
+          (F.equal (R.eval ctx values) (P.eval coeffs r)))
+      [ 2; 8; 32; 128 ]
+
+  let test_roots_eval_rejects_grid_point () =
+    let w = F.root_of_unity 3 in
+    Alcotest.(check bool) "collision detected" true (R.r_collides ~n:8 (F.pow w 3));
+    Alcotest.check_raises "create refuses grid point"
+      (Invalid_argument "Roots_eval.create: r lies on the evaluation grid")
+      (fun () -> ignore (R.create ~n:8 ~r:(F.pow w 5)))
+
+  let tests =
+    [
+      Alcotest.test_case (F.name ^ ": horner" ) `Quick test_eval_horner;
+      Alcotest.test_case (F.name ^ ": degree/normalize") `Quick test_degree_normalize;
+      Alcotest.test_case (F.name ^ ": add/sub/scale") `Quick test_add_sub_scale;
+      Alcotest.test_case (F.name ^ ": mul naive") `Quick test_mul_naive;
+      Alcotest.test_case (F.name ^ ": lagrange") `Quick test_lagrange;
+      Alcotest.test_case (F.name ^ ": batch invert") `Quick test_batch_invert;
+      Alcotest.test_case (F.name ^ ": ntt roundtrip") `Quick test_ntt_roundtrip;
+      Alcotest.test_case (F.name ^ ": ntt = evaluation") `Quick test_ntt_is_evaluation;
+      Alcotest.test_case (F.name ^ ": ntt mul vs naive") `Quick test_ntt_mul_vs_naive;
+      Alcotest.test_case (F.name ^ ": ntt size check") `Quick test_ntt_bad_size;
+      Alcotest.test_case (F.name ^ ": fixed-point eval ctx") `Quick test_roots_eval;
+      Alcotest.test_case (F.name ^ ": eval ctx grid guard") `Quick
+        test_roots_eval_rejects_grid_point;
+    ]
+end
+
+module S1 = Suite (Babybear)
+module S2 = Suite (F87)
+module S3 = Suite (F265)
+
+let () =
+  Alcotest.run "poly"
+    [
+      ("babybear", S1.tests); ("f87", S2.tests); ("f265", S3.tests);
+    ]

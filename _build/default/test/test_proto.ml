@@ -1,0 +1,546 @@
+(* Protocol-layer tests: wire formats, the simulated cluster (acceptance,
+   rejection, replay and forgery handling, byte accounting), distributed
+   differential-privacy noise, and the NIZK pipeline. *)
+
+module Rng = Prio_crypto.Rng
+module B = Prio_bigint.Bigint
+module F = Prio_field.F87
+module W = Prio_proto.Wire.Make (F)
+module Sh = Prio_share.Share.Make (F)
+module Sum = Prio_afe.Sum.Make (F)
+module A = Prio_afe.Afe.Make (F)
+module Cl = Prio_proto.Cluster.Make (F)
+module Client = Prio_proto.Client.Make (F)
+module P = Prio_proto.Pipeline.Make (F)
+module Dp = Prio_proto.Dp
+
+let rng = Rng.of_string_seed "proto-tests"
+
+(* ------------------------------- wire ------------------------------- *)
+
+let test_wire_vector () =
+  for _ = 1 to 10 do
+    let v = Array.init (Rng.int_below rng 20) (fun _ -> F.random rng) in
+    let b = W.vector_to_bytes v in
+    Alcotest.(check int) "size" (Array.length v * F.bytes_len) (Bytes.length b);
+    Alcotest.(check bool) "roundtrip" true
+      (Array.for_all2 F.equal (W.vector_of_bytes b) v)
+  done;
+  Alcotest.(check bool) "ragged rejected" true
+    (match W.vector_of_bytes (Bytes.create 3) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_wire_payload () =
+  let v = Array.init 7 (fun _ -> F.random rng) in
+  let roundtrip c =
+    let c' = W.payload_of_bytes (W.payload_to_bytes c) in
+    Array.for_all2 F.equal (Sh.expand c ~len:7) (Sh.expand c' ~len:7)
+  in
+  Alcotest.(check bool) "explicit" true (roundtrip (Sh.Explicit v));
+  let seed = Rng.bytes rng Rng.seed_bytes in
+  Alcotest.(check bool) "seed" true (roundtrip (Sh.Seed seed));
+  Alcotest.(check bool) "bad tag" true
+    (match W.payload_of_bytes (Bytes.of_string "\002xy") with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------ cluster ----------------------------- *)
+
+let make_cluster ?(num_servers = 3) mode =
+  let afe = Sum.sum ~bits:4 in
+  let master = Rng.bytes rng 32 in
+  let cluster =
+    Cl.create ~rng ~mode ~circuit:afe.A.circuit ~trunc_len:afe.A.trunc_len
+      ~num_servers ~master ()
+  in
+  (afe, cluster)
+
+let submit_value ?(tamper = fun pk -> pk) (afe, cluster) ~client_id x =
+  let enc = afe.A.encode ~rng x in
+  let pk =
+    Client.submit ~rng
+      ~mode:(Cl.client_mode cluster)
+      ~num_servers:cluster.Cl.s ~client_id ~master:cluster.Cl.master enc
+  in
+  Cl.submit cluster ~client_id (tamper pk)
+
+let test_cluster_modes_aggregate () =
+  List.iter
+    (fun mode ->
+      let ((afe, cluster) as d) = make_cluster mode in
+      List.iteri
+        (fun i x ->
+          Alcotest.(check bool) "accepted" true (submit_value d ~client_id:i x))
+        [ 3; 7; 15; 0; 9 ];
+      let sigma = Cl.publish cluster in
+      Alcotest.(check string) "aggregate" "34"
+        (B.to_string (afe.A.decode ~n:5 sigma));
+      Alcotest.(check int) "accepted count" 5 cluster.Cl.accepted;
+      Alcotest.(check int) "rejected count" 0 cluster.Cl.rejected)
+    [ Cl.Robust_snip; Cl.Robust_mpc; Cl.No_robustness ]
+
+let test_cluster_rejects_cheater () =
+  List.iter
+    (fun mode ->
+      let ((afe, cluster) as d) = make_cluster mode in
+      ignore (submit_value d ~client_id:0 7);
+      (* inject an encoding inconsistent with its bit decomposition *)
+      let bad = afe.A.encode ~rng 3 in
+      bad.(0) <- F.of_int 11;
+      let pk =
+        Client.submit ~rng ~mode:(Cl.client_mode cluster)
+          ~num_servers:cluster.Cl.s ~client_id:1 ~master:cluster.Cl.master bad
+      in
+      Alcotest.(check bool) "cheater rejected" false (Cl.submit cluster ~client_id:1 pk);
+      ignore (submit_value d ~client_id:2 5);
+      let sigma = Cl.publish cluster in
+      (* the bogus 11 never entered the aggregate *)
+      Alcotest.(check string) "aggregate excludes cheater" "12"
+        (B.to_string (afe.A.decode ~n:2 sigma)))
+    [ Cl.Robust_snip; Cl.Robust_mpc ]
+
+let test_cluster_replay_and_forgery () =
+  let ((afe, cluster) as d) = make_cluster Cl.Robust_snip in
+  ignore afe;
+  Alcotest.(check bool) "first accepted" true (submit_value d ~client_id:0 3);
+  (* replay: resubmit the exact same packets *)
+  let enc = afe.A.encode ~rng 5 in
+  let pk =
+    Client.submit ~rng ~mode:(Cl.client_mode cluster) ~num_servers:cluster.Cl.s
+      ~client_id:1 ~master:cluster.Cl.master enc
+  in
+  Alcotest.(check bool) "accepted once" true (Cl.submit cluster ~client_id:1 pk);
+  Alcotest.(check bool) "replay dropped" false (Cl.submit cluster ~client_id:1 pk);
+  (* forgery: flip a ciphertext byte *)
+  Alcotest.(check bool) "forged packet dropped" false
+    (submit_value d ~client_id:2 4 ~tamper:(fun pk ->
+         Bytes.set pk.Client.sealed.(1) 20 '\xff';
+         pk));
+  (* a packet sealed under the wrong client id fails auth *)
+  let pk =
+    Client.submit ~rng ~mode:(Cl.client_mode cluster) ~num_servers:cluster.Cl.s
+      ~client_id:99 ~master:cluster.Cl.master enc
+  in
+  Alcotest.(check bool) "wrong identity dropped" false
+    (Cl.submit cluster ~client_id:3 pk)
+
+let test_byte_accounting_shapes () =
+  (* Prio: per-submission non-leader traffic is constant; Prio-MPC grows
+     with the circuit. This is the Figure 6 claim in miniature. *)
+  let afe_small = Sum.sum ~bits:2 and afe_big = Sum.sum ~bits:32 in
+  let master = Rng.bytes rng 32 in
+  let traffic mode afe =
+    let cluster =
+      Cl.create ~rng ~mode ~circuit:afe.A.circuit ~trunc_len:afe.A.trunc_len
+        ~num_servers:3 ~master ()
+    in
+    let enc = afe.A.encode ~rng 1 in
+    let pk =
+      Client.submit ~rng ~mode:(Cl.client_mode cluster) ~num_servers:3
+        ~client_id:0 ~master enc
+    in
+    ignore (Cl.submit cluster ~client_id:0 pk);
+    (* server 1 never led (leader rotation starts at 0) *)
+    Cl.bytes_sent cluster 1
+  in
+  let snip_small = traffic Cl.Robust_snip afe_small in
+  let snip_big = traffic Cl.Robust_snip afe_big in
+  Alcotest.(check int) "snip non-leader bytes constant" snip_small snip_big;
+  let mpc_small = traffic Cl.Robust_mpc afe_small in
+  let mpc_big = traffic Cl.Robust_mpc afe_big in
+  Alcotest.(check bool) "mpc bytes grow with circuit" true (mpc_big > 4 * mpc_small);
+  let none = traffic Cl.No_robustness afe_big in
+  Alcotest.(check int) "no-robustness needs no gossip" 0 none
+
+let test_no_privacy_single_server () =
+  (* the no-privacy baseline is the degenerate s = 1 deployment *)
+  let afe = Sum.sum ~bits:4 in
+  let master = Rng.bytes rng 32 in
+  let cluster =
+    Cl.create ~rng ~mode:Cl.No_robustness ~circuit:afe.A.circuit
+      ~trunc_len:afe.A.trunc_len ~num_servers:1 ~master ()
+  in
+  List.iteri
+    (fun i x ->
+      let pk =
+        Client.submit ~rng ~mode:Client.No_robustness ~num_servers:1
+          ~client_id:i ~master (afe.A.encode ~rng x)
+      in
+      ignore (Cl.submit cluster ~client_id:i pk))
+    [ 1; 2; 3 ];
+  Alcotest.(check string) "sum" "6" (B.to_string (afe.A.decode ~n:3 (Cl.publish cluster)))
+
+let test_pipeline_helpers () =
+  let afe = Sum.sum ~bits:4 in
+  let master = Rng.bytes rng 32 in
+  let cluster =
+    Cl.create ~rng ~mode:Cl.Robust_snip ~circuit:afe.A.circuit
+      ~trunc_len:afe.A.trunc_len ~num_servers:5 ~master ()
+  in
+  let encodings = List.init 10 (fun i -> afe.A.encode ~rng (i mod 16)) in
+  let prepared = P.prepare ~rng cluster encodings in
+  Alcotest.(check int) "all prepared" 10 (Array.length prepared.P.packets);
+  Alcotest.(check bool) "upload bytes counted" true (prepared.P.upload_bytes > 0);
+  let accepted, secs = P.process cluster prepared in
+  Alcotest.(check int) "all accepted" 10 accepted;
+  Alcotest.(check bool) "throughput positive" true
+    (P.simulated_throughput ~num_servers:5 ~n:10 ~serial_seconds:secs > 0.)
+
+(* ------------------------- PRG share compression --------------------- *)
+
+let test_upload_compression () =
+  (* compressed upload must be ~s× smaller than explicit sharing for large
+     submissions: all but one packet is seed-sized *)
+  let afe = Sum.sum ~bits:60 in
+  let master = Rng.bytes rng 32 in
+  let s = 5 in
+  let enc = afe.A.encode ~rng 123456 in
+  let pk =
+    Client.submit ~rng ~mode:(Client.Robust_snip afe.A.circuit) ~num_servers:s
+      ~client_id:0 ~master enc
+  in
+  let sizes = Array.map Bytes.length pk.Client.sealed in
+  for i = 0 to s - 2 do
+    Alcotest.(check bool) "seed packets are tiny" true (sizes.(i) < 100)
+  done;
+  Alcotest.(check bool) "one explicit packet" true (sizes.(s - 1) > 1000)
+
+(* ------------------------------- DP --------------------------------- *)
+
+let test_dp_moments () =
+  let rng = Rng.of_string_seed "dp-moments" in
+  let alpha = Dp.alpha_of_epsilon ~epsilon:0.5 ~sensitivity:1 in
+  let n = 20000 in
+  (* distributed shares must sum to TSG noise: compare mean/variance *)
+  let total_mean = ref 0. and total_m2 = ref 0. in
+  let s = 5 in
+  for _ = 1 to n do
+    let noise = ref 0 in
+    for _ = 1 to s do
+      noise := !noise + Dp.server_noise_share rng ~num_servers:s ~alpha
+    done;
+    let x = float_of_int !noise in
+    total_mean := !total_mean +. x;
+    total_m2 := !total_m2 +. (x *. x)
+  done;
+  let mean = !total_mean /. float_of_int n in
+  let var = (!total_m2 /. float_of_int n) -. (mean *. mean) in
+  let expect_var = Dp.tsg_variance ~alpha in
+  Alcotest.(check bool) (Printf.sprintf "mean ~ 0 (got %.3f)" mean) true
+    (abs_float mean < 0.2);
+  Alcotest.(check bool)
+    (Printf.sprintf "variance ~ %.2f (got %.2f)" expect_var var)
+    true
+    (abs_float (var -. expect_var) < 0.3 *. expect_var);
+  (* reference sampler agrees *)
+  let ref_m2 = ref 0. in
+  for _ = 1 to n do
+    let x = float_of_int (Dp.two_sided_geometric rng ~alpha) in
+    ref_m2 := !ref_m2 +. (x *. x)
+  done;
+  let ref_var = !ref_m2 /. float_of_int n in
+  Alcotest.(check bool) "reference variance agrees" true
+    (abs_float (ref_var -. expect_var) < 0.3 *. expect_var)
+
+let test_dp_publish () =
+  let ((afe, cluster) as d) = make_cluster ~num_servers:5 Cl.Robust_snip in
+  for i = 0 to 19 do
+    ignore (submit_value d ~client_id:i (i mod 8))
+  done;
+  let alpha = Dp.alpha_of_epsilon ~epsilon:1.0 ~sensitivity:15 in
+  let noised = Cl.publish ~dp_alpha:alpha cluster in
+  ignore afe;
+  (* the noised total should be near the true total of 70 *)
+  let total = B.to_int_exn (F.to_bigint noised.(0)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "noised total near 70 (got %d)" total)
+    true
+    (abs (total - 70) < 300)
+
+(* Parsers must never crash on attacker-controlled bytes: every outcome is
+   a clean parse or Invalid_argument, and the authenticated box rejects
+   random packets outright. *)
+let test_wire_fuzz () =
+  let rng = Rng.of_string_seed "wire-fuzz" in
+  for _ = 1 to 500 do
+    let len = Rng.int_below rng 200 in
+    let junk = Rng.bytes rng len in
+    (match W.payload_of_bytes junk with
+    | _ -> ()
+    | exception Invalid_argument _ -> ());
+    (match W.vector_of_bytes junk with
+    | _ -> ()
+    | exception Invalid_argument _ -> ());
+    let key = Prio_crypto.Authbox.derive_key ~client_id:0 ~server_id:0
+        ~master:(Bytes.of_string "m") in
+    Alcotest.(check bool) "random packet rejected" true
+      (Prio_crypto.Authbox.open_ ~key junk = None)
+  done
+
+let test_swapped_packets_rejected () =
+  (* a client (or the network) delivering server j's packet to server i
+     fails authentication at both *)
+  let d = make_cluster Cl.Robust_snip in
+  Alcotest.(check bool) "swapped packets dropped" false
+    (submit_value d ~client_id:5 3 ~tamper:(fun pk ->
+         let s = pk.Client.sealed in
+         let t = s.(0) in
+         s.(0) <- s.(1);
+         s.(1) <- t;
+         pk))
+
+let test_batch_rotation () =
+  (* with a tiny batch size the verifiers resample r repeatedly (App. I);
+     honest submissions keep passing and cheaters keep failing across
+     batch boundaries *)
+  let afe = Sum.sum ~bits:4 in
+  let master = Rng.bytes rng 32 in
+  let cluster =
+    Cl.create ~batch_size:3 ~rng ~mode:Cl.Robust_snip ~circuit:afe.A.circuit
+      ~trunc_len:afe.A.trunc_len ~num_servers:3 ~master ()
+  in
+  for i = 0 to 9 do
+    let cheat = i mod 4 = 3 in
+    let enc = afe.A.encode ~rng (i mod 16) in
+    if cheat then enc.(0) <- F.of_int 999;
+    let pk =
+      Client.submit ~rng ~mode:(Cl.client_mode cluster) ~num_servers:3
+        ~client_id:i ~master enc
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "submission %d" i)
+      (not cheat)
+      (Cl.submit cluster ~client_id:i pk)
+  done;
+  Alcotest.(check int) "several batches elapsed" 4 cluster.Cl.batches;
+  Alcotest.(check int) "accepted" 8 cluster.Cl.accepted;
+  Alcotest.(check int) "rejected" 2 cluster.Cl.rejected
+
+(* ------------------------ registry & epochs -------------------------- *)
+
+module Reg = Prio_proto.Registry
+module Schnorr = Prio_nizk.Schnorr
+
+let test_registry_gating () =
+  let reg = Reg.create ~min_contributors:3 in
+  let clients =
+    List.init 5 (fun id ->
+        let sk, pk = Schnorr.keygen rng in
+        Reg.register reg ~client_id:id ~public_key:pk;
+        (id, sk))
+  in
+  Alcotest.(check int) "registered" 5 (Reg.num_registered reg);
+  let sealed = [| Rng.bytes rng 40; Rng.bytes rng 40 |] in
+  let submit (id, sk) =
+    let signature =
+      Reg.client_sign rng ~secret_key:sk ~client_id:id ~epoch:(Reg.epoch reg) sealed
+    in
+    Reg.accept_submission reg ~client_id:id ~sealed ~signature
+  in
+  (* below the threshold: publication gated *)
+  Alcotest.(check bool) "c0 accepted" true (submit (List.nth clients 0));
+  Alcotest.(check bool) "c1 accepted" true (submit (List.nth clients 1));
+  Alcotest.(check bool) "gated at 2 contributors" false (Reg.may_publish reg);
+  Alcotest.(check bool) "c2 accepted" true (submit (List.nth clients 2));
+  Alcotest.(check bool) "open at 3 contributors" true (Reg.may_publish reg);
+  (* one registered client counts once *)
+  Alcotest.(check bool) "duplicate contribution refused" false
+    (submit (List.nth clients 0));
+  Alcotest.(check int) "contributors" 3 (Reg.contributors reg)
+
+let test_registry_rejects () =
+  let reg = Reg.create ~min_contributors:1 in
+  let sk, pk = Schnorr.keygen rng in
+  let mallory_sk, _ = Schnorr.keygen rng in
+  Reg.register reg ~client_id:1 ~public_key:pk;
+  let sealed = [| Rng.bytes rng 32 |] in
+  (* unregistered client *)
+  let sig99 = Reg.client_sign rng ~secret_key:sk ~client_id:99 ~epoch:0 sealed in
+  Alcotest.(check bool) "unregistered" false
+    (Reg.accept_submission reg ~client_id:99 ~sealed ~signature:sig99);
+  (* wrong key *)
+  let bad = Reg.client_sign rng ~secret_key:mallory_sk ~client_id:1 ~epoch:0 sealed in
+  Alcotest.(check bool) "forged signature" false
+    (Reg.accept_submission reg ~client_id:1 ~sealed ~signature:bad);
+  (* signature over different packets *)
+  let other = [| Rng.bytes rng 32 |] in
+  let s = Reg.client_sign rng ~secret_key:sk ~client_id:1 ~epoch:0 other in
+  Alcotest.(check bool) "packet substitution" false
+    (Reg.accept_submission reg ~client_id:1 ~sealed ~signature:s);
+  (* stale epoch signature *)
+  let s0 = Reg.client_sign rng ~secret_key:sk ~client_id:1 ~epoch:0 sealed in
+  Reg.next_epoch reg;
+  Alcotest.(check bool) "stale epoch" false
+    (Reg.accept_submission reg ~client_id:1 ~sealed ~signature:s0);
+  (* fresh epoch signature accepted, and epochs reset contributors *)
+  let s1 = Reg.client_sign rng ~secret_key:sk ~client_id:1 ~epoch:1 sealed in
+  Alcotest.(check bool) "fresh epoch" true
+    (Reg.accept_submission reg ~client_id:1 ~sealed ~signature:s1);
+  Reg.next_epoch reg;
+  Alcotest.(check int) "contributors reset" 0 (Reg.contributors reg)
+
+(* ---------------- DPF-compressed pipeline (Appendix G) --------------- *)
+
+module Comp = Prio_proto.Compressed.Make (F)
+
+let test_compressed_histogram () =
+  let t = Comp.create ~bits:6 in
+  let votes = [ 5; 5; 63; 0; 5; 17; 17 ] in
+  List.iter (fun v -> ignore (Comp.submit rng t ~value:v)) votes;
+  let counts = Array.map (fun x -> B.to_int_exn (F.to_bigint x)) (Comp.publish t) in
+  Alcotest.(check int) "bucket 5" 3 counts.(5);
+  Alcotest.(check int) "bucket 17" 2 counts.(17);
+  Alcotest.(check int) "bucket 63" 1 counts.(63);
+  Alcotest.(check int) "bucket 0" 1 counts.(0);
+  Alcotest.(check int) "total" 7 (Array.fold_left ( + ) 0 counts)
+
+let test_compressed_bandwidth () =
+  let t = Comp.create ~bits:14 in
+  let bytes = Comp.submit rng t ~value:1234 in
+  let explicit = Comp.explicit_upload_bytes t in
+  Alcotest.(check bool)
+    (Printf.sprintf "DPF %dB ≪ explicit %dB" bytes explicit)
+    true
+    (bytes * 200 < explicit)
+
+(* -------------------- threshold (Appendix B) ------------------------- *)
+
+module Th = Prio_proto.Threshold.Make (F)
+
+let test_threshold_aggregation () =
+  let t = Th.create ~num_servers:5 ~threshold:3 ~len:4 in
+  Alcotest.(check int) "tolerates 2 crashes" 2 (Th.fault_tolerance t);
+  Alcotest.(check int) "privacy vs 2 colluders" 2 (Th.privacy_threshold t);
+  let truth = Array.make 4 F.zero in
+  for _ = 1 to 10 do
+    let enc = Array.init 4 (fun _ -> F.of_int (Rng.int_below rng 100)) in
+    Array.iteri (fun j v -> truth.(j) <- F.add truth.(j) v) enc;
+    Th.submit rng t enc
+  done;
+  let check_subset servers =
+    let got = Th.publish t ~servers in
+    Alcotest.(check bool)
+      (Printf.sprintf "subset [%s] reconstructs"
+         (String.concat ";" (List.map string_of_int servers)))
+      true
+      (Array.for_all2 F.equal got truth)
+  in
+  (* any 3 servers suffice — including after "crashing" two *)
+  check_subset [ 0; 1; 2 ];
+  check_subset [ 2; 3; 4 ];
+  check_subset [ 0; 2; 4 ];
+  check_subset [ 0; 1; 2; 3; 4 ];
+  (* two servers are not enough to even ask *)
+  Alcotest.check_raises "too few"
+    (Invalid_argument "Threshold.publish: not enough servers") (fun () ->
+      ignore (Th.publish t ~servers:[ 0; 1 ]))
+
+(* ------------------------- multicore batches ------------------------- *)
+
+module Par = Prio_proto.Parallel.Make (F)
+
+let test_parallel_matches_serial () =
+  let afe = Sum.sum ~bits:4 in
+  let master = Rng.bytes rng 32 in
+  let make_replica () =
+    Cl.create ~rng:(Rng.split rng) ~mode:Cl.Robust_snip ~circuit:afe.A.circuit
+      ~trunc_len:afe.A.trunc_len ~num_servers:3 ~master ()
+  in
+  (* 20 submissions, 5 of them malformed *)
+  let packets =
+    Array.init 20 (fun i ->
+        let enc = afe.A.encode ~rng (i mod 16) in
+        if i mod 4 = 3 then enc.(0) <- F.of_int 999;
+        let pk =
+          Client.submit ~rng ~mode:(Client.Robust_snip afe.A.circuit)
+            ~num_servers:3 ~client_id:i ~master enc
+        in
+        (i, pk))
+  in
+  let expected_total =
+    List.fold_left ( + ) 0
+      (List.filter_map
+         (fun i -> if i mod 4 = 3 then None else Some (i mod 16))
+         (List.init 20 Fun.id))
+  in
+  List.iter
+    (fun domains ->
+      let merged, accepted = Par.process ~make_replica ~packets ~domains in
+      Alcotest.(check int)
+        (Printf.sprintf "accepted (%d domains)" domains)
+        15 accepted;
+      Alcotest.(check int) "counters merged" 15 merged.Cl.accepted;
+      Alcotest.(check int) "rejections merged" 5 merged.Cl.rejected;
+      let total = afe.A.decode ~n:accepted (Cl.publish merged) in
+      Alcotest.(check string)
+        (Printf.sprintf "aggregate (%d domains)" domains)
+        (string_of_int expected_total)
+        (B.to_string total))
+    [ 1; 2; 4 ]
+
+(* --------------------------- NIZK pipeline --------------------------- *)
+
+let test_nizk_pipeline () =
+  let module NP = Prio_proto.Pipeline.Nizk_pipeline in
+  let bits = Array.init 8 (fun _ -> Rng.int_below rng 2) in
+  let sub = NP.client ~rng ~bits ~s:3 in
+  Alcotest.(check bool) "honest verifies" true (NP.server_process ~s:3 sub);
+  (* shares reconstruct the bits *)
+  Array.iteri
+    (fun j bit ->
+      let total = ref B.zero in
+      for i = 0 to 2 do
+        total := B.erem (B.add !total sub.NP.x_shares.(i).(j)) Prio_nizk.Group.q
+      done;
+      Alcotest.(check bool) "share sum = bit" true (B.equal !total (B.of_int bit)))
+    bits;
+  (* tampering with a share breaks consistency *)
+  sub.NP.x_shares.(0).(0) <- B.succ sub.NP.x_shares.(0).(0);
+  Alcotest.(check bool) "inconsistent share detected" false
+    (NP.server_process ~s:3 sub);
+  Alcotest.(check bool) "per-server bytes grow with l" true
+    (NP.per_server_bytes ~l:1024 > 100 * NP.per_server_bytes ~l:4)
+
+let () =
+  Alcotest.run "proto"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "vectors" `Quick test_wire_vector;
+          Alcotest.test_case "payloads" `Quick test_wire_payload;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "aggregates in all modes" `Quick test_cluster_modes_aggregate;
+          Alcotest.test_case "rejects cheaters" `Quick test_cluster_rejects_cheater;
+          Alcotest.test_case "replay and forgery" `Quick test_cluster_replay_and_forgery;
+          Alcotest.test_case "byte accounting shapes" `Quick test_byte_accounting_shapes;
+          Alcotest.test_case "no-privacy single server" `Quick test_no_privacy_single_server;
+          Alcotest.test_case "pipeline helpers" `Quick test_pipeline_helpers;
+          Alcotest.test_case "upload compression" `Quick test_upload_compression;
+          Alcotest.test_case "batch rotation (App. I)" `Quick test_batch_rotation;
+          Alcotest.test_case "wire fuzzing" `Quick test_wire_fuzz;
+          Alcotest.test_case "swapped packets" `Quick test_swapped_packets_rejected;
+        ] );
+      ( "differential privacy",
+        [
+          Alcotest.test_case "noise moments" `Slow test_dp_moments;
+          Alcotest.test_case "noised publish" `Quick test_dp_publish;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "gated publication" `Quick test_registry_gating;
+          Alcotest.test_case "rejections" `Quick test_registry_rejects;
+        ] );
+      ( "threshold (App. B)",
+        [ Alcotest.test_case "k-of-s aggregation" `Quick test_threshold_aggregation ] );
+      ( "compressed (App. G)",
+        [
+          Alcotest.test_case "dpf histogram" `Quick test_compressed_histogram;
+          Alcotest.test_case "bandwidth" `Quick test_compressed_bandwidth;
+        ] );
+      ( "multicore",
+        [ Alcotest.test_case "parallel = serial" `Quick test_parallel_matches_serial ] );
+      ("nizk pipeline", [ Alcotest.test_case "end to end" `Quick test_nizk_pipeline ]);
+    ]

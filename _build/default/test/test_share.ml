@@ -1,0 +1,210 @@
+(* Secret-sharing tests: additive reconstruction, information-hiding
+   sanity, PRG compression, and Shamir threshold sharing. *)
+
+module Rng = Prio_crypto.Rng
+open Prio_field
+
+module Suite (F : Field_intf.S) = struct
+  module Sh = Prio_share.Share.Make (F)
+
+  let rng = Rng.of_string_seed ("share-tests-" ^ F.name)
+
+  let test_scalar_roundtrip () =
+    for _ = 1 to 50 do
+      let x = F.random rng in
+      let s = 1 + Rng.int_below rng 9 in
+      let shares = Sh.split rng ~s x in
+      Alcotest.(check int) "share count" s (Array.length shares);
+      Alcotest.(check bool) "reconstructs" true (F.equal (Sh.reconstruct shares) x)
+    done
+
+  let test_vector_roundtrip () =
+    for _ = 1 to 20 do
+      let l = Rng.int_below rng 30 in
+      let v = Array.init l (fun _ -> F.random rng) in
+      let s = 2 + Rng.int_below rng 5 in
+      let shares = Sh.split_vector rng ~s v in
+      Alcotest.(check bool) "reconstructs" true
+        (Array.for_all2 F.equal (Sh.reconstruct_vector shares) v)
+    done
+
+  let test_hiding () =
+    (* any s-1 shares of 0 and of 1 are identically distributed; as a cheap
+       statistical proxy, check that the first share of a fixed secret looks
+       uniform across many splits: all distinct with overwhelming
+       probability in a large field (or at least spread out in BabyBear). *)
+    let seen = Hashtbl.create 64 in
+    let trials = 64 in
+    for _ = 1 to trials do
+      let shares = Sh.split rng ~s:3 F.one in
+      Hashtbl.replace seen (F.to_string shares.(0)) ()
+    done;
+    Alcotest.(check bool) "first share spreads" true (Hashtbl.length seen > trials / 2)
+
+  let test_add_into () =
+    let dst = Array.make 4 F.zero in
+    Sh.add_into ~dst [| F.one; F.two; F.zero; F.one |];
+    Sh.add_into ~dst [| F.one; F.one; F.one; F.one |];
+    Alcotest.(check bool) "accumulated" true
+      (Array.for_all2 F.equal dst [| F.two; F.of_int 3; F.one; F.two |])
+
+  let test_compressed () =
+    for _ = 1 to 20 do
+      let l = 1 + Rng.int_below rng 40 in
+      let v = Array.init l (fun _ -> F.random rng) in
+      let s = 2 + Rng.int_below rng 5 in
+      let comp = Sh.split_compressed rng ~s v in
+      Alcotest.(check int) "count" s (Array.length comp);
+      (* first s-1 are seeds, last is explicit *)
+      for i = 0 to s - 2 do
+        match comp.(i) with
+        | Sh.Seed b -> Alcotest.(check int) "seed size" Rng.seed_bytes (Bytes.length b)
+        | Sh.Explicit _ -> Alcotest.fail "expected seed"
+      done;
+      (match comp.(s - 1) with
+      | Sh.Explicit e -> Alcotest.(check int) "explicit length" l (Array.length e)
+      | Sh.Seed _ -> Alcotest.fail "expected explicit");
+      let expanded = Array.map (fun c -> Sh.expand c ~len:l) comp in
+      Alcotest.(check bool) "reconstructs" true
+        (Array.for_all2 F.equal (Sh.reconstruct_vector expanded) v)
+    done
+
+  let test_compressed_deterministic () =
+    (* expanding the same seed twice gives the same share *)
+    let seed = Rng.bytes rng Rng.seed_bytes in
+    let a = Sh.expand (Sh.Seed seed) ~len:10 in
+    let b = Sh.expand (Sh.Seed seed) ~len:10 in
+    Alcotest.(check bool) "deterministic" true (Array.for_all2 F.equal a b)
+
+  let test_compressed_size () =
+    let v = Array.init 100 (fun _ -> F.random rng) in
+    let comp = Sh.split_compressed rng ~s:5 v in
+    let total = Array.fold_left (fun acc c -> acc + Sh.compressed_size c) 0 comp in
+    let naive = 5 * 100 * F.bytes_len in
+    Alcotest.(check bool) "~s-fold smaller than naive" true (total * 3 < naive)
+
+  let test_shamir () =
+    for _ = 1 to 20 do
+      let x = F.random rng in
+      let threshold = 2 + Rng.int_below rng 3 in
+      let shares = 2 * threshold in
+      let pts = Sh.Shamir.split rng ~threshold ~shares x in
+      (* any `threshold` of the shares reconstruct *)
+      let subset = Array.sub pts (Rng.int_below rng (shares - threshold)) threshold in
+      Alcotest.(check bool) "threshold reconstructs" true
+        (F.equal (Sh.Shamir.reconstruct subset) x);
+      (* all shares also reconstruct *)
+      Alcotest.(check bool) "all reconstruct" true
+        (F.equal (Sh.Shamir.reconstruct pts) x)
+    done
+
+  let test_shamir_args () =
+    Alcotest.check_raises "threshold > shares" (Invalid_argument "Shamir.split")
+      (fun () -> ignore (Sh.Shamir.split rng ~threshold:4 ~shares:3 F.one))
+
+  let tests =
+    [
+      Alcotest.test_case (F.name ^ ": scalar roundtrip") `Quick test_scalar_roundtrip;
+      Alcotest.test_case (F.name ^ ": vector roundtrip") `Quick test_vector_roundtrip;
+      Alcotest.test_case (F.name ^ ": hiding proxy") `Quick test_hiding;
+      Alcotest.test_case (F.name ^ ": accumulate") `Quick test_add_into;
+      Alcotest.test_case (F.name ^ ": compressed") `Quick test_compressed;
+      Alcotest.test_case (F.name ^ ": compressed deterministic") `Quick
+        test_compressed_deterministic;
+      Alcotest.test_case (F.name ^ ": compression ratio") `Quick test_compressed_size;
+      Alcotest.test_case (F.name ^ ": shamir") `Quick test_shamir;
+      Alcotest.test_case (F.name ^ ": shamir args") `Quick test_shamir_args;
+    ]
+end
+
+module S1 = Suite (Babybear)
+module S2 = Suite (F87)
+module S3 = Suite (F265)
+
+(* ------------------- distributed point functions -------------------- *)
+
+module Dpf_suite (F : Field_intf.S) = struct
+  module D = Prio_share.Dpf.Make (F)
+
+  let rng = Rng.of_string_seed ("dpf-tests-" ^ F.name)
+
+  let test_point_function () =
+    for _ = 1 to 10 do
+      let bits = 2 + Rng.int_below rng 8 in
+      let n = 1 lsl bits in
+      let alpha = Rng.int_below rng n in
+      let beta = F.random_nonzero rng in
+      let k0, k1 = D.gen rng ~bits ~alpha ~beta in
+      for x = 0 to n - 1 do
+        let v = F.add (D.eval k0 x) (D.eval k1 x) in
+        if x = alpha then
+          Alcotest.(check bool) "beta at alpha" true (F.equal v beta)
+        else Alcotest.(check bool) "zero elsewhere" true (F.is_zero v)
+      done
+    done
+
+  let test_eval_all_matches_eval () =
+    let bits = 6 in
+    let k0, k1 = D.gen rng ~bits ~alpha:37 ~beta:F.one in
+    let v0 = D.eval_all k0 and v1 = D.eval_all k1 in
+    for x = 0 to (1 lsl bits) - 1 do
+      Alcotest.(check bool) "party 0" true (F.equal v0.(x) (D.eval k0 x));
+      Alcotest.(check bool) "party 1" true (F.equal v1.(x) (D.eval k1 x))
+    done;
+    (* the reconstructed vector is one-hot *)
+    let sum = Array.map2 F.add v0 v1 in
+    Array.iteri
+      (fun x v ->
+        Alcotest.(check bool) "one-hot" true
+          (if x = 37 then F.is_one v else F.is_zero v))
+      sum
+
+  let test_compression () =
+    (* the whole point: key size is logarithmic, not linear *)
+    let k0, _ = D.gen rng ~bits:16 ~alpha:12345 ~beta:F.one in
+    let key_size = D.key_bytes k0 in
+    let explicit = (1 lsl 16) * F.bytes_len in
+    Alcotest.(check bool)
+      (Printf.sprintf "key %dB ≪ explicit %dB" key_size explicit)
+      true
+      (key_size * 100 < explicit)
+
+  let test_single_key_hides_alpha () =
+    (* statistical proxy for privacy: one party's share at the target is
+       not distinguishable by value — collect shares at alpha and at a
+       non-target point across fresh keys; both look random (all distinct) *)
+    let seen_t = Hashtbl.create 32 and seen_o = Hashtbl.create 32 in
+    for _ = 1 to 20 do
+      let k0, _ = D.gen rng ~bits:5 ~alpha:7 ~beta:F.one in
+      Hashtbl.replace seen_t (F.to_string (D.eval k0 7)) ();
+      Hashtbl.replace seen_o (F.to_string (D.eval k0 12)) ()
+    done;
+    Alcotest.(check int) "target shares spread" 20 (Hashtbl.length seen_t);
+    Alcotest.(check int) "off-target shares spread" 20 (Hashtbl.length seen_o)
+
+  let test_args () =
+    Alcotest.check_raises "alpha range" (Invalid_argument "Dpf.gen: alpha out of range")
+      (fun () -> ignore (D.gen rng ~bits:4 ~alpha:16 ~beta:F.one));
+    let k0, _ = D.gen rng ~bits:4 ~alpha:3 ~beta:F.one in
+    Alcotest.check_raises "eval range" (Invalid_argument "Dpf.eval: out of domain")
+      (fun () -> ignore (D.eval k0 16))
+
+  let tests =
+    [
+      Alcotest.test_case (F.name ^ ": point function") `Quick test_point_function;
+      Alcotest.test_case (F.name ^ ": eval_all") `Quick test_eval_all_matches_eval;
+      Alcotest.test_case (F.name ^ ": compression") `Quick test_compression;
+      Alcotest.test_case (F.name ^ ": key hides alpha") `Quick test_single_key_hides_alpha;
+      Alcotest.test_case (F.name ^ ": argument checks") `Quick test_args;
+    ]
+end
+
+module D1 = Dpf_suite (Babybear)
+module D2 = Dpf_suite (F87)
+
+let () =
+  Alcotest.run "share"
+    [
+      ("babybear", S1.tests); ("f87", S2.tests); ("f265", S3.tests);
+      ("dpf-babybear", D1.tests); ("dpf-f87", D2.tests);
+    ]
