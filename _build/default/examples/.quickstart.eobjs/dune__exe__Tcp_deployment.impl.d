@@ -1,1 +1,1 @@
-examples/tcp_deployment.ml: Array Core List Printf Prio
+examples/tcp_deployment.ml: Array Core List Printf Prio Sys Unix

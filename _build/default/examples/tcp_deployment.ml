@@ -1,14 +1,17 @@
-(* A real multi-process deployment: five Prio server processes on loopback
-   TCP sockets, clients uploading sealed packets over the network, the
-   leader driving SNIP verification over persistent server-to-server
-   connections — the shape of the paper's five-data-center cluster, on one
-   machine.
+(* A fault-tolerant multi-process deployment: five Prio server processes
+   on loopback TCP sockets, clients uploading sealed packets through a
+   deliberately lossy wire (seeded fault injection + retry with backoff),
+   a follower SIGKILLed mid-run with the leader degrading gracefully, and
+   the supervisor detecting and restarting the dead process.
 
    Run with: dune exec examples/tcp_deployment.exe *)
 
 open Core
 module P = Prio.Make (Prio.F87)
 module Net = P.Net
+module T = Prio.Transport
+module Faults = Prio.Faults
+module Retry = Prio.Retry
 
 let () =
   let rng = Prio.Rng.of_string_seed "tcp-example" in
@@ -23,18 +26,47 @@ let () =
         batch_seed = Prio.Rng.bytes rng 32;
       }
   in
-  let d = Net.launch cfg in
+  (* short deadlines: a dropped frame costs [io_timeout] of real waiting *)
+  let tuning =
+    T.
+      {
+        default_tuning with
+        io_timeout = 0.4;
+        dial_timeout = 1.0;
+        select_tick = 0.02;
+        backoff =
+          Retry.
+            {
+              default_backoff with
+              max_attempts = 8;
+              base_delay = 0.01;
+              max_delay = 0.1;
+            };
+      }
+  in
+  let d = Net.launch ~tuning cfg in
   Printf.printf "launched %d server processes (pids:%s)\n" cfg.Net.num_servers
     (Array.fold_left (fun acc pid -> acc ^ " " ^ string_of_int pid) "" d.Net.pids);
 
-  let values = List.init 25 (fun i -> (i * 13) mod 256) in
+  (* --- honest clients over a lossy wire: every frame has a 10% chance
+     of silently vanishing; retries + idempotent servers get them all
+     through, and nothing is double-counted --- *)
+  let faults = Faults.create ~seed:"lossy-wire" (Faults.drop 0.1) in
+  let values = List.init 12 (fun i -> (i * 13) mod 256) in
   let accepted = ref 0 in
   List.iteri
     (fun i x ->
-      if Net.submit d ~rng ~client_id:i (afe.P.Afe.encode ~rng x) then incr accepted)
+      match
+        Net.submit_outcome ~faults d ~rng ~client_id:i (afe.P.Afe.encode ~rng x)
+      with
+      | Net.Accepted -> incr accepted
+      | Net.Rejected why -> Printf.printf "  client %d rejected: %s\n" i why
+      | Net.Unreachable e ->
+        Printf.printf "  client %d unreachable: %s\n" i
+          (T.string_of_protocol_error e))
     values;
-  Printf.printf "uploaded %d submissions over TCP, %d accepted\n"
-    (List.length values) !accepted;
+  Printf.printf "lossy wire: %d/%d accepted (%d frames faulted, all retried)\n"
+    !accepted (List.length values) (Faults.injected faults);
 
   (* a malicious client tries its luck against the real wire protocol *)
   let bad = afe.P.Afe.encode ~rng 3 in
@@ -42,8 +74,38 @@ let () =
   let cheater_ok = Net.submit d ~rng ~client_id:9999 bad in
   Printf.printf "cheating client accepted: %b\n" cheater_ok;
 
+  (* collect before the crash drill: shares on a killed server die with it *)
   let total = afe.P.Afe.decode ~n:!accepted (Net.collect_aggregate d) in
   let expect = List.fold_left ( + ) 0 values in
-  Printf.printf "aggregate: %s (expected %d)\n" (Prio.Bigint.to_string total) expect;
+  Printf.printf "aggregate: %s (expected %d)\n" (Prio.Bigint.to_string total)
+    expect;
+
+  (* --- crash drill: SIGKILL a follower; the leader must refuse new
+     work cleanly (no hangs) and the supervisor must see the corpse --- *)
+  Unix.kill d.Net.pids.(3) Sys.sigkill;
+  Unix.sleepf 0.1;
+  (match (Net.poll_servers d).(3) with
+  | Net.Exited _ -> print_endline "supervisor: follower 3 is down"
+  | Net.Running -> print_endline "supervisor: follower 3 still running?!");
+  (match
+     Net.submit_outcome d ~rng ~client_id:100 (afe.P.Afe.encode ~rng 1)
+   with
+  | Net.Accepted -> print_endline "degraded cluster accepted a submission?!"
+  | Net.Rejected why -> Printf.printf "degraded cluster refused cleanly: %s\n" why
+  | Net.Unreachable e ->
+    Printf.printf "submission failed fast, no hang: %s\n"
+      (T.string_of_protocol_error e));
+  (match (Net.poll_servers d).(0) with
+  | Net.Running -> print_endline "leader survived the follower crash"
+  | Net.Exited _ -> print_endline "leader died?!");
+
+  (* --- revive it on the original port; new traffic flows again (the
+     dead process's accumulator shares are lost, so a real deployment
+     would close out the damaged batch and open a fresh one) --- *)
+  Net.restart_server d 3;
+  Printf.printf "supervisor: follower 3 restarted (pid %d)\n" d.Net.pids.(3);
+  Printf.printf "post-restart submission accepted: %b\n"
+    (Net.submit d ~rng ~client_id:101 (afe.P.Afe.encode ~rng 42));
+
   Net.shutdown d;
   print_endline "servers shut down cleanly"

@@ -33,6 +33,9 @@ module F265 = Prio_field.F265
 
 module Dp = Prio_proto.Dp
 module Registry = Prio_proto.Registry
+module Retry = Prio_proto.Retry
+module Faults = Prio_proto.Faults
+module Transport = Prio_proto.Net
 module Schnorr = Prio_nizk.Schnorr
 module Nizk_group = Prio_nizk.Group
 module Nizk_pedersen = Prio_nizk.Pedersen

@@ -1,0 +1,1 @@
+lib/proto/faults.ml: Bytes Char Prio_crypto Retry

@@ -1,0 +1,1 @@
+lib/proto/faults.mli: Bytes

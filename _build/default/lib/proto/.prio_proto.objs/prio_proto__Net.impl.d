@@ -1,1 +1,1 @@
-lib/proto/net.ml: Array Bytes Char Client Hashtbl List Option Printexc Printf Prio_circuit Prio_crypto Prio_field Prio_share Prio_snip Server Unix Wire
+lib/proto/net.ml: Array Bytes Char Client Faults Float Fun Hashtbl List Printexc Printf Prio_circuit Prio_crypto Prio_field Prio_share Prio_snip Retry Server Sys Unix Wire

@@ -1,1 +1,1 @@
-lib/proto/net.mli: Bytes Prio_circuit Prio_crypto Prio_field Unix
+lib/proto/net.mli: Bytes Faults Prio_circuit Prio_crypto Prio_field Retry Unix

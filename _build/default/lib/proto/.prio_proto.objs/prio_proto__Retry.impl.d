@@ -1,0 +1,1 @@
+lib/proto/retry.ml: Float Prio_crypto Unix

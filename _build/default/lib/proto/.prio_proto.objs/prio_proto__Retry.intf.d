@@ -1,0 +1,1 @@
+lib/proto/retry.mli: Prio_crypto

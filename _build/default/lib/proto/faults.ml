@@ -1,0 +1,98 @@
+(** Deterministic fault injection for the TCP runtime.
+
+    A [t] sits on the frame read/write path ({!Net}) and, for each frame
+    it sees, rolls a seeded ChaCha20 RNG against a {!policy} to decide
+    whether the frame passes untouched or is dropped, delayed, corrupted
+    (one byte flipped), truncated, or turned into a disconnect / process
+    crash. Because the RNG is seeded, a chaos run is a pure function of
+    (seed, policy, traffic order): a failing run replays exactly.
+
+    The policies model the paper's threat environment (§2, §5): clients
+    and servers may be faulty or malicious, and a deployment must
+    tolerate dropped, delayed, and malformed traffic without losing the
+    batch. *)
+
+module Rng = Prio_crypto.Rng
+
+type policy = {
+  p_drop : float;  (** frame silently vanishes *)
+  p_delay : float;  (** frame delivered after [delay] seconds *)
+  delay : float;
+  p_corrupt : float;  (** one byte of the frame body is flipped *)
+  p_truncate : float;  (** frame cut short (possibly to empty) *)
+  p_disconnect : float;  (** connection closed instead of delivering *)
+  p_crash : float;  (** the injecting process exits (server chaos) *)
+}
+
+let none =
+  { p_drop = 0.; p_delay = 0.; delay = 0.; p_corrupt = 0.; p_truncate = 0.;
+    p_disconnect = 0.; p_crash = 0. }
+
+let drop p = { none with p_drop = p }
+let corrupt p = { none with p_corrupt = p }
+let truncate p = { none with p_truncate = p }
+let disconnect p = { none with p_disconnect = p }
+let crash p = { none with p_crash = p }
+let slow ~p ~delay = { none with p_delay = p; delay }
+
+type verdict =
+  | Deliver of Bytes.t  (** pass the frame on (possibly mangled) *)
+  | Drop  (** pretend it was sent / never arrived *)
+  | Disconnect  (** sever the connection *)
+  | Crash  (** the process hosting this [t] should die *)
+
+type t = {
+  rng : Rng.t;
+  policy : policy;
+  mutable seen : int;
+  mutable injected : int;
+}
+
+let create ~seed policy =
+  { rng = Rng.of_string_seed seed; policy; seen = 0; injected = 0 }
+
+let seen t = t.seen
+let injected t = t.injected
+
+let flip_byte rng b =
+  if Bytes.length b = 0 then b
+  else begin
+    let b = Bytes.copy b in
+    let i = Rng.int_below rng (Bytes.length b) in
+    let x = 1 + Rng.int_below rng 255 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor x));
+    b
+  end
+
+let cut rng b =
+  if Bytes.length b = 0 then b
+  else Bytes.sub b 0 (Rng.int_below rng (Bytes.length b))
+
+(** Roll the dice for one frame. Mutually exclusive fault classes are
+    stacked on a single uniform draw (so their probabilities add);
+    delay composes with delivery and is rolled separately. *)
+let decide t (frame : Bytes.t) : verdict =
+  t.seen <- t.seen + 1;
+  let p = t.policy in
+  let roll = Rng.float01 t.rng in
+  let inj v =
+    t.injected <- t.injected + 1;
+    v
+  in
+  let c0 = p.p_crash in
+  let c1 = c0 +. p.p_disconnect in
+  let c2 = c1 +. p.p_drop in
+  let c3 = c2 +. p.p_corrupt in
+  let c4 = c3 +. p.p_truncate in
+  if roll < c0 then inj Crash
+  else if roll < c1 then inj Disconnect
+  else if roll < c2 then inj Drop
+  else if roll < c3 then inj (Deliver (flip_byte t.rng frame))
+  else if roll < c4 then inj (Deliver (cut t.rng frame))
+  else begin
+    if p.p_delay > 0. && Rng.float01 t.rng < p.p_delay then begin
+      t.injected <- t.injected + 1;
+      Retry.sleep p.delay
+    end;
+    Deliver frame
+  end

@@ -1,0 +1,45 @@
+(** Deterministic (seeded) fault injection for the TCP runtime: each
+    frame crossing an injected read/write path is passed, dropped,
+    delayed, corrupted, truncated, or escalated to a disconnect or a
+    process crash, according to a policy rolled on a ChaCha20 RNG — so
+    chaos runs replay exactly from (seed, policy, traffic order). *)
+
+type policy = {
+  p_drop : float;  (** frame silently vanishes *)
+  p_delay : float;  (** frame delivered after [delay] seconds *)
+  delay : float;
+  p_corrupt : float;  (** one byte of the frame body is flipped *)
+  p_truncate : float;  (** frame cut short (possibly to empty) *)
+  p_disconnect : float;  (** connection closed instead of delivering *)
+  p_crash : float;  (** the injecting process exits (server chaos) *)
+}
+
+val none : policy
+
+val drop : float -> policy
+val corrupt : float -> policy
+val truncate : float -> policy
+val disconnect : float -> policy
+val crash : float -> policy
+val slow : p:float -> delay:float -> policy
+
+type verdict =
+  | Deliver of Bytes.t  (** pass the frame on (possibly mangled) *)
+  | Drop  (** pretend it was sent / never arrived *)
+  | Disconnect  (** sever the connection *)
+  | Crash  (** the process hosting this [t] should die *)
+
+type t
+
+val create : seed:string -> policy -> t
+
+val decide : t -> Bytes.t -> verdict
+(** Roll the policy for one frame. Fault classes are mutually exclusive
+    on one draw; a delay (sleep, already performed) composes with
+    [Deliver]. *)
+
+val seen : t -> int
+(** Frames that crossed this injector. *)
+
+val injected : t -> int
+(** Frames that were faulted (including delays). *)

@@ -1,4 +1,4 @@
-(** A TCP deployment of Prio.
+(** A fault-tolerant TCP deployment of Prio.
 
     Everything else in [prio_proto] runs the s servers inside one process
     (with exact byte accounting); this module runs them as separate
@@ -9,17 +9,324 @@
     server-to-server connections.
 
     Protocol (all frames are 4-byte big-endian length + tag byte + body):
-    - client → any server:   [P] client_id ‖ sealed packet   (ack [K]/[R])
+    - client → any server:   [P] client_id ‖ sealed packet   (ack [K]/[R]/[E])
     - client → leader:       [V] client_id                    — verify now
     - leader → follower:     [o] client_id                    → [O] d‖e
     - leader → follower:     [d] client_id ‖ d ‖ e            → [S] σ‖ζ
     - leader → follower:     [a]/[r] client_id                — decision
     - collector → server:    [Q]                              → [A] accumulator
     - controller → server:   [X]                              — shutdown
+    - any server → peer:     [E] code ‖ detail                — refusal, with
+      a one-byte machine-readable code ({!error_code}) and human detail
 
-    The flow is synchronous: a client acks its packet at every follower
-    before asking the leader to verify, so a follower always holds the
-    share the leader is about to reference. *)
+    Fault tolerance (the paper's §2/§5 threat model — faulty or malicious
+    clients *and* servers — applied to the wire):
+    - every read/write carries a deadline ({!Retry.deadline}); nothing
+      blocks forever, and the serve loop wakes on a tick even when idle;
+    - frames are size-capped; a peer claiming an enormous frame gets an
+      [E]rror frame instead of an allocation;
+    - protocol deviations surface as {!protocol_error} values (never
+      [assert]/[Not_found] crashes) and are answered with [E] frames;
+    - client submissions retry with exponential backoff + jitter
+      ({!Retry.with_backoff}) and are idempotent: servers re-acknowledge
+      duplicate uploads/verifies with the original verdict
+      ({!Server.decision}) instead of re-processing them;
+    - a leader whose follower times out, crashes, or answers garbage
+      degrades gracefully: it aborts that one submission everywhere,
+      answers the client with [E Unavailable], and keeps serving;
+    - {!poll_servers} supervises the forked processes ([waitpid WNOHANG])
+      and {!restart_server} revives a dead one on its original port;
+    - the whole frame path accepts a deterministic fault injector
+      ({!Faults}) so chaos runs replay exactly from a seed.
+
+    See docs/PROTOCOL.md §8 for the failure matrix. *)
+
+(* --------------------------- protocol errors --------------------------- *)
+
+(** Machine-readable refusal codes carried by [E] frames. *)
+type error_code =
+  | Too_large  (** frame length exceeds the receiver's cap *)
+  | Malformed_frame  (** empty frame, short body, or unparseable payload *)
+  | Unknown_tag
+  | Unknown_client  (** no pending share / recorded verdict for this id *)
+  | Unavailable  (** server degraded (e.g. a follower is down) *)
+  | Rejected  (** submission definitively refused *)
+
+(** Everything that can go wrong on the wire, as a value — the structured
+    replacement for the seed implementation's [assert]s and [Not_found]s. *)
+type protocol_error =
+  | Timeout of string  (** deadline expired *)
+  | Closed of string  (** EOF / EPIPE / ECONNRESET / refused dial *)
+  | Frame_oversize of int  (** peer announced a frame above the cap *)
+  | Bad_frame of string  (** framing or payload violation *)
+  | Peer_error of error_code * string  (** peer answered with an [E] frame *)
+  | Io_error of string  (** any other socket-level error *)
+
+let string_of_error_code = function
+  | Too_large -> "too-large"
+  | Malformed_frame -> "malformed"
+  | Unknown_tag -> "unknown-tag"
+  | Unknown_client -> "unknown-client"
+  | Unavailable -> "unavailable"
+  | Rejected -> "rejected"
+
+let string_of_protocol_error = function
+  | Timeout what -> "timeout: " ^ what
+  | Closed what -> "closed: " ^ what
+  | Frame_oversize n -> Printf.sprintf "oversize frame (%d bytes)" n
+  | Bad_frame what -> "bad frame: " ^ what
+  | Peer_error (c, detail) ->
+    Printf.sprintf "peer error [%s] %s" (string_of_error_code c) detail
+  | Io_error what -> "io: " ^ what
+
+(** A peer closing mid-write must surface as [EPIPE] (a handleable
+    {!protocol_error}), not kill the process. Idempotent; called at every
+    entry point that touches a socket. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* ------------------------------- tuning -------------------------------- *)
+
+let default_max_frame_bytes = 16 * 1024 * 1024
+
+type tuning = {
+  max_frame_bytes : int;  (** reject frames announcing more than this *)
+  io_timeout : float;  (** per-frame read/write deadline, seconds *)
+  dial_timeout : float;  (** per-connection-establishment deadline *)
+  select_tick : float;  (** serve-loop wakeup when idle *)
+  backoff : Retry.backoff;  (** client-side RPC retry schedule *)
+}
+
+let default_tuning =
+  {
+    max_frame_bytes = default_max_frame_bytes;
+    io_timeout = 5.0;
+    dial_timeout = 2.0;
+    select_tick = 0.25;
+    backoff = Retry.default_backoff;
+  }
+
+(* ------------------------------- framing ------------------------------- *)
+
+let put_u32 v =
+  Bytes.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+
+let get_u32 b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let tagged tag body = Bytes.cat (Bytes.make 1 tag) body
+
+(* wait until [fd] is ready for reading/writing, bounded by [deadline];
+   false on expiry *)
+let rec wait_io ~read fd deadline =
+  let left = Retry.remaining deadline in
+  if left <= 0. then false
+  else
+    let t = if left = infinity then -1. else left in
+    match
+      Unix.select (if read then [ fd ] else []) (if read then [] else [ fd ]) [] t
+    with
+    | [], [], _ -> false
+    | _ -> true
+    | exception Unix.Unix_error (EINTR, _, _) -> wait_io ~read fd deadline
+
+let write_frame ?(deadline = Retry.no_deadline) fd (payload : Bytes.t) :
+    (unit, protocol_error) result =
+  let n = Bytes.length payload in
+  (* header + payload assembled once into a single buffer, one write path
+     (no extra [Bytes.cat] of a separate header) *)
+  let buf = Bytes.create (4 + n) in
+  Bytes.set buf 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set buf 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set buf 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set buf 3 (Char.chr (n land 0xff));
+  Bytes.blit payload 0 buf 4 n;
+  let rec send off len =
+    if len = 0 then Ok ()
+    else if not (wait_io ~read:false fd deadline) then
+      Error (Timeout "write_frame")
+    else
+      match Unix.write fd buf off len with
+      | w -> send (off + w) (len - w)
+      | exception Unix.Unix_error (EINTR, _, _) -> send off len
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+        Error (Closed "write_frame: peer closed")
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Io_error ("write_frame: " ^ Unix.error_message e))
+  in
+  send 0 (4 + n)
+
+let read_exactly fd n deadline : (Bytes.t, protocol_error) result =
+  let buf = Bytes.create n in
+  let rec go got =
+    if got = n then Ok buf
+    else if not (wait_io ~read:true fd deadline) then
+      Error (Timeout "read_frame")
+    else
+      match Unix.read fd buf got (n - got) with
+      | 0 -> Error (Closed "read_frame: eof")
+      | r -> go (got + r)
+      | exception Unix.Unix_error (EINTR, _, _) -> go got
+      | exception Unix.Unix_error (ECONNRESET, _, _) ->
+        Error (Closed "read_frame: reset")
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Io_error ("read_frame: " ^ Unix.error_message e))
+  in
+  go 0
+
+let read_frame ?(deadline = Retry.no_deadline)
+    ?(max_bytes = default_max_frame_bytes) fd :
+    (Bytes.t, protocol_error) result =
+  match read_exactly fd 4 deadline with
+  | Error _ as e -> e
+  | Ok hdr ->
+    let n = get_u32 hdr 0 in
+    if n > max_bytes then
+      (* refuse before allocating attacker-controlled memory *)
+      Error (Frame_oversize n)
+    else if n = 0 then Error (Bad_frame "empty (tag-less) frame")
+    else read_exactly fd n deadline
+
+(* ----------------------------- error frame ----------------------------- *)
+
+let error_code_byte = function
+  | Too_large -> 'L'
+  | Malformed_frame -> 'M'
+  | Unknown_tag -> 'T'
+  | Unknown_client -> 'C'
+  | Unavailable -> 'U'
+  | Rejected -> 'J'
+
+let error_code_of_byte = function
+  | 'L' -> Some Too_large
+  | 'M' -> Some Malformed_frame
+  | 'T' -> Some Unknown_tag
+  | 'C' -> Some Unknown_client
+  | 'U' -> Some Unavailable
+  | 'J' -> Some Rejected
+  | _ -> None
+
+let error_frame code detail =
+  let d = Bytes.of_string detail in
+  let b = Bytes.create (2 + Bytes.length d) in
+  Bytes.set b 0 'E';
+  Bytes.set b 1 (error_code_byte code);
+  Bytes.blit d 0 b 2 (Bytes.length d);
+  b
+
+(** Decode an [E] frame (first byte already known to be ['E']). *)
+let parse_error_frame frame =
+  if Bytes.length frame < 2 then None
+  else
+    match error_code_of_byte (Bytes.get frame 1) with
+    | None -> None
+    | Some c -> Some (c, Bytes.sub_string frame 2 (Bytes.length frame - 2))
+
+(* -------------------------- fault-aware I/O ---------------------------- *)
+
+(** Frame write through an optional fault injector. [Drop] pretends the
+    frame went out; [Crash] terminates the calling process (that is what
+    the policy means — use it only for server chaos). *)
+let send_frame ?faults ?deadline fd payload =
+  match faults with
+  | None -> write_frame ?deadline fd payload
+  | Some f -> (
+    match Faults.decide f payload with
+    | Faults.Deliver p -> write_frame ?deadline fd p
+    | Faults.Drop -> Ok ()
+    | Faults.Disconnect ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Closed "fault injection: disconnect")
+    | Faults.Crash -> exit 70)
+
+(** Frame read through an optional fault injector; a dropped reply
+    surfaces as the [Timeout] the caller would have seen for real. *)
+let recv_frame ?faults ?deadline ?max_bytes fd =
+  match read_frame ?deadline ?max_bytes fd with
+  | Error _ as e -> e
+  | Ok frame -> (
+    match faults with
+    | None -> Ok frame
+    | Some f -> (
+      match Faults.decide f frame with
+      | Faults.Deliver p when Bytes.length p = 0 ->
+        Error (Bad_frame "fault injection: truncated to empty")
+      | Faults.Deliver p -> Ok p
+      | Faults.Drop -> Error (Timeout "fault injection: reply dropped")
+      | Faults.Disconnect ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Closed "fault injection: disconnect")
+      | Faults.Crash -> exit 70))
+
+(* -------------------------------- dial --------------------------------- *)
+
+(** Connect to [addr] under a deadline, with a fresh socket per attempt
+    (a socket that failed [connect] must not be reused). With
+    [retry_refused] (default), ECONNREFUSED / ETIMEDOUT / EHOSTUNREACH /
+    ENETUNREACH are retried until the deadline — the launch-time case
+    where a server has bound but not yet forked far enough to accept;
+    without it they fail immediately so a caller with its own backoff
+    loop (the client RPC path) is not stuck spinning on a dead port. *)
+let dial ?(deadline = Retry.after 2.0) ?(retry_refused = true) addr :
+    (Unix.file_descr, protocol_error) result =
+  let rec attempt () =
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+    let ok () =
+      Unix.clear_nonblock fd;
+      (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+      Ok fd
+    in
+    let unreachable e =
+      close ();
+      if not retry_refused then
+        Error (Closed ("dial: " ^ Unix.error_message e))
+      else if Retry.expired deadline then
+        Error (Timeout ("dial: " ^ Unix.error_message e ^ " until deadline"))
+      else begin
+        Retry.sleep 0.02;
+        attempt ()
+      end
+    in
+    Unix.set_nonblock fd;
+    match Unix.connect fd addr with
+    | () -> ok ()
+    | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _)
+      -> (
+      if not (wait_io ~read:false fd deadline) then begin
+        close ();
+        Error (Timeout "dial")
+      end
+      else
+        match Unix.getsockopt_error fd with
+        | None -> ok ()
+        | Some
+            ((ECONNREFUSED | ETIMEDOUT | EHOSTUNREACH | ENETUNREACH
+             | ECONNRESET) as e) ->
+          unreachable e
+        | Some e ->
+          close ();
+          Error (Io_error ("dial: " ^ Unix.error_message e)))
+    | exception
+        Unix.Unix_error
+          ( (ECONNREFUSED | ETIMEDOUT | EHOSTUNREACH | ENETUNREACH) as e,
+            _,
+            _ ) ->
+      unreachable e
+    | exception Unix.Unix_error (EINTR, _, _) ->
+      close ();
+      if Retry.expired deadline then Error (Timeout "dial") else attempt ()
+    | exception Unix.Unix_error (e, _, _) ->
+      close ();
+      Error (Io_error ("dial: " ^ Unix.error_message e))
+  in
+  attempt ()
+
+(* ------------------------------ deployment ----------------------------- *)
 
 module Make (F : Prio_field.Field_intf.S) = struct
   module C = Prio_circuit.Circuit.Make (F)
@@ -29,55 +336,6 @@ module Make (F : Prio_field.Field_intf.S) = struct
   module Server = Server.Make (F)
   module Client = Client.Make (F)
   module Rng = Prio_crypto.Rng
-
-  (* ------------------------------ framing --------------------------- *)
-
-  let write_frame fd (payload : Bytes.t) =
-    let n = Bytes.length payload in
-    let hdr = Bytes.create 4 in
-    Bytes.set hdr 0 (Char.chr ((n lsr 24) land 0xff));
-    Bytes.set hdr 1 (Char.chr ((n lsr 16) land 0xff));
-    Bytes.set hdr 2 (Char.chr ((n lsr 8) land 0xff));
-    Bytes.set hdr 3 (Char.chr (n land 0xff));
-    let buf = Bytes.cat hdr payload in
-    let total = Bytes.length buf in
-    let sent = ref 0 in
-    while !sent < total do
-      sent := !sent + Unix.write fd buf !sent (total - !sent)
-    done
-
-  let read_exactly fd n =
-    let buf = Bytes.create n in
-    let got = ref 0 in
-    while !got < n do
-      let r = Unix.read fd buf !got (n - !got) in
-      if r = 0 then raise End_of_file;
-      got := !got + r
-    done;
-    buf
-
-  let read_frame fd =
-    let hdr = read_exactly fd 4 in
-    let n =
-      (Char.code (Bytes.get hdr 0) lsl 24)
-      lor (Char.code (Bytes.get hdr 1) lsl 16)
-      lor (Char.code (Bytes.get hdr 2) lsl 8)
-      lor Char.code (Bytes.get hdr 3)
-    in
-    read_exactly fd n
-
-  let put_u32 v =
-    Bytes.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
-
-  let get_u32 b off =
-    (Char.code (Bytes.get b off) lsl 24)
-    lor (Char.code (Bytes.get b (off + 1)) lsl 16)
-    lor (Char.code (Bytes.get b (off + 2)) lsl 8)
-    lor Char.code (Bytes.get b (off + 3))
-
-  let tagged tag body = Bytes.cat (Bytes.make 1 tag) body
-
-  (* ------------------------------ server ---------------------------- *)
 
   type config = {
     circuit : C.t;
@@ -97,9 +355,13 @@ module Make (F : Prio_field.Field_intf.S) = struct
 
   (** Run one server's event loop until an [X] frame arrives. [listen_fd]
       must already be bound and listening (so the caller knows the port).
-      The leader (id 0) additionally dials the followers. *)
-  let serve cfg ~id ~(listen_fd : Unix.file_descr)
+      The leader (id 0) additionally dials the followers — lazily
+      redialing ones that died and came back. [faults], if given, sits on
+      this server's frame-receive path (and may [Crash] the process). *)
+  let serve ?(tuning = default_tuning) ?faults cfg ~id
+      ~(listen_fd : Unix.file_descr)
       ~(follower_addrs : Unix.sockaddr array) =
+    ignore_sigpipe ();
     let payload_elements =
       C.num_inputs cfg.circuit + Snip.proof_num_elements cfg.circuit
     in
@@ -113,146 +375,370 @@ module Make (F : Prio_field.Field_intf.S) = struct
         ~circuit:cfg.circuit ~num_servers:cfg.num_servers
     in
     let pending : (int, pending) Hashtbl.t = Hashtbl.create 64 in
-    (* leader: persistent connections to followers *)
-    let follower_fds =
-      if id <> 0 then [||]
-      else
-        Array.map
-          (fun addr ->
-            let fd = Unix.socket PF_INET SOCK_STREAM 0 in
-            Unix.setsockopt fd TCP_NODELAY true;
-            Unix.connect fd addr;
-            fd)
-          follower_addrs
+    let nf = if id = 0 then Array.length follower_addrs else 0 in
+    (* leader: persistent connections to followers, redialed on demand *)
+    let follower_fds : Unix.file_descr option array = Array.make nf None in
+    let connect_follower j =
+      match follower_fds.(j) with
+      | Some fd -> Ok fd
+      | None -> (
+        match
+          dial ~deadline:(Retry.after tuning.dial_timeout) follower_addrs.(j)
+        with
+        | Ok fd ->
+          follower_fds.(j) <- Some fd;
+          Ok fd
+        | Error _ as e -> e)
     in
-    let elt_pair b off = (F.of_bytes (Bytes.sub b off F.bytes_len),
-                          F.of_bytes (Bytes.sub b (off + F.bytes_len) F.bytes_len)) in
+    let drop_follower j =
+      match follower_fds.(j) with
+      | Some fd ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        follower_fds.(j) <- None
+      | None -> ()
+    in
+    if id = 0 then
+      for j = 0 to nf - 1 do
+        ignore (connect_follower j)
+      done;
+    let reply fd payload =
+      match
+        write_frame ~deadline:(Retry.after tuning.io_timeout) fd payload
+      with
+      | Ok () | Error _ -> ()
+      (* a client that vanished mid-reply is cleaned up on its next read *)
+    in
+    let reply_error fd code detail = reply fd (error_frame code detail) in
+    (* A failure on a *cached* link may just mean the peer restarted since
+       we last spoke (stale persistent connection): drop it and retry once
+       over a fresh dial. A failure on a connection we just established is
+       authoritative — the follower really is down. *)
+    let ask_follower j payload =
+      let attempt () =
+        match connect_follower j with
+        | Error _ as e -> e
+        | Ok fd -> (
+          let deadline = Retry.after tuning.io_timeout in
+          match write_frame ~deadline fd payload with
+          | Error e ->
+            drop_follower j;
+            Error e
+          | Ok () -> (
+            match
+              read_frame ~deadline ~max_bytes:tuning.max_frame_bytes fd
+            with
+            | Error e ->
+              drop_follower j;
+              Error e
+            | Ok r -> Ok r))
+      in
+      let was_cached = follower_fds.(j) <> None in
+      match attempt () with
+      | Ok _ as r -> r
+      | Error _ when was_cached -> attempt ()
+      | Error _ as e -> e
+    in
+    let tell_follower j payload =
+      let attempt () =
+        match connect_follower j with
+        | Error _ -> false
+        | Ok fd -> (
+          match
+            write_frame ~deadline:(Retry.after tuning.io_timeout) fd payload
+          with
+          | Ok () -> true
+          | Error _ ->
+            drop_follower j;
+            false)
+      in
+      let was_cached = follower_fds.(j) <> None in
+      if (not (attempt ())) && was_cached then ignore (attempt ())
+    in
     let pair_bytes a b = Bytes.cat (F.to_bytes a) (F.to_bytes b) in
+    (* leader: drive the two SNIP gossip rounds for one pending client.
+       Any follower failure aborts just this submission (an [r] broadcast
+       to the healthy followers) and reports which follower, so the
+       leader can degrade instead of dying. *)
+    let verify client_id (p : pending) =
+      let exception Degraded of int * protocol_error in
+      try
+        let sub = Snip.submission_of_vector cfg.circuit p.share in
+        let my_state, my_opening = Snip.server_prepare ctx sub in
+        let expect_pair j tag = function
+          | Error err -> raise (Degraded (j, err))
+          | Ok r -> (
+            if Bytes.length r = 0 then begin
+              drop_follower j;
+              raise (Degraded (j, Bad_frame "empty gossip reply"))
+            end
+            else if Bytes.get r 0 <> tag then begin
+              drop_follower j;
+              raise
+                (Degraded
+                   ( j,
+                     Bad_frame
+                       (Printf.sprintf "unexpected gossip reply %C"
+                          (Bytes.get r 0)) ))
+            end
+            else
+              match W.field_pair_opt r ~off:1 with
+              | Some pair -> pair
+              | None ->
+                drop_follower j;
+                raise (Degraded (j, Bad_frame "bad gossip payload")))
+        in
+        (* round 1: collect openings *)
+        let d = ref my_opening.Snip.d and e = ref my_opening.Snip.e in
+        for j = 0 to nf - 1 do
+          let dd, ee =
+            expect_pair j 'O' (ask_follower j (tagged 'o' (put_u32 client_id)))
+          in
+          d := F.add !d dd;
+          e := F.add !e ee
+        done;
+        (* round 2: broadcast sums, collect verdicts *)
+        let my_verdict = Snip.server_decide_share ctx my_state ~d:!d ~e:!e in
+        let sigma = ref my_verdict.Snip.sigma
+        and zero = ref my_verdict.Snip.zero in
+        for j = 0 to nf - 1 do
+          let s, z =
+            expect_pair j 'S'
+              (ask_follower j
+                 (tagged 'd' (Bytes.cat (put_u32 client_id) (pair_bytes !d !e))))
+          in
+          sigma := F.add !sigma s;
+          zero := F.add !zero z
+        done;
+        let accepted = F.is_zero !sigma && F.is_zero !zero in
+        let tag = if accepted then 'a' else 'r' in
+        for j = 0 to nf - 1 do
+          tell_follower j (tagged tag (put_u32 client_id))
+        done;
+        if accepted then Server.accumulate state p.share;
+        Ok accepted
+      with Degraded (j, err) ->
+        for k = 0 to nf - 1 do
+          if k <> j then tell_follower k (tagged 'r' (put_u32 client_id))
+        done;
+        Error (j, err)
+    in
     let handle_frame fd frame =
+      (* [`Keep] the connection or [`Close] it (stream desynced / hostile) *)
+      let need len k =
+        if Bytes.length frame < len then begin
+          reply_error fd Malformed_frame "short frame";
+          `Close
+        end
+        else k ()
+      in
       match Bytes.get frame 0 with
       | 'P' ->
-        let client_id = get_u32 frame 1 in
-        let sealed = Bytes.sub frame 5 (Bytes.length frame - 5) in
-        (match Server.receive state ~client_id sealed with
-        | None -> write_frame fd (tagged 'R' Bytes.empty)
-        | Some (_, share) ->
-          Hashtbl.replace pending client_id { share; state = None };
-          write_frame fd (tagged 'K' Bytes.empty))
+        need 5 (fun () ->
+            let client_id = get_u32 frame 1 in
+            let sealed = Bytes.sub frame 5 (Bytes.length frame - 5) in
+            (match Server.decision state ~client_id with
+            | Some accepted ->
+              (* duplicate of a finished submission: idempotent re-ack *)
+              reply fd (tagged (if accepted then 'K' else 'R') Bytes.empty)
+            | None ->
+              if Hashtbl.mem pending client_id then
+                (* duplicate of an in-flight upload (lost ack): re-ack
+                   rather than replay-reject and corrupt the retry *)
+                reply fd (tagged 'K' Bytes.empty)
+              else (
+                match Server.receive state ~client_id sealed with
+                | None -> reply fd (tagged 'R' Bytes.empty)
+                | Some (_, share) ->
+                  Hashtbl.replace pending client_id { share; state = None };
+                  reply fd (tagged 'K' Bytes.empty)));
+            `Keep)
       | 'V' ->
-        (* leader only: drive verification of client_id *)
-        let client_id = get_u32 frame 1 in
-        let ok =
-          match Hashtbl.find_opt pending client_id with
-          | None -> false
-          | Some p ->
-            let sub = Snip.submission_of_vector cfg.circuit p.share in
-            let my_state, my_opening = Snip.server_prepare ctx sub in
-            (* round 1: collect openings *)
-            let d = ref my_opening.Snip.d and e = ref my_opening.Snip.e in
-            Array.iter
-              (fun ffd ->
-                write_frame ffd (tagged 'o' (put_u32 client_id));
-                let reply = read_frame ffd in
-                assert (Bytes.get reply 0 = 'O');
-                let dd, ee = elt_pair reply 1 in
-                d := F.add !d dd;
-                e := F.add !e ee)
-              follower_fds;
-            (* round 2: broadcast sums, collect verdicts *)
-            let my_verdict = Snip.server_decide_share ctx my_state ~d:!d ~e:!e in
-            let sigma = ref my_verdict.Snip.sigma
-            and zero = ref my_verdict.Snip.zero in
-            Array.iter
-              (fun ffd ->
-                write_frame ffd
-                  (tagged 'd' (Bytes.cat (put_u32 client_id) (pair_bytes !d !e)));
-                let reply = read_frame ffd in
-                assert (Bytes.get reply 0 = 'S');
-                let s, z = elt_pair reply 1 in
-                sigma := F.add !sigma s;
-                zero := F.add !zero z)
-              follower_fds;
-            let accepted = F.is_zero !sigma && F.is_zero !zero in
-            let tag = if accepted then 'a' else 'r' in
-            Array.iter
-              (fun ffd -> write_frame ffd (tagged tag (put_u32 client_id)))
-              follower_fds;
-            if accepted then Server.accumulate state p.share;
-            Hashtbl.remove pending client_id;
-            accepted
-        in
-        write_frame fd (tagged (if ok then 'K' else 'R') Bytes.empty)
+        need 5 (fun () ->
+            let client_id = get_u32 frame 1 in
+            (if id <> 0 then reply_error fd Unavailable "not the leader"
+             else
+               match Server.decision state ~client_id with
+               | Some accepted ->
+                 reply fd (tagged (if accepted then 'K' else 'R') Bytes.empty)
+               | None -> (
+                 match Hashtbl.find_opt pending client_id with
+                 | None ->
+                   reply_error fd Unknown_client (string_of_int client_id)
+                 | Some p -> (
+                   match verify client_id p with
+                   | Ok accepted ->
+                     Hashtbl.remove pending client_id;
+                     Server.record_decision state ~client_id accepted;
+                     reply fd
+                       (tagged (if accepted then 'K' else 'R') Bytes.empty)
+                   | Error (j, err) ->
+                     (* graceful degradation: this submission is cleanly
+                        rejected, the leader keeps serving *)
+                     Hashtbl.remove pending client_id;
+                     Server.record_decision state ~client_id false;
+                     reply_error fd Unavailable
+                       (Printf.sprintf "follower %d: %s" (j + 1)
+                          (string_of_protocol_error err)))));
+            `Keep)
       | 'o' ->
-        (* follower: local prepare, reply with opening *)
-        let client_id = get_u32 frame 1 in
-        let p = Hashtbl.find pending client_id in
-        let sub = Snip.submission_of_vector cfg.circuit p.share in
-        let st, opening = Snip.server_prepare ctx sub in
-        p.state <- Some st;
-        write_frame fd (tagged 'O' (pair_bytes opening.Snip.d opening.Snip.e))
+        need 5 (fun () ->
+            let client_id = get_u32 frame 1 in
+            (match Hashtbl.find_opt pending client_id with
+            | None -> reply_error fd Unknown_client (string_of_int client_id)
+            | Some p ->
+              let sub = Snip.submission_of_vector cfg.circuit p.share in
+              let st, opening = Snip.server_prepare ctx sub in
+              p.state <- Some st;
+              reply fd (tagged 'O' (pair_bytes opening.Snip.d opening.Snip.e)));
+            `Keep)
       | 'd' ->
-        let client_id = get_u32 frame 1 in
-        let d, e = elt_pair frame 5 in
-        let p = Hashtbl.find pending client_id in
-        let v = Snip.server_decide_share ctx (Option.get p.state) ~d ~e in
-        write_frame fd (tagged 'S' (pair_bytes v.Snip.sigma v.Snip.zero))
+        need 5 (fun () ->
+            let client_id = get_u32 frame 1 in
+            (match W.field_pair_opt frame ~off:5 with
+            | None -> reply_error fd Malformed_frame "bad (d,e) payload"
+            | Some (d, e) -> (
+              match Hashtbl.find_opt pending client_id with
+              | None ->
+                reply_error fd Unknown_client (string_of_int client_id)
+              | Some { state = None; _ } ->
+                reply_error fd Malformed_frame "decide before opening"
+              | Some { state = Some st; _ } ->
+                let v = Snip.server_decide_share ctx st ~d ~e in
+                reply fd (tagged 'S' (pair_bytes v.Snip.sigma v.Snip.zero))));
+            `Keep)
       | 'a' ->
-        let client_id = get_u32 frame 1 in
-        let p = Hashtbl.find pending client_id in
-        Server.accumulate state p.share;
-        Hashtbl.remove pending client_id
+        need 5 (fun () ->
+            let client_id = get_u32 frame 1 in
+            (match Hashtbl.find_opt pending client_id with
+            | Some p ->
+              Server.accumulate state p.share;
+              Hashtbl.remove pending client_id;
+              Server.record_decision state ~client_id true
+            | None -> ());
+            `Keep)
       | 'r' ->
-        let client_id = get_u32 frame 1 in
-        Hashtbl.remove pending client_id
+        need 5 (fun () ->
+            let client_id = get_u32 frame 1 in
+            Hashtbl.remove pending client_id;
+            Server.record_decision state ~client_id false;
+            `Keep)
       | 'Q' ->
-        write_frame fd (tagged 'A' (W.vector_to_bytes (Server.publish state)))
+        reply fd (tagged 'A' (W.vector_to_bytes (Server.publish state)));
+        `Keep
       | 'X' -> raise Exit
-      | c -> invalid_arg (Printf.sprintf "Net.serve: unknown tag %C" c)
+      | c ->
+        reply_error fd Unknown_tag (Printf.sprintf "%C" c);
+        `Close
     in
-    (* select loop over the listener and all live connections *)
+    (* select loop over the listener and all live connections; finite
+       tick so the loop never wedges on a dead peer *)
     let conns = ref [] in
+    let close_conn fd =
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      conns := List.filter (fun c -> c <> fd) !conns
+    in
     (try
        while true do
-         let readable, _, _ = Unix.select (listen_fd :: !conns) [] [] (-1.) in
-         List.iter
-           (fun fd ->
-             if fd = listen_fd then begin
-               let conn, _ = Unix.accept listen_fd in
-               Unix.setsockopt conn TCP_NODELAY true;
-               conns := conn :: !conns
-             end
-             else
-               match read_frame fd with
-               | frame -> handle_frame fd frame
-               | exception End_of_file ->
-                 Unix.close fd;
-                 conns := List.filter (fun c -> c <> fd) !conns)
-           readable
+         match
+           Unix.select (listen_fd :: !conns) [] [] tuning.select_tick
+         with
+         | exception Unix.Unix_error (EINTR, _, _) -> ()
+         | readable, _, _ ->
+           List.iter
+             (fun fd ->
+               if fd = listen_fd then (
+                 match Unix.accept listen_fd with
+                 | conn, _ ->
+                   (try Unix.setsockopt conn TCP_NODELAY true
+                    with Unix.Unix_error _ -> ());
+                   conns := conn :: !conns
+                 | exception Unix.Unix_error _ -> ())
+               else
+                 let deadline = Retry.after tuning.io_timeout in
+                 match
+                   read_frame ~deadline ~max_bytes:tuning.max_frame_bytes fd
+                 with
+                 | Error (Frame_oversize n) ->
+                   reply_error fd Too_large (string_of_int n);
+                   close_conn fd
+                 | Error (Bad_frame why) ->
+                   reply_error fd Malformed_frame why;
+                   close_conn fd
+                 | Error _ ->
+                   (* EOF (normal disconnect), timeout, reset *)
+                   close_conn fd
+                 | Ok frame -> (
+                   let verdict =
+                     match faults with
+                     | None -> Faults.Deliver frame
+                     | Some f -> Faults.decide f frame
+                   in
+                   match verdict with
+                   | Faults.Crash -> exit 70
+                   | Faults.Drop -> ()
+                   | Faults.Disconnect -> close_conn fd
+                   | Faults.Deliver frame -> (
+                     if Bytes.length frame = 0 then begin
+                       reply_error fd Malformed_frame "empty frame";
+                       close_conn fd
+                     end
+                     else
+                       match handle_frame fd frame with
+                       | `Keep -> ()
+                       | `Close -> close_conn fd)))
+             readable
        done
      with Exit -> ());
     List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !conns;
-    Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) follower_fds;
-    Unix.close listen_fd
+    Array.iter
+      (function
+        | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+        | None -> ())
+      follower_fds;
+    try Unix.close listen_fd with Unix.Unix_error _ -> ()
 
   (* --------------------------- deployment --------------------------- *)
 
   type deployment = {
     cfg : config;
+    tuning : tuning;
     addrs : Unix.sockaddr array;  (** server 0 is the leader *)
-    pids : int array;
+    pids : int array;  (** current pid per server (restarts update it) *)
+    statuses : Unix.process_status option array;
+        (** [Some] once the process has been reaped *)
+    faults_for : int -> Faults.t option;
   }
 
   let localhost port = Unix.ADDR_INET (Unix.inet_addr_loopback, port)
 
-  (** Fork one OS process per server on loopback sockets. *)
-  let launch cfg : deployment =
+  let bind_listener addr =
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Unix.setsockopt fd SO_REUSEADDR true;
+    Unix.bind fd addr;
+    Unix.listen fd 32;
+    fd
+
+  let fork_server ~tuning ~faults_for cfg ~id ~listen_fd ~follower_addrs =
+    (* don't let the child inherit (and later re-flush) buffered output *)
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      (try
+         serve ~tuning ?faults:(faults_for id) cfg ~id ~listen_fd
+           ~follower_addrs
+       with e -> prerr_endline ("prio net server: " ^ Printexc.to_string e));
+      exit 0
+    | pid -> pid
+
+  (** Fork one OS process per server on loopback sockets. [faults_for]
+      installs a (seeded, deterministic) fault injector on chosen
+      servers' receive paths — the chaos-testing hook. *)
+  let launch ?(tuning = default_tuning) ?(faults_for = fun _ -> None) cfg :
+      deployment =
+    ignore_sigpipe ();
     let listeners =
-      Array.init cfg.num_servers (fun _ ->
-          let fd = Unix.socket PF_INET SOCK_STREAM 0 in
-          Unix.setsockopt fd SO_REUSEADDR true;
-          Unix.bind fd (localhost 0);
-          Unix.listen fd 32;
-          fd)
+      Array.init cfg.num_servers (fun _ -> bind_listener (localhost 0))
     in
     let addrs =
       Array.map
@@ -263,7 +749,6 @@ module Make (F : Prio_field.Field_intf.S) = struct
         listeners
     in
     let follower_addrs = Array.sub addrs 1 (cfg.num_servers - 1) in
-    (* don't let children inherit (and later re-flush) buffered output *)
     flush stdout;
     flush stderr;
     let pids =
@@ -272,83 +757,247 @@ module Make (F : Prio_field.Field_intf.S) = struct
           | 0 ->
             (* child: close the other servers' listeners, then serve *)
             Array.iteri (fun j fd -> if j <> id then Unix.close fd) listeners;
-            (try serve cfg ~id ~listen_fd:listeners.(id) ~follower_addrs
+            (try
+               serve ~tuning ?faults:(faults_for id) cfg ~id
+                 ~listen_fd:listeners.(id) ~follower_addrs
              with e ->
                prerr_endline ("prio net server: " ^ Printexc.to_string e));
             exit 0
           | pid -> pid)
     in
     Array.iter Unix.close listeners;
-    { cfg; addrs; pids }
+    {
+      cfg;
+      tuning;
+      addrs;
+      pids;
+      statuses = Array.make cfg.num_servers None;
+      faults_for;
+    }
 
-  let dial addr =
-    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
-    Unix.setsockopt fd TCP_NODELAY true;
-    let rec attempt tries =
-      match Unix.connect fd addr with
-      | () -> ()
-      | exception Unix.Unix_error (ECONNREFUSED, _, _) when tries > 0 ->
-        Unix.sleepf 0.02;
-        attempt (tries - 1)
+  (* --------------------------- supervision -------------------------- *)
+
+  type server_status = Running | Exited of Unix.process_status
+
+  (** Non-blocking health check of every server process ([waitpid
+      WNOHANG]); reaps and records the status of any that died. *)
+  let poll_servers d : server_status array =
+    Array.mapi
+      (fun i pid ->
+        match d.statuses.(i) with
+        | Some st -> Exited st
+        | None -> (
+          match Unix.waitpid [ WNOHANG ] pid with
+          | 0, _ -> Running
+          | _, st ->
+            d.statuses.(i) <- Some st;
+            Exited st
+          | exception Unix.Unix_error (ECHILD, _, _) ->
+            (* someone else reaped it; treat as gone *)
+            let st = Unix.WEXITED 0 in
+            d.statuses.(i) <- Some st;
+            Exited st))
+      d.pids
+
+  (** Revive a dead server on its original port. The new process starts
+      with fresh (empty) per-batch state: already-verified submissions
+      whose shares lived only on the dead server are lost, which is the
+      price of a crash — the point is that *new* traffic flows again. *)
+  let restart_server d i =
+    (match (poll_servers d).(i) with
+    | Running -> invalid_arg "Net.restart_server: server still running"
+    | Exited _ -> ());
+    let listen_fd = bind_listener d.addrs.(i) in
+    let follower_addrs = Array.sub d.addrs 1 (d.cfg.num_servers - 1) in
+    let pid =
+      fork_server ~tuning:d.tuning ~faults_for:d.faults_for d.cfg ~id:i
+        ~listen_fd ~follower_addrs
     in
-    attempt 100;
-    fd
+    Unix.close listen_fd;
+    d.pids.(i) <- pid;
+    d.statuses.(i) <- None
 
-  (** Upload one client's submission over TCP and drive its verification;
-      returns true iff the cluster accepted it. *)
-  let submit d ~rng ~client_id (encoding : F.t array) : bool =
+  (* ----------------------------- clients ---------------------------- *)
+
+  (** What happened to a submission, beyond a bare boolean. *)
+  type outcome =
+    | Accepted
+    | Rejected of string  (** the cluster answered definitively *)
+    | Unreachable of protocol_error  (** retries exhausted *)
+
+  let classify_ack reply =
+    if Bytes.length reply = 0 then `Retry (Bad_frame "empty reply")
+    else
+      match Bytes.get reply 0 with
+      | 'K' -> `Done `Ack
+      | 'R' -> `Done (`Nack "cluster rejected submission")
+      | 'E' -> (
+        match parse_error_frame reply with
+        | None -> `Retry (Bad_frame "garbled error frame")
+        | Some ((Too_large | Malformed_frame | Unknown_tag) as c, detail) ->
+          (* our frame was damaged in flight; resending is idempotent *)
+          `Retry (Peer_error (c, detail))
+        | Some ((Unknown_client | Unavailable | Rejected) as c, detail) ->
+          `Done (`Nack (string_of_error_code c ^ ": " ^ detail)))
+      | _ -> `Retry (Bad_frame "unparseable reply")
+
+  (** One request/reply exchange with backoff: fresh connection per
+      attempt (a dead port fails fast and is retried on the backoff
+      schedule, not spun on). *)
+  let rpc ?faults ~tuning ~rng addr payload =
+    Retry.with_backoff ~rng tuning.backoff (fun ~attempt:_ ->
+        match
+          dial ~retry_refused:false
+            ~deadline:(Retry.after tuning.dial_timeout)
+            addr
+        with
+        | Error e -> `Retry e
+        | Ok fd ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let deadline = Retry.after tuning.io_timeout in
+              match send_frame ?faults ~deadline fd payload with
+              | Error e -> `Retry e
+              | Ok () -> (
+                match
+                  recv_frame ?faults ~deadline
+                    ~max_bytes:tuning.max_frame_bytes fd
+                with
+                | Error e -> `Retry e
+                | Ok reply -> classify_ack reply)))
+
+  (** Upload one client's submission over TCP and drive its verification,
+      with per-frame deadlines and idempotent retry under [faults]. *)
+  let submit_outcome ?faults d ~rng ~client_id (encoding : F.t array) :
+      outcome =
+    ignore_sigpipe ();
+    let tuning = d.tuning in
     let pk =
       Client.submit ~rng
         ~mode:(Client.Robust_snip d.cfg.circuit)
-        ~num_servers:d.cfg.num_servers ~client_id ~master:d.cfg.master encoding
+        ~num_servers:d.cfg.num_servers ~client_id ~master:d.cfg.master
+        encoding
     in
-    let fds = Array.map dial d.addrs in
-    let ack = ref true in
     (* followers first, so their shares are in place; leader last *)
-    let order =
-      List.init (d.cfg.num_servers - 1) (fun i -> i + 1) @ [ 0 ]
+    let order = List.init (d.cfg.num_servers - 1) (fun i -> i + 1) @ [ 0 ] in
+    let upload i =
+      rpc ?faults ~tuning ~rng d.addrs.(i)
+        (tagged 'P' (Bytes.cat (put_u32 client_id) pk.Client.sealed.(i)))
     in
-    List.iter
-      (fun i ->
-        write_frame fds.(i)
-          (tagged 'P' (Bytes.cat (put_u32 client_id) pk.Client.sealed.(i)));
-        let reply = read_frame fds.(i) in
-        if Bytes.get reply 0 <> 'K' then ack := false)
-      order;
-    let accepted =
-      !ack
-      && begin
-           write_frame fds.(0) (tagged 'V' (put_u32 client_id));
-           Bytes.get (read_frame fds.(0)) 0 = 'K'
-         end
+    let rec push = function
+      | [] -> None
+      | i :: rest -> (
+        match upload i with
+        | Ok `Ack -> push rest
+        | Ok (`Nack why) -> Some (Rejected why)
+        | Error e -> Some (Unreachable e))
     in
-    Array.iter Unix.close fds;
-    accepted
+    match push order with
+    | Some early -> early
+    | None -> (
+      match rpc ?faults ~tuning ~rng d.addrs.(0) (tagged 'V' (put_u32 client_id)) with
+      | Ok `Ack -> Accepted
+      | Ok (`Nack why) -> Rejected why
+      | Error e -> Unreachable e)
 
-  (** Fetch and sum all accumulators. *)
+  let submit ?faults d ~rng ~client_id (encoding : F.t array) : bool =
+    match submit_outcome ?faults d ~rng ~client_id encoding with
+    | Accepted -> true
+    | Rejected _ | Unreachable _ -> false
+
+  (** Fetch and sum all accumulators.
+      @raise Failure naming the server and error if any is unreachable. *)
   let collect_aggregate d : F.t array =
+    ignore_sigpipe ();
+    let tuning = d.tuning in
     let acc = Array.make d.cfg.trunc_len F.zero in
-    Array.iter
-      (fun addr ->
-        let fd = dial addr in
-        write_frame fd (tagged 'Q' Bytes.empty);
-        let reply = read_frame fd in
-        assert (Bytes.get reply 0 = 'A');
-        let v = W.vector_of_bytes (Bytes.sub reply 1 (Bytes.length reply - 1)) in
-        Array.iteri (fun j x -> acc.(j) <- F.add acc.(j) x) v;
-        Unix.close fd)
+    Array.iteri
+      (fun i addr ->
+        let fail e =
+          failwith
+            (Printf.sprintf "Net.collect_aggregate: server %d: %s" i
+               (string_of_protocol_error e))
+        in
+        match dial ~deadline:(Retry.after tuning.dial_timeout) addr with
+        | Error e -> fail e
+        | Ok fd ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let deadline = Retry.after tuning.io_timeout in
+              match write_frame ~deadline fd (tagged 'Q' Bytes.empty) with
+              | Error e -> fail e
+              | Ok () -> (
+                match
+                  read_frame ~deadline ~max_bytes:tuning.max_frame_bytes fd
+                with
+                | Error e -> fail e
+                | Ok reply ->
+                  if Bytes.length reply < 1 || Bytes.get reply 0 <> 'A' then
+                    fail (Bad_frame "expected accumulator reply")
+                  else (
+                    match
+                      W.vector_of_bytes_opt
+                        (Bytes.sub reply 1 (Bytes.length reply - 1))
+                    with
+                    | Some v when Array.length v = d.cfg.trunc_len ->
+                      Array.iteri
+                        (fun j x -> acc.(j) <- F.add acc.(j) x)
+                        v
+                    | Some _ | None ->
+                      fail (Bad_frame "bad accumulator payload")))))
       d.addrs;
     acc
 
-  (** Stop all server processes and reap them. *)
+  (** Stop all server processes and reap them: polite [X] frames first,
+      then a grace period, then SIGKILL for anything still alive — so
+      shutdown terminates even when a server is wedged or long dead. *)
   let shutdown d =
-    Array.iter
-      (fun addr ->
-        try
-          let fd = dial addr in
-          write_frame fd (tagged 'X' Bytes.empty);
-          Unix.close fd
-        with Unix.Unix_error _ -> ())
+    ignore_sigpipe ();
+    let tuning = d.tuning in
+    Array.iteri
+      (fun i addr ->
+        if d.statuses.(i) = None then
+          match
+            dial ~retry_refused:false
+              ~deadline:(Retry.after (Float.min 0.5 tuning.dial_timeout))
+              addr
+          with
+          | Error _ -> ()
+          | Ok fd ->
+            ignore
+              (write_frame
+                 ~deadline:(Retry.after tuning.io_timeout)
+                 fd (tagged 'X' Bytes.empty));
+            ( try Unix.close fd with Unix.Unix_error _ -> ()))
       d.addrs;
-    Array.iter (fun pid -> ignore (Unix.waitpid [] pid)) d.pids
+    let grace = Retry.after 5.0 in
+    let rec reap () =
+      ignore (poll_servers d);
+      if Array.exists (fun s -> s = None) d.statuses then
+        if Retry.expired grace then begin
+          Array.iteri
+            (fun i s ->
+              if s = None then
+                try Unix.kill d.pids.(i) Sys.sigkill
+                with Unix.Unix_error _ -> ())
+            d.statuses;
+          Array.iteri
+            (fun i s ->
+              if s = None then
+                match Unix.waitpid [] d.pids.(i) with
+                | _, st -> d.statuses.(i) <- Some st
+                | exception Unix.Unix_error (ECHILD, _, _) ->
+                  d.statuses.(i) <- Some (Unix.WEXITED 0))
+            d.statuses
+        end
+        else begin
+          Retry.sleep 0.01;
+          reap ()
+        end
+    in
+    reap ()
 end

@@ -1,9 +1,105 @@
-(** A TCP deployment of Prio: one OS process per server speaking
-    length-prefixed frames over real sockets, clients uploading one
-    sealed packet per server, and the leader driving the two SNIP gossip
-    rounds over persistent server-to-server connections — the shape of
-    the paper's five-data-center cluster. See the implementation header
-    for the frame grammar. *)
+(** A fault-tolerant TCP deployment of Prio: one OS process per server
+    speaking length-prefixed frames over real sockets, clients uploading
+    one sealed packet per server, and the leader driving the two SNIP
+    gossip rounds over persistent server-to-server connections — the
+    shape of the paper's five-data-center cluster.
+
+    Every socket operation is deadline-bounded, frames are size-capped,
+    protocol deviations surface as {!protocol_error} values answered
+    with [E] frames, clients retry with backoff against idempotent
+    servers, a leader degrades gracefully when a follower dies, and the
+    forked processes are supervised ({!Make.poll_servers} /
+    {!Make.restart_server}). The whole frame path accepts a
+    deterministic {!Faults} injector for reproducible chaos runs. See
+    the implementation header for the frame grammar and
+    docs/PROTOCOL.md §8 for the failure matrix. *)
+
+(** Machine-readable refusal codes carried by [E] frames. *)
+type error_code =
+  | Too_large  (** frame length exceeds the receiver's cap *)
+  | Malformed_frame  (** empty frame, short body, or unparseable payload *)
+  | Unknown_tag
+  | Unknown_client  (** no pending share / recorded verdict for this id *)
+  | Unavailable  (** server degraded (e.g. a follower is down) *)
+  | Rejected  (** submission definitively refused *)
+
+(** Everything that can go wrong on the wire, as a value. *)
+type protocol_error =
+  | Timeout of string  (** deadline expired *)
+  | Closed of string  (** EOF / EPIPE / ECONNRESET / refused dial *)
+  | Frame_oversize of int  (** peer announced a frame above the cap *)
+  | Bad_frame of string  (** framing or payload violation *)
+  | Peer_error of error_code * string  (** peer answered with an [E] frame *)
+  | Io_error of string  (** any other socket-level error *)
+
+val string_of_error_code : error_code -> string
+val string_of_protocol_error : protocol_error -> string
+
+val ignore_sigpipe : unit -> unit
+(** Make a peer closing mid-write surface as [EPIPE] instead of killing
+    the process. Idempotent; called by every entry point. *)
+
+val default_max_frame_bytes : int
+(** 16 MiB. *)
+
+(** Deployment-wide knobs; tests shrink the timeouts. *)
+type tuning = {
+  max_frame_bytes : int;  (** reject frames announcing more than this *)
+  io_timeout : float;  (** per-frame read/write deadline, seconds *)
+  dial_timeout : float;  (** per-connection-establishment deadline *)
+  select_tick : float;  (** serve-loop wakeup when idle *)
+  backoff : Retry.backoff;  (** client-side RPC retry schedule *)
+}
+
+val default_tuning : tuning
+
+(** {2 Frame-level primitives}
+
+    Exposed so tests (and adversaries in tests) can speak the wire
+    protocol directly. *)
+
+val put_u32 : int -> Bytes.t
+val get_u32 : Bytes.t -> int -> int
+val tagged : char -> Bytes.t -> Bytes.t
+
+val write_frame :
+  ?deadline:Retry.deadline -> Unix.file_descr -> Bytes.t ->
+  (unit, protocol_error) result
+(** Length-prefix and send one frame: header and payload are assembled
+    into a single buffer and pushed through one bounded write loop. *)
+
+val read_frame :
+  ?deadline:Retry.deadline -> ?max_bytes:int -> Unix.file_descr ->
+  (Bytes.t, protocol_error) result
+(** Read one frame. [Frame_oversize] is returned {e before} allocating a
+    peer-announced buffer; empty (tag-less) frames are [Bad_frame]. *)
+
+val send_frame :
+  ?faults:Faults.t -> ?deadline:Retry.deadline -> Unix.file_descr ->
+  Bytes.t -> (unit, protocol_error) result
+(** {!write_frame} through an optional fault injector ([Drop] pretends
+    the frame went out; [Crash] exits the calling process). *)
+
+val recv_frame :
+  ?faults:Faults.t -> ?deadline:Retry.deadline -> ?max_bytes:int ->
+  Unix.file_descr -> (Bytes.t, protocol_error) result
+(** {!read_frame} through an optional fault injector (a dropped reply
+    surfaces as [Timeout]). *)
+
+val error_frame : error_code -> string -> Bytes.t
+(** Build an [E] frame: ['E'] ‖ code byte ‖ detail. *)
+
+val parse_error_frame : Bytes.t -> (error_code * string) option
+(** Decode an [E] frame (first byte already known to be ['E']). *)
+
+val dial :
+  ?deadline:Retry.deadline -> ?retry_refused:bool -> Unix.sockaddr ->
+  (Unix.file_descr, protocol_error) result
+(** Connect under a deadline with a fresh socket per attempt (a socket
+    that failed [connect] is never reused). With [retry_refused]
+    (default), ECONNREFUSED / ETIMEDOUT / EHOSTUNREACH / ENETUNREACH are
+    retried until the deadline; without it they fail immediately so a
+    caller with its own backoff does not spin on a dead port. *)
 
 module Make (F : Prio_field.Field_intf.S) : sig
   module C : module type of Prio_circuit.Circuit.Make (F)
@@ -20,28 +116,69 @@ module Make (F : Prio_field.Field_intf.S) : sig
   }
 
   val serve :
-    config -> id:int -> listen_fd:Unix.file_descr ->
-    follower_addrs:Unix.sockaddr array -> unit
+    ?tuning:tuning -> ?faults:Faults.t -> config -> id:int ->
+    listen_fd:Unix.file_descr -> follower_addrs:Unix.sockaddr array -> unit
   (** Run one server's event loop until an [X] frame arrives; the leader
-      (id 0) dials the followers. The listener must already be bound. *)
+      (id 0) dials the followers, lazily redialing dead ones. The
+      listener must already be bound. [faults] sits on this server's
+      frame-receive path and may [Crash] the process. *)
 
   type deployment = {
     cfg : config;
+    tuning : tuning;
     addrs : Unix.sockaddr array;  (** server 0 is the leader *)
-    pids : int array;
+    pids : int array;  (** current pid per server (restarts update it) *)
+    statuses : Unix.process_status option array;
+        (** [Some] once the process has been reaped *)
+    faults_for : int -> Faults.t option;
   }
 
-  val launch : config -> deployment
-  (** Fork one process per server on loopback sockets (ephemeral ports). *)
+  val launch :
+    ?tuning:tuning -> ?faults_for:(int -> Faults.t option) -> config ->
+    deployment
+  (** Fork one process per server on loopback sockets (ephemeral ports);
+      [faults_for] installs chaos injectors on chosen servers. *)
+
+  (** {2 Supervision} *)
+
+  type server_status = Running | Exited of Unix.process_status
+
+  val poll_servers : deployment -> server_status array
+  (** Non-blocking health check ([waitpid WNOHANG]); reaps and records
+      any server process that died. *)
+
+  val restart_server : deployment -> int -> unit
+  (** Revive a dead server on its original port with fresh per-batch
+      state (shares held only by the dead process are lost; new traffic
+      flows again). @raise Invalid_argument if it is still running. *)
+
+  (** {2 Clients} *)
+
+  (** What happened to a submission, beyond a bare boolean. *)
+  type outcome =
+    | Accepted
+    | Rejected of string  (** the cluster answered definitively *)
+    | Unreachable of protocol_error  (** retries exhausted *)
+
+  val submit_outcome :
+    ?faults:Faults.t -> deployment -> rng:Prio_crypto.Rng.t ->
+    client_id:int -> F.t array -> outcome
+  (** Upload one client's encoding over TCP (followers first, then the
+      leader with the verify trigger), with per-frame deadlines and
+      backoff retries; duplicates produced by retries are re-acked
+      idempotently by the servers. *)
 
   val submit :
-    deployment -> rng:Prio_crypto.Rng.t -> client_id:int -> F.t array -> bool
-  (** Upload one client's encoding over TCP (followers first, then the
-      leader with the verify trigger); true iff accepted. *)
+    ?faults:Faults.t -> deployment -> rng:Prio_crypto.Rng.t ->
+    client_id:int -> F.t array -> bool
+  (** [submit_outcome] collapsed to "accepted?". *)
 
   val collect_aggregate : deployment -> F.t array
-  (** Query every server's accumulator and sum. *)
+  (** Query every server's accumulator and sum.
+      @raise Failure naming the server if one is unreachable. *)
 
   val shutdown : deployment -> unit
-  (** Stop and reap every server process. *)
+  (** Stop and reap every server process: polite [X] frames, a grace
+      period, then SIGKILL — terminates even with wedged or dead
+      servers. *)
 end

@@ -1,0 +1,73 @@
+(** Deadline and retry combinators for the TCP runtime.
+
+    Everything in {!Net} that touches a socket is bounded by a deadline
+    (absolute wall-clock instant), and every client-side RPC is wrapped
+    in exponential backoff with jitter so a fleet of retrying clients
+    does not synchronize into thundering herds. The jitter source is the
+    deployment's deterministic {!Prio_crypto.Rng}, so chaos runs remain
+    reproducible from a seed. *)
+
+module Rng = Prio_crypto.Rng
+
+(* ------------------------------ deadlines ------------------------------ *)
+
+type deadline = float
+(* absolute [Unix.gettimeofday] instant; [infinity] = no deadline *)
+
+let now = Unix.gettimeofday
+let after seconds = now () +. seconds
+let no_deadline = infinity
+let remaining d = d -. now ()
+let expired d = remaining d <= 0.
+
+(** [sleep s] sleeps at least [s] seconds, resuming across EINTR. *)
+let sleep s =
+  if s > 0. then begin
+    let until = after s in
+    let rec go () =
+      let left = remaining until in
+      if left > 0. then
+        match Unix.sleepf left with
+        | () -> go ()
+        | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    in
+    go ()
+  end
+
+(* ------------------------------- backoff ------------------------------- *)
+
+type backoff = {
+  max_attempts : int;  (** total tries, including the first *)
+  base_delay : float;  (** seconds before the second try *)
+  multiplier : float;  (** geometric growth per retry *)
+  max_delay : float;  (** ceiling on any single pause *)
+  jitter : float;  (** fraction of the pause randomized away, in [0,1] *)
+}
+
+let default_backoff =
+  { max_attempts = 5; base_delay = 0.02; multiplier = 2.0;
+    max_delay = 0.5; jitter = 0.5 }
+
+let delay_for ?rng b ~attempt =
+  let d = b.base_delay *. (b.multiplier ** float_of_int attempt) in
+  let d = Float.min d b.max_delay in
+  match rng with
+  | None -> d
+  | Some rng ->
+    (* full pause scaled uniformly into [1 - jitter, 1] of itself *)
+    d *. (1. -. b.jitter +. (b.jitter *. Rng.float01 rng))
+
+let with_backoff ?rng ?(on_retry = fun ~attempt:_ _ -> ()) b f =
+  let rec go attempt =
+    match f ~attempt with
+    | `Done x -> Ok x
+    | `Fail e -> Error e
+    | `Retry e ->
+      if attempt + 1 >= b.max_attempts then Error e
+      else begin
+        on_retry ~attempt e;
+        sleep (delay_for ?rng b ~attempt);
+        go (attempt + 1)
+      end
+  in
+  go 0

@@ -1,0 +1,45 @@
+(** Deadline and retry combinators for the TCP runtime: absolute
+    deadlines bounding every socket operation, plus exponential backoff
+    with deterministic jitter for client-side RPC retries. *)
+
+type deadline = float
+(** Absolute [Unix.gettimeofday] instant; [infinity] means never. *)
+
+val now : unit -> float
+val after : float -> deadline
+(** [after s] is the instant [s] seconds from now. *)
+
+val no_deadline : deadline
+val remaining : deadline -> float
+(** Seconds left (negative once past). *)
+
+val expired : deadline -> bool
+
+val sleep : float -> unit
+(** Sleep at least this long, resuming across EINTR. *)
+
+type backoff = {
+  max_attempts : int;  (** total tries, including the first *)
+  base_delay : float;  (** seconds before the second try *)
+  multiplier : float;  (** geometric growth per retry *)
+  max_delay : float;  (** ceiling on any single pause *)
+  jitter : float;  (** fraction of the pause randomized away, in [0,1] *)
+}
+
+val default_backoff : backoff
+(** 5 tries, 20 ms base, doubling, 500 ms cap, 50% jitter. *)
+
+val delay_for : ?rng:Prio_crypto.Rng.t -> backoff -> attempt:int -> float
+(** Pause after try number [attempt] (0-based), jittered when an [rng]
+    is supplied — deterministic given the rng state, so chaos runs
+    reproduce exactly. *)
+
+val with_backoff :
+  ?rng:Prio_crypto.Rng.t ->
+  ?on_retry:(attempt:int -> 'e -> unit) ->
+  backoff ->
+  (attempt:int -> [ `Done of 'a | `Retry of 'e | `Fail of 'e ]) ->
+  ('a, 'e) result
+(** Run [f] until it returns [`Done] (success), [`Fail] (permanent
+    error — no retry), or [`Retry] has been answered [max_attempts]
+    times; sleeps [delay_for] between tries. *)

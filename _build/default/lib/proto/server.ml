@@ -19,6 +19,10 @@ module Make (F : Prio_field.Field_intf.S) = struct
     accumulator : F.t array;
     mutable accepted : int;
     seen_nonces : (string, unit) Hashtbl.t;
+    decisions : (int, bool) Hashtbl.t;
+        (** client_id → final verdict, kept so a retried (duplicate)
+            submission or verify request is re-acknowledged with the
+            original answer instead of re-processed *)
   }
 
   let create ~id ~num_servers ~master ~trunc_len ~payload_elements =
@@ -31,7 +35,15 @@ module Make (F : Prio_field.Field_intf.S) = struct
       accumulator = Array.make trunc_len F.zero;
       accepted = 0;
       seen_nonces = Hashtbl.create 1024;
+      decisions = Hashtbl.create 1024;
     }
+
+  (** Record the cluster's final verdict on a client id, making later
+      duplicate uploads / verify requests idempotent. *)
+  let record_decision t ~client_id accepted =
+    Hashtbl.replace t.decisions client_id accepted
+
+  let decision t ~client_id = Hashtbl.find_opt t.decisions client_id
 
   (** Authenticate, decrypt, replay-check and expand one client packet into
       this server's flat share vector. [None] on forgery, replay, or

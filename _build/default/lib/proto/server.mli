@@ -14,11 +14,20 @@ module Make (F : Prio_field.Field_intf.S) : sig
     accumulator : F.t array;
     mutable accepted : int;
     seen_nonces : (string, unit) Hashtbl.t;
+    decisions : (int, bool) Hashtbl.t;
+        (** client_id → final verdict, for idempotent re-acks of
+            retried submissions *)
   }
 
   val create :
     id:int -> num_servers:int -> master:Bytes.t -> trunc_len:int ->
     payload_elements:int -> t
+
+  val record_decision : t -> client_id:int -> bool -> unit
+  (** Record the cluster's final verdict on a client id, making later
+      duplicate uploads / verify requests idempotent. *)
+
+  val decision : t -> client_id:int -> bool option
 
   val receive : t -> client_id:int -> Bytes.t -> (Bytes.t * F.t array) option
   (** Authenticate, decrypt, replay-check and PRG-expand one packet into

@@ -21,6 +21,27 @@ module Make (F : Prio_field.Field_intf.S) = struct
     if len mod w <> 0 then invalid_arg "Wire.vector_of_bytes: ragged payload";
     Array.init (len / w) (fun i -> F.of_bytes (Bytes.sub b (i * w) w))
 
+  (** Non-raising variant for frames arriving off the network, where a
+      ragged or non-canonical payload is peer misbehaviour to degrade
+      on, not a programming error to crash on. *)
+  let vector_of_bytes_opt (b : Bytes.t) : F.t array option =
+    match vector_of_bytes b with
+    | v -> Some v
+    | exception Invalid_argument _ -> None
+
+  (** Parse exactly two field elements at [off]; [None] if the slice is
+      missing, over-long, or non-canonical. Shape of every SNIP gossip
+      payload ((d,e) openings, (σ,ζ) verdicts). *)
+  let field_pair_opt (b : Bytes.t) ~off : (F.t * F.t) option =
+    let w = F.bytes_len in
+    if Bytes.length b <> off + (2 * w) then None
+    else
+      match
+        (F.of_bytes (Bytes.sub b off w), F.of_bytes (Bytes.sub b (off + w) w))
+      with
+      | pair -> Some pair
+      | exception Invalid_argument _ -> None
+
   let tag_explicit = '\000'
   let tag_seed = '\001'
 

@@ -10,6 +10,14 @@ module Make (F : Prio_field.Field_intf.S) : sig
   val vector_of_bytes : Bytes.t -> F.t array
   (** @raise Invalid_argument on ragged or non-canonical input. *)
 
+  val vector_of_bytes_opt : Bytes.t -> F.t array option
+  (** Non-raising variant for network input: [None] on ragged or
+      non-canonical payloads. *)
+
+  val field_pair_opt : Bytes.t -> off:int -> (F.t * F.t) option
+  (** Exactly two field elements at [off] ([None] on any length or
+      canonicity violation) — the shape of SNIP gossip payloads. *)
+
   val payload_to_bytes : Sh.compressed -> Bytes.t
   (** One tag byte + either the 32-byte seed or the explicit vector. *)
 

@@ -1,10 +1,21 @@
 (* Integration tests for the TCP deployment: one OS process per server on
    loopback sockets, clients uploading sealed packets over real
    connections, the leader driving SNIP verification over persistent
-   server-to-server links. *)
+   server-to-server links.
+
+   Beyond the happy path, this suite is a chaos harness: seeded fault
+   injection (drop / corrupt / truncate / slow / crash-server policies)
+   on the frame path, a hand-driven leader-degradation scenario (follower
+   SIGKILLed mid-verification), malformed-frame fuzzing, and idempotency
+   checks for retried submissions. Every fault sequence is a pure
+   function of its seed, so a failing run replays exactly. *)
 
 module F = Prio_field.F87
 module Net = Prio_proto.Net.Make (F)
+module NetT = Prio_proto.Net (* transport-level helpers, shared by all fields *)
+module Retry = Prio_proto.Retry
+module Faults = Prio_proto.Faults
+module Cl = Prio_proto.Client.Make (F)
 module Sum = Prio_afe.Sum.Make (F)
 module Hist = Prio_afe.Histogram.Make (F)
 module A = Prio_afe.Afe.Make (F)
@@ -12,7 +23,26 @@ module Rng = Prio_crypto.Rng
 
 let rng = Rng.of_string_seed "net-tests"
 
-let with_deployment ?(num_servers = 3) afe f =
+(* Short deadlines and an aggressive retry schedule: a dropped frame
+   costs [io_timeout] of real waiting, so chaos runs stay fast. *)
+let fast_tuning =
+  NetT.
+    {
+      default_tuning with
+      io_timeout = 0.4;
+      dial_timeout = 0.5;
+      select_tick = 0.02;
+      backoff =
+        Retry.
+          {
+            default_backoff with
+            max_attempts = 8;
+            base_delay = 0.005;
+            max_delay = 0.04;
+          };
+    }
+
+let with_deployment ?(num_servers = 3) ?faults_for afe f =
   let cfg =
     Net.
       {
@@ -23,8 +53,14 @@ let with_deployment ?(num_servers = 3) afe f =
         batch_seed = Rng.bytes rng 32;
       }
   in
-  let d = Net.launch cfg in
+  let d = Net.launch ~tuning:fast_tuning ?faults_for cfg in
   Fun.protect ~finally:(fun () -> Net.shutdown d) (fun () -> f d)
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "io error: %s" (NetT.string_of_protocol_error e)
+
+(* ------------------------- happy-path tests -------------------------- *)
 
 let test_sum_end_to_end () =
   let afe = Sum.sum ~bits:4 in
@@ -61,6 +97,271 @@ let test_five_servers_histogram () =
       let counts = afe.A.decode ~n:6 (Net.collect_aggregate d) in
       Alcotest.(check (array int)) "histogram over TCP" [| 1; 2; 0; 3 |] counts)
 
+(* --------------------------- chaos harness --------------------------- *)
+
+(* Run a batch of honest submissions with client-side fault injection.
+   Liveness: every submission must come back with a definite outcome (no
+   hangs — the alias-level wall clock enforces this too, but Unreachable
+   here means retries exhausted against a live cluster, which the drop /
+   corrupt / truncate / slow policies below are tuned not to do).
+   Consistency: the aggregate must equal the sum of exactly the accepted
+   values — faulted submissions are rejected, never half-applied. *)
+let run_chaos ~seed policy values =
+  let afe = Sum.sum ~bits:4 in
+  with_deployment afe (fun d ->
+      let faults = Faults.create ~seed policy in
+      let outcomes =
+        List.mapi
+          (fun i x ->
+            (x, Net.submit_outcome ~faults d ~rng ~client_id:i (afe.A.encode ~rng x)))
+          values
+      in
+      List.iter
+        (function
+          | _, Net.Unreachable e ->
+            Alcotest.failf "submission unreachable under chaos: %s"
+              (NetT.string_of_protocol_error e)
+          | _ -> ())
+        outcomes;
+      Alcotest.(check bool) "chaos actually injected faults" true
+        (Faults.injected faults > 0);
+      let accepted =
+        List.filter_map
+          (function x, Net.Accepted -> Some x | _ -> None)
+          outcomes
+      in
+      Alcotest.(check bool) "cluster still accepts honest traffic" true
+        (accepted <> []);
+      let total =
+        afe.A.decode ~n:(List.length accepted) (Net.collect_aggregate d)
+      in
+      Alcotest.(check string) "aggregate = accepted-only sum"
+        (string_of_int (List.fold_left ( + ) 0 accepted))
+        (Prio_bigint.Bigint.to_string total);
+      outcomes)
+
+let values = [ 3; 7; 15; 0; 9; 4; 12; 1 ]
+
+let test_chaos_drop () =
+  (* pure loss: with idempotent resubmission every honest client must
+     eventually get through, and nothing is double-counted *)
+  let outcomes = run_chaos ~seed:"chaos-drop" (Faults.drop 0.25) values in
+  List.iter
+    (fun (x, o) ->
+      if o <> Net.Accepted then
+        Alcotest.failf "submission of %d not accepted despite retries" x)
+    outcomes
+
+let test_chaos_corrupt () =
+  (* bit flips: damaged packets fail authentication and are cleanly
+     rejected; damaged frames are retried (idempotently) *)
+  ignore (run_chaos ~seed:"chaos-corrupt" (Faults.corrupt 0.3) values)
+
+let test_chaos_truncate () =
+  (* short frames: anything from a clipped seal (auth failure → reject)
+     to an empty frame (protocol error → retry) *)
+  ignore (run_chaos ~seed:"chaos-truncate" (Faults.truncate 0.3) values)
+
+let test_chaos_slow () =
+  (* delays below the io deadline: everything still lands *)
+  let outcomes =
+    run_chaos ~seed:"chaos-slow" (Faults.slow ~p:0.5 ~delay:0.05) values
+  in
+  List.iter
+    (fun (x, o) ->
+      if o <> Net.Accepted then
+        Alcotest.failf "submission of %d lost to a slow (not dead) wire" x)
+    outcomes
+
+let test_chaos_follower_crash () =
+  (* a follower with a seeded crash policy dies mid-batch: submissions
+     before the crash land, later ones fail fast and cleanly (no hangs),
+     the supervisor reports the corpse, and the leader stays up *)
+  let afe = Sum.sum ~bits:4 in
+  let faults_for id =
+    if id = 2 then Some (Faults.create ~seed:"crash-a" (Faults.crash 0.05))
+    else None
+  in
+  with_deployment ~faults_for afe (fun d ->
+      let outcomes =
+        List.init 10 (fun i ->
+            Net.submit_outcome d ~rng ~client_id:i
+              (afe.A.encode ~rng ((i * 3) mod 16)))
+      in
+      let accepted =
+        List.length (List.filter (fun o -> o = Net.Accepted) outcomes)
+      in
+      Alcotest.(check bool) "some submissions landed before the crash" true
+        (accepted >= 1);
+      Alcotest.(check bool) "the crash cost some submissions" true
+        (accepted < 10);
+      (match (Net.poll_servers d).(2) with
+      | Net.Exited _ -> ()
+      | Net.Running -> Alcotest.fail "supervisor should report follower 2 dead");
+      (match (Net.poll_servers d).(0) with
+      | Net.Running -> ()
+      | Net.Exited _ -> Alcotest.fail "leader must survive a follower crash");
+      (* leader still answers queries *)
+      let fd = ok_exn (NetT.dial d.Net.addrs.(0)) in
+      ignore (NetT.write_frame fd (NetT.tagged 'Q' Bytes.empty));
+      let reply = ok_exn (NetT.read_frame ~deadline:(Retry.after 2.0) fd) in
+      Unix.close fd;
+      Alcotest.(check char) "leader still serving Q" 'A' (Bytes.get reply 0))
+
+(* --------------------- degradation & supervision --------------------- *)
+
+let test_leader_degrades_and_restarts () =
+  let afe = Sum.sum ~bits:4 in
+  with_deployment afe (fun d ->
+      Alcotest.(check bool) "healthy accept" true
+        (Net.submit d ~rng ~client_id:0 (afe.A.encode ~rng 5));
+      (* hand-deliver client 1's packets so every server holds its share
+         *before* the follower dies (a normal client would fail at dial) *)
+      let enc = afe.A.encode ~rng 7 in
+      let pk =
+        Cl.submit ~rng
+          ~mode:(Cl.Robust_snip afe.A.circuit)
+          ~num_servers:3 ~client_id:1 ~master:d.Net.cfg.Net.master enc
+      in
+      let exchange addr frame =
+        let fd = ok_exn (NetT.dial addr) in
+        ignore (NetT.write_frame fd frame);
+        let r = ok_exn (NetT.read_frame ~deadline:(Retry.after 5.0) fd) in
+        Unix.close fd;
+        r
+      in
+      List.iter
+        (fun i ->
+          let p =
+            NetT.tagged 'P' (Bytes.cat (NetT.put_u32 1) pk.Cl.sealed.(i))
+          in
+          Alcotest.(check char) "P acked" 'K'
+            (Bytes.get (exchange d.Net.addrs.(i) p) 0))
+        [ 1; 2; 0 ];
+      (* kill follower 2 between upload and verification *)
+      Unix.kill d.Net.pids.(2) Sys.sigkill;
+      Unix.sleepf 0.05;
+      (* the leader must answer the verify promptly with a clean refusal
+         instead of hanging on the dead gossip link *)
+      let reply = exchange d.Net.addrs.(0) (NetT.tagged 'V' (NetT.put_u32 1)) in
+      (match Bytes.get reply 0 with
+      | 'E' -> (
+        match NetT.parse_error_frame reply with
+        | Some (NetT.Unavailable, _) -> ()
+        | other ->
+          Alcotest.failf "expected E/unavailable, got %s"
+            (match other with
+            | Some (c, _) -> NetT.string_of_error_code c
+            | None -> "garbled E frame"))
+      | 'R' -> () (* also a clean refusal *)
+      | c -> Alcotest.failf "expected clean refusal, got tag %C" c);
+      (* ... and the refusal is sticky/idempotent *)
+      Alcotest.(check char) "degraded verdict replayed" 'R'
+        (Bytes.get (exchange d.Net.addrs.(0) (NetT.tagged 'V' (NetT.put_u32 1))) 0);
+      (* supervisor sees the corpse; the leader is alive *)
+      (match (Net.poll_servers d).(2) with
+      | Net.Exited (Unix.WSIGNALED _) -> ()
+      | Net.Exited _ -> ()
+      | Net.Running -> Alcotest.fail "supervisor should report follower 2 dead");
+      (match (Net.poll_servers d).(0) with
+      | Net.Running -> ()
+      | Net.Exited _ -> Alcotest.fail "leader must survive degradation");
+      (* revive the follower on its original port; new traffic flows *)
+      Net.restart_server d 2;
+      (match (Net.poll_servers d).(2) with
+      | Net.Running -> ()
+      | Net.Exited _ -> Alcotest.fail "restarted follower should be running");
+      Alcotest.(check bool) "accepts after restart" true
+        (Net.submit d ~rng ~client_id:2 (afe.A.encode ~rng 3)))
+
+(* ------------------------ malformed-frame fuzz ----------------------- *)
+
+let test_fuzz_malformed_frames () =
+  let afe = Sum.sum ~bits:4 in
+  with_deployment afe (fun d ->
+      let frng = Rng.of_string_seed "fuzz-frames" in
+      (* random bytes at every tag position: the server may answer with
+         an ack/error frame, close the connection, or stay silent for
+         one-way tags — but must neither crash nor hang *)
+      for _ = 1 to 25 do
+        let tag = Char.chr (Rng.int_below frng 256) in
+        if tag <> 'X' (* a real deployment authenticates shutdown *) then begin
+          let body = Rng.bytes frng (Rng.int_below frng 48) in
+          let fd = ok_exn (NetT.dial d.Net.addrs.(0)) in
+          ignore (NetT.write_frame fd (NetT.tagged tag body));
+          (match NetT.read_frame ~deadline:(Retry.after 0.3) fd with
+          | Ok _ | Error _ -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+      done;
+      (* a tag-less (empty) frame is refused, not a [Bytes.get] crash *)
+      let fd = ok_exn (NetT.dial d.Net.addrs.(0)) in
+      ignore (NetT.write_frame fd Bytes.empty);
+      let reply = ok_exn (NetT.read_frame ~deadline:(Retry.after 2.0) fd) in
+      Unix.close fd;
+      Alcotest.(check char) "empty frame → E" 'E' (Bytes.get reply 0);
+      (* a header announcing a 64 MiB frame is refused before allocation *)
+      let fd = ok_exn (NetT.dial d.Net.addrs.(0)) in
+      let hdr = NetT.put_u32 (64 * 1024 * 1024) in
+      let rec push off =
+        if off < 4 then push (off + Unix.write fd hdr off (4 - off))
+      in
+      push 0;
+      let reply = ok_exn (NetT.read_frame ~deadline:(Retry.after 2.0) fd) in
+      Unix.close fd;
+      (match NetT.parse_error_frame reply with
+      | Some (NetT.Too_large, _) -> ()
+      | _ -> Alcotest.fail "expected E/too-large for oversize header");
+      (* the cluster survived all of it *)
+      Alcotest.(check bool) "still serving" true
+        (Net.submit d ~rng ~client_id:0 (afe.A.encode ~rng 9));
+      let total = afe.A.decode ~n:1 (Net.collect_aggregate d) in
+      Alcotest.(check string) "aggregate intact" "9"
+        (Prio_bigint.Bigint.to_string total))
+
+(* ---------------------------- idempotency ---------------------------- *)
+
+let test_idempotent_retries () =
+  let afe = Sum.sum ~bits:4 in
+  with_deployment afe (fun d ->
+      let enc = afe.A.encode ~rng 11 in
+      let pk =
+        Cl.submit ~rng
+          ~mode:(Cl.Robust_snip afe.A.circuit)
+          ~num_servers:3 ~client_id:0 ~master:d.Net.cfg.Net.master enc
+      in
+      let exchange addr frame =
+        let fd = ok_exn (NetT.dial addr) in
+        ignore (NetT.write_frame fd frame);
+        let r = ok_exn (NetT.read_frame ~deadline:(Retry.after 5.0) fd) in
+        Unix.close fd;
+        r
+      in
+      let p_frame i =
+        NetT.tagged 'P' (Bytes.cat (NetT.put_u32 0) pk.Cl.sealed.(i))
+      in
+      (* upload twice to every server: a duplicate of an in-flight
+         submission is re-acked, not replay-rejected *)
+      List.iter
+        (fun i ->
+          Alcotest.(check char) "first P ack" 'K'
+            (Bytes.get (exchange d.Net.addrs.(i) (p_frame i)) 0);
+          Alcotest.(check char) "duplicate P re-ack" 'K'
+            (Bytes.get (exchange d.Net.addrs.(i) (p_frame i)) 0))
+        [ 1; 2; 0 ];
+      (* verify twice: the second verdict replays from the decision cache *)
+      let v = NetT.tagged 'V' (NetT.put_u32 0) in
+      Alcotest.(check char) "V accepted" 'K' (Bytes.get (exchange d.Net.addrs.(0) v) 0);
+      Alcotest.(check char) "duplicate V re-acked" 'K'
+        (Bytes.get (exchange d.Net.addrs.(0) v) 0);
+      (* a duplicate upload after the decision is also just re-acked *)
+      Alcotest.(check char) "post-decision P re-ack" 'K'
+        (Bytes.get (exchange d.Net.addrs.(1) (p_frame 1)) 0);
+      (* and the value was counted exactly once *)
+      let total = afe.A.decode ~n:1 (Net.collect_aggregate d) in
+      Alcotest.(check string) "counted once" "11"
+        (Prio_bigint.Bigint.to_string total))
+
 let () =
   Alcotest.run "net"
     [
@@ -68,6 +369,25 @@ let () =
         [
           Alcotest.test_case "sum end-to-end" `Quick test_sum_end_to_end;
           Alcotest.test_case "rejects cheater" `Quick test_rejects_cheater;
-          Alcotest.test_case "five servers histogram" `Quick test_five_servers_histogram;
+          Alcotest.test_case "five servers histogram" `Quick
+            test_five_servers_histogram;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "drop policy" `Quick test_chaos_drop;
+          Alcotest.test_case "corrupt policy" `Quick test_chaos_corrupt;
+          Alcotest.test_case "truncate policy" `Quick test_chaos_truncate;
+          Alcotest.test_case "slow-peer policy" `Quick test_chaos_slow;
+          Alcotest.test_case "follower crash policy" `Quick
+            test_chaos_follower_crash;
+        ] );
+      ( "fault tolerance",
+        [
+          Alcotest.test_case "leader degrades, supervisor restarts" `Quick
+            test_leader_degrades_and_restarts;
+          Alcotest.test_case "malformed-frame fuzz" `Quick
+            test_fuzz_malformed_frames;
+          Alcotest.test_case "idempotent retries" `Quick
+            test_idempotent_retries;
         ] );
     ]
