@@ -1,0 +1,43 @@
+(* prio_lint: static analysis enforcing the repo's constant-time,
+   determinism, and error-discipline invariants. See docs/ANALYSIS.md.
+
+   Usage: prio_lint [--root DIR] [--baseline FILE] DIR...
+
+   Emits "file:line:col: [rule-id] message" per finding and exits non-zero
+   if any Error-severity finding survives suppressions and the baseline. *)
+
+module D = Prio_analysis.Diagnostic
+
+let () =
+  let root = ref "." in
+  let baseline = ref "" in
+  let dirs = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repo root (default: .)");
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "FILE baseline of waived diagnostics" );
+    ]
+  in
+  Arg.parse spec
+    (fun d -> dirs := d :: !dirs)
+    "prio_lint [--root DIR] [--baseline FILE] DIR...";
+  let dirs =
+    match List.rev !dirs with
+    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+    | ds -> ds
+  in
+  let baseline =
+    if !baseline = "" then Prio_analysis.Baseline.empty
+    else Prio_analysis.Baseline.load !baseline
+  in
+  let diags =
+    Prio_analysis.Driver.lint_tree ~baseline ~root:!root ~dirs ()
+  in
+  List.iter (fun d -> print_endline (D.to_string d)) diags;
+  let errors = List.length (List.filter D.is_error diags) in
+  let warnings = List.length diags - errors in
+  if diags <> [] then
+    Printf.eprintf "prio_lint: %d error(s), %d warning(s)\n%!" errors warnings;
+  exit (if errors > 0 then 1 else 0)

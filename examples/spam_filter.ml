@@ -30,7 +30,11 @@ let secret_valid : C.t =
   C.Builder.assert_one_hot b stars;
   let verified = C.Builder.input b ratings in
   C.Builder.assert_bit b verified;
-  let five_star = List.nth stars 4 in
+  let five_star =
+    match List.filteri (fun i _ -> i = 4) stars with
+    | [ w ] -> w
+    | _ -> assert false (* ratings = 5 inputs, built three lines up *)
+  in
   let unverified = C.Builder.add_const b (P.Field.neg P.Field.one) verified in
   (* five_star · (verified − 1) must be zero: spam reviews fail Valid *)
   C.Builder.assert_zero b (C.Builder.mul b five_star unverified);

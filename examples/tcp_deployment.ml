@@ -75,7 +75,15 @@ let () =
   Printf.printf "cheating client accepted: %b\n" cheater_ok;
 
   (* collect before the crash drill: shares on a killed server die with it *)
-  let total = afe.P.Afe.decode ~n:!accepted (Net.collect_aggregate d) in
+  let accumulators =
+    match Net.collect_aggregate d with
+    | Ok v -> v
+    | Error (i, e) ->
+      Printf.eprintf "server %d unreachable: %s\n"
+        i (Prio.Transport.string_of_protocol_error e);
+      exit 1
+  in
+  let total = afe.P.Afe.decode ~n:!accepted accumulators in
   let expect = List.fold_left ( + ) 0 values in
   Printf.printf "aggregate: %s (expected %d)\n" (Prio.Bigint.to_string total)
     expect;

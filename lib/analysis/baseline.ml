@@ -1,0 +1,41 @@
+(* Checked-in baseline of intentional exceptions. Each non-comment line is
+   "<path> <rule-id>" (whitespace-separated, paths with forward slashes,
+   relative to the repo root); every diagnostic of that rule in that file
+   is waived. Coarser than inline suppressions on purpose: the baseline is
+   for whole-file policy exceptions (e.g. an interface-only module with no
+   .mli), while line-level waivers belong next to the code they excuse. *)
+
+type t = { entries : (string * string, unit) Hashtbl.t }
+
+let empty = { entries = Hashtbl.create 1 }
+
+let parse src =
+  let entries = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun s -> s <> "")
+      with
+      | [] -> ()
+      | [ file; rule ] -> Hashtbl.replace entries (file, rule) ()
+      | _ -> ())
+    (String.split_on_char '\n' src);
+  { entries }
+
+let load path =
+  if Sys.file_exists path then (
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    parse src)
+  else empty
+
+let waived t ~file ~rule = Hashtbl.mem t.entries (file, rule)

@@ -1,0 +1,18 @@
+(** Checked-in baseline of intentional lint exceptions.
+
+    File format: one "<path> <rule-id>" pair per line; [#] starts a
+    comment. A baseline entry waives every diagnostic of that rule in that
+    file — use it for whole-file policy exceptions, and inline
+    [(* prio-lint: allow ... *)] comments for line-level ones. *)
+
+type t
+
+val empty : t
+
+(** Parse baseline text (the file contents). *)
+val parse : string -> t
+
+(** Load from a file path; missing file yields [empty]. *)
+val load : string -> t
+
+val waived : t -> file:string -> rule:string -> bool

@@ -1,0 +1,39 @@
+(* A single linter finding, renderable as "file:line:col: [rule-id] message".
+   Lines are 1-based and columns 0-based, matching the compiler's own
+   convention so editors can jump to the exact spot. *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+  severity : severity;
+}
+
+let make ?(severity = Error) ~file ~line ~col ~rule message =
+  { file; line; col; rule; message; severity }
+
+let of_location ?severity ~rule ~message (loc : Location.t) =
+  let p = loc.loc_start in
+  make ?severity ~file:p.pos_fname ~line:p.pos_lnum
+    ~col:(p.pos_cnum - p.pos_bol) ~rule message
+
+let severity_label = function Error -> "error" | Warning -> "warning"
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+let order a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let is_error d = match d.severity with Error -> true | Warning -> false

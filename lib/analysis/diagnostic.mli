@@ -1,0 +1,36 @@
+(** Linter findings: location + rule id + message, with a severity that
+    decides whether the finding fails the build (Error) or is advisory
+    (Warning). *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, compiler convention *)
+  rule : string;
+  message : string;
+  severity : severity;
+}
+
+val make :
+  ?severity:severity ->
+  file:string ->
+  line:int ->
+  col:int ->
+  rule:string ->
+  string ->
+  t
+
+val of_location :
+  ?severity:severity -> rule:string -> message:string -> Location.t -> t
+
+val severity_label : severity -> string
+
+(** ["file:line:col: \[rule-id\] message"] *)
+val to_string : t -> string
+
+(** Total order by file, then line, col, rule — for stable output. *)
+val order : t -> t -> int
+
+val is_error : t -> bool

@@ -1,0 +1,128 @@
+(* Orchestration: walk the tree, parse every .ml/.mli with the compiler's
+   own parser, run the per-path rule set, and filter findings through
+   inline suppressions and the checked-in baseline. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
+
+let parse_diag ~path exn =
+  let mk line col msg =
+    Diagnostic.make ~file:path ~line ~col ~rule:Rules.parse_error msg
+  in
+  match exn with
+  | Syntaxerr.Error err ->
+    let loc = Syntaxerr.location_of_error err in
+    let p = loc.Location.loc_start in
+    mk p.pos_lnum (p.pos_cnum - p.pos_bol) "syntax error"
+  | Lexer.Error (_, loc) ->
+    let p = loc.Location.loc_start in
+    mk p.pos_lnum (p.pos_cnum - p.pos_bol) "lexer error"
+  | e -> mk 1 0 (Printf.sprintf "cannot parse: %s" (Printexc.to_string e))
+
+let with_lexbuf ~path src f =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf path;
+  (* Keep the compiler's global error reporting out of the picture: we
+     render diagnostics ourselves. *)
+  try Ok (f lexbuf) with e -> Error (parse_diag ~path e)
+
+let parse_implementation ~path src =
+  with_lexbuf ~path src Parse.implementation
+
+let parse_interface ~path src = with_lexbuf ~path src Parse.interface
+
+(* Lint one .ml file's contents under an explicit rule set (severity:
+   Error). This is the corpus-test entry point: path only labels the
+   diagnostics, nothing is read from disk. *)
+let lint_source ~rules ~path src =
+  let sup = Suppress.of_source src in
+  match parse_implementation ~path src with
+  | Error d -> [ d ]
+  | Ok str ->
+    List.concat_map
+      (fun rule ->
+        match Rules.ast_rule rule with
+        | None -> []
+        | Some run ->
+          List.filter_map
+            (fun { Rules.loc; message } ->
+              let d = Diagnostic.of_location ~rule ~message loc in
+              if Suppress.active sup ~line:d.Diagnostic.line ~rule then None
+              else Some d)
+            (run str))
+      rules
+    |> List.sort Diagnostic.order
+
+(* --- tree walk -------------------------------------------------------- *)
+
+let is_source f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+(* Skip _build, .git, editor state, ... *)
+let skip_dir name =
+  String.length name = 0 || name.[0] = '_' || name.[0] = '.'
+
+let source_files ~root dirs =
+  let acc = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    if Sys.is_directory abs then
+      Array.iter
+        (fun name ->
+          let rel' = rel ^ "/" ^ name in
+          let abs' = Filename.concat root rel' in
+          if Sys.is_directory abs' then (
+            if not (skip_dir name) then walk rel')
+          else if is_source name then acc := rel' :: !acc)
+        (Sys.readdir abs)
+  in
+  List.iter (fun d -> if Sys.file_exists (Filename.concat root d) then walk d) dirs;
+  List.sort String.compare !acc
+
+let apply_severity path d =
+  match Policy.severity_of path d.Diagnostic.rule with
+  | Some severity -> Some { d with Diagnostic.severity }
+  | None ->
+    (* parse-error has no policy entry: always an error. *)
+    if d.Diagnostic.rule = Rules.parse_error then Some d else None
+
+(* Lint the tree rooted at [root], over the given top-level [dirs].
+   Diagnostic paths come out relative to [root]. *)
+let lint_tree ?(baseline = Baseline.empty) ~root ~dirs () =
+  let files = source_files ~root dirs in
+  let per_file =
+    List.concat_map
+      (fun path ->
+        let src = read_file (Filename.concat root path) in
+        if Filename.check_suffix path ".mli" then
+          match parse_interface ~path src with
+          | Ok _ -> []
+          | Error d -> [ d ]
+        else
+          let rules = Policy.ast_rules_for path in
+          List.filter_map (apply_severity path)
+            (lint_source ~rules ~path src))
+      files
+  in
+  let mli =
+    List.filter_map
+      (fun (file, message) ->
+        match Policy.severity_of file Rules.mli_coverage with
+        | Some severity ->
+          Some
+            (Diagnostic.make ~severity ~file ~line:1 ~col:0
+               ~rule:Rules.mli_coverage message)
+        | None -> None)
+      (Rules.run_mli_coverage files)
+  in
+  List.filter
+    (fun d ->
+      not
+        (Baseline.waived baseline ~file:d.Diagnostic.file
+           ~rule:d.Diagnostic.rule))
+    (per_file @ mli)
+  |> List.sort Diagnostic.order

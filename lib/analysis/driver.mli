@@ -1,0 +1,20 @@
+(** Linter orchestration: parse, run rules, filter through suppressions
+    and the baseline. *)
+
+(** [lint_source ~rules ~path src] parses [src] (an [.ml] body) and runs
+    exactly the given AST rules at Error severity, honouring inline
+    [(* prio-lint: allow ... *)] waivers. [path] only labels diagnostics.
+    A file that does not parse yields one [parse-error] diagnostic. *)
+val lint_source :
+  rules:string list -> path:string -> string -> Diagnostic.t list
+
+(** [lint_tree ~root ~dirs ()] recursively lints every [.ml]/[.mli] under
+    [root]/[dirs] (skipping [_build]-style and hidden directories), with
+    rule selection and severity from {!Policy} and paths relative to
+    [root]. [.mli] files are parse-checked and counted for mli-coverage. *)
+val lint_tree :
+  ?baseline:Baseline.t ->
+  root:string ->
+  dirs:string list ->
+  unit ->
+  Diagnostic.t list

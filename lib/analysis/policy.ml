@@ -1,0 +1,75 @@
+(* Per-directory severity policy: which rules run where, and whether a
+   finding fails the build. Paths are repo-root-relative with forward
+   slashes ("lib/crypto/rng.ml"). The table encodes the trust geography of
+   the tree:
+
+   - lib/crypto, lib/field, lib/share handle secrets (keys, MAC tags,
+     shares) -> timing rules are errors there;
+   - lib/crypto/rng.ml is the single sanctioned entropy seam and
+     lib/proto/retry.ml the single wall-clock seam -> ambient
+     nondeterminism is an error everywhere else;
+   - lib/proto is the network boundary -> failures must surface as
+     [protocol_error] values, not exceptions;
+   - bin/, bench/ and examples/ are leaf programs: printing is their job,
+     and bench gets the wall clock (that is what it measures). *)
+
+type verdict = { rule : string; severity : Diagnostic.severity }
+
+let under dir path =
+  let d = dir ^ "/" in
+  String.length path > String.length d && String.sub path 0 (String.length d) = d
+
+let under_any dirs path = List.exists (fun d -> under d path) dirs
+
+(* The sanctioned seams for rule no-ambient-random. *)
+let entropy_seams = [ "lib/crypto/rng.ml"; "lib/proto/retry.ml" ]
+
+let ct_dirs = [ "lib/crypto"; "lib/field"; "lib/share" ]
+
+let all_rules =
+  [
+    Rules.ct_compare;
+    Rules.no_ambient_random;
+    Rules.error_discipline;
+    Rules.no_debug_io;
+    Rules.no_partial_stdlib;
+    Rules.mli_coverage;
+  ]
+
+let verdicts_for path : verdict list =
+  let err rule = Some { rule; severity = Diagnostic.Error } in
+  let warn rule = Some { rule; severity = Diagnostic.Warning } in
+  List.filter_map
+    (fun rule ->
+      match rule with
+      | r when r = Rules.ct_compare ->
+        if under_any ct_dirs path then err r else None
+      | r when r = Rules.no_ambient_random ->
+        if List.mem path entropy_seams then None
+        else if under_any [ "lib"; "bin"; "examples" ] path then err r
+        else None
+      | r when r = Rules.error_discipline ->
+        if under "lib/proto" path then err r else None
+      | r when r = Rules.no_debug_io ->
+        if under "lib" path then err r else None
+      | r when r = Rules.no_partial_stdlib ->
+        if under "lib" path then err r
+        else if under_any [ "bin"; "bench"; "examples" ] path then warn r
+        else None
+      | r when r = Rules.mli_coverage ->
+        (* File-level rule, evaluated over the whole file set; the facade
+           library lib/core is the one sanctioned .mli-less module. *)
+        if under "lib" path && not (under "lib/core" path) then err r
+        else None
+      | _ -> None)
+    all_rules
+
+let severity_of path rule =
+  List.find_map
+    (fun v -> if v.rule = rule then Some v.severity else None)
+    (verdicts_for path)
+
+let ast_rules_for path =
+  List.filter_map
+    (fun v -> if v.rule = Rules.mli_coverage then None else Some v.rule)
+    (verdicts_for path)

@@ -1,0 +1,19 @@
+(** Per-directory severity policy: which rules run where, and whether a
+    finding fails the build. Paths are repo-root-relative with forward
+    slashes (["lib/crypto/rng.ml"]). *)
+
+type verdict = { rule : string; severity : Diagnostic.severity }
+
+(** All rules that apply to [path], with their severities. *)
+val verdicts_for : string -> verdict list
+
+(** Severity of [rule] at [path]; [None] when the rule does not apply
+    there. *)
+val severity_of : string -> string -> Diagnostic.severity option
+
+(** The AST rules (everything but mli-coverage) enabled at [path]. *)
+val ast_rules_for : string -> string list
+
+(** Files where ambient time/randomness is sanctioned: the entropy seam
+    ([lib/crypto/rng.ml]) and the wall-clock seam ([lib/proto/retry.ml]). *)
+val entropy_seams : string list

@@ -1,0 +1,306 @@
+(* The lint rules. Each AST rule walks a Parsetree with [Ast_iterator] and
+   returns (location, message) findings; where a rule runs and how severe a
+   finding is lives in [Policy], and the security rationale for each rule
+   is documented in docs/ANALYSIS.md.
+
+   All rules are purely syntactic (Parsetree, no typing): where the type
+   would be needed to decide (e.g. [=] on ints is compiled to an immediate
+   comparison and is fine), the rule uses a conservative syntactic proxy
+   (a literal operand forces the immediate type) and anything else must be
+   rewritten against a monomorphic equality or carry an inline waiver. *)
+
+open Parsetree
+
+let ct_compare = "ct-compare"
+let no_ambient_random = "no-ambient-random"
+let error_discipline = "error-discipline"
+let no_debug_io = "no-debug-io"
+let no_partial_stdlib = "no-partial-stdlib"
+let mli_coverage = "mli-coverage"
+let parse_error = "parse-error"
+
+type finding = { loc : Location.t; message : string }
+
+let lid_name lid = String.concat "." (Longident.flatten lid)
+
+(* Strip a leading Stdlib. so Stdlib.compare and compare are one case. *)
+let path_of lid =
+  match Longident.flatten lid with
+  | "Stdlib" :: rest -> rest
+  | l -> l
+
+(* Run [f] with a fresh findings buffer; [f] receives an [add] function. *)
+let collect f =
+  let acc = ref [] in
+  f (fun loc message -> acc := { loc; message } :: !acc);
+  List.rev !acc
+
+let iter_structure it str = it.Ast_iterator.structure it str
+
+(* --- ct-compare ------------------------------------------------------- *)
+
+let is_poly_eq_op = function "=" | "<>" | "==" | "!=" -> true | _ -> false
+
+(* A literal operand pins the comparison to an immediate type (int, char,
+   bool), which the compiler specializes to a single constant-time machine
+   comparison — the pattern [if n = 0 then ...] stays legal. *)
+let rec is_immediate_literal e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer _ | Pconst_char _) -> true
+  | Pexp_construct ({ txt = Longident.Lident ("true" | "false" | "()"); _ }, None)
+    -> true
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident ("~-" | "~+"); _ }; _ },
+        [ (_, arg) ] ) ->
+    is_immediate_literal arg
+  | _ -> false
+
+let banned_comparison_ident lid =
+  match path_of lid with
+  | [ op ] when is_poly_eq_op op ->
+    Some
+      (Printf.sprintf
+         "polymorphic comparison (%s) on non-literal operands: use a \
+          monomorphic or constant-time equality (F.equal, Int.equal, \
+          Hmac.verify)"
+         op)
+  | [ "compare" ] ->
+    Some
+      "polymorphic compare is variable-time: use Int.compare or a \
+       field-specific comparison"
+  | [ m; "compare" ] when m <> "Int" && m <> "Char" ->
+    Some
+      (Printf.sprintf
+         "variable-time comparison %s.compare: secret-dependent data must \
+          use a constant-time or field-specific equality"
+         m)
+  | [ (("String" | "Bytes") as m); "equal" ] ->
+    Some
+      (Printf.sprintf
+         "%s.equal short-circuits on the first mismatch: use a \
+          constant-time comparison for secret-dependent data"
+         m)
+  | _ -> None
+
+let run_ct_compare str =
+  collect (fun add ->
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun it e ->
+              match e.pexp_desc with
+              | Pexp_apply
+                  ( { pexp_desc = Pexp_ident { txt = fn; _ }; _ },
+                    ([ (_, a); (_, b) ] as args) )
+                when (match path_of fn with
+                     | [ op ] -> is_poly_eq_op op
+                     | _ -> false)
+                     && (is_immediate_literal a || is_immediate_literal b) ->
+                (* Comparison against a literal: skip the operator ident,
+                   still walk the operands. *)
+                List.iter (fun (_, arg) -> it.Ast_iterator.expr it arg) args
+              | Pexp_ident { txt; loc } -> (
+                match banned_comparison_ident txt with
+                | Some msg -> add loc msg
+                | None -> ())
+              | _ -> Ast_iterator.default_iterator.expr it e);
+        }
+      in
+      iter_structure it str)
+
+(* --- no-ambient-random ------------------------------------------------ *)
+
+let ambient_ident lid =
+  match path_of lid with
+  | "Random" :: _ :: _ ->
+    Some
+      (Printf.sprintf
+         "ambient randomness %s: every protocol execution must be a pure \
+          function of its Rng seed (thread a seeded Prio_crypto.Rng.t)"
+         (lid_name lid))
+  | [ "Unix"; ("time" | "gettimeofday") ] | [ "Sys"; "time" ] ->
+    Some
+      (Printf.sprintf
+         "ambient clock %s: read time through the Retry.now seam (or take \
+          an instant as a parameter) so runs replay deterministically"
+         (lid_name lid))
+  | _ -> None
+
+let run_no_ambient_random str =
+  collect (fun add ->
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun it e ->
+              (match e.pexp_desc with
+              | Pexp_ident { txt; loc } -> (
+                match ambient_ident txt with
+                | Some msg -> add loc msg
+                | None -> ())
+              | _ -> ());
+              Ast_iterator.default_iterator.expr it e);
+        }
+      in
+      iter_structure it str)
+
+(* --- error-discipline ------------------------------------------------- *)
+
+(* Exceptions declared in this compilation unit are legitimate local
+   control flow as long as they are caught before the public boundary —
+   the linter trusts the declaration site, the reviewer checks the catch.
+   [Exit] is the stdlib's designated local-escape exception, and
+   [Invalid_argument]/[invalid_arg] is the sanctioned contract-violation
+   escape hatch (a caller bug, not a protocol outcome). *)
+let local_exceptions str =
+  let names = ref [ "Exit"; "Invalid_argument"; "Assert_failure" ] in
+  let add_ext (ec : extension_constructor) = names := ec.pext_name.txt :: !names in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      structure_item =
+        (fun it si ->
+          (match si.pstr_desc with
+          | Pstr_exception te -> add_ext te.ptyexn_constructor
+          | _ -> ());
+          Ast_iterator.default_iterator.structure_item it si);
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_letexception (ec, _) -> add_ext ec
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  iter_structure it str;
+  !names
+
+let run_error_discipline str =
+  let locals = local_exceptions str in
+  collect (fun add ->
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun it e ->
+              (match e.pexp_desc with
+              | Pexp_ident { txt; loc } when path_of txt = [ "failwith" ] ->
+                add loc
+                  "failwith escapes the protocol boundary as Failure: \
+                   return a structured protocol_error instead"
+              | Pexp_apply
+                  ( { pexp_desc = Pexp_ident { txt = fn; _ }; _ },
+                    (_, { pexp_desc = Pexp_construct ({ txt = exn; loc }, _); _ })
+                    :: _ )
+                when match path_of fn with
+                     | [ ("raise" | "raise_notrace") ] -> true
+                     | _ -> false ->
+                let name = Longident.last exn in
+                if not (List.mem name locals) then
+                  add loc
+                    (Printf.sprintf
+                       "raising %s across the protocol boundary: return a \
+                        structured protocol_error (locally-declared \
+                        exceptions caught before the public API are fine)"
+                       (lid_name exn))
+              | _ -> ());
+              Ast_iterator.default_iterator.expr it e);
+        }
+      in
+      iter_structure it str)
+
+(* --- no-debug-io ------------------------------------------------------ *)
+
+let debug_io_ident lid =
+  match path_of lid with
+  | [ ( "print_string" | "print_endline" | "print_newline" | "print_int"
+      | "print_char" | "print_float" | "print_bytes" | "prerr_string"
+      | "prerr_endline" | "prerr_newline" | "prerr_int" | "prerr_char"
+      | "prerr_float" | "prerr_bytes" ) ]
+  | [ ("Printf" | "Format"); ("printf" | "eprintf") ] ->
+    Some
+      (Printf.sprintf
+         "debug I/O %s in library code: return the data, take a \
+          Format.formatter, or log at the binary layer"
+         (lid_name lid))
+  | _ -> None
+
+let run_no_debug_io str =
+  collect (fun add ->
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun it e ->
+              (match e.pexp_desc with
+              | Pexp_ident { txt; loc } -> (
+                match debug_io_ident txt with
+                | Some msg -> add loc msg
+                | None -> ())
+              | _ -> ());
+              Ast_iterator.default_iterator.expr it e);
+        }
+      in
+      iter_structure it str)
+
+(* --- no-partial-stdlib ------------------------------------------------ *)
+
+let partial_ident lid =
+  match path_of lid with
+  | [ "List"; (("hd" | "nth") as f) ] ->
+    Some
+      (Printf.sprintf
+         "List.%s raises on short lists: match explicitly or restructure" f)
+  | [ "Option"; "get" ] ->
+    Some "Option.get raises on None: match explicitly on the option"
+  | [ "Obj"; "magic" ] -> Some "Obj.magic defeats the type system entirely"
+  | _ -> None
+
+let run_no_partial_stdlib str =
+  collect (fun add ->
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun it e ->
+              (match e.pexp_desc with
+              | Pexp_ident { txt; loc } -> (
+                match partial_ident txt with
+                | Some msg -> add loc msg
+                | None -> ())
+              | _ -> ());
+              Ast_iterator.default_iterator.expr it e);
+        }
+      in
+      iter_structure it str)
+
+(* --- mli-coverage ----------------------------------------------------- *)
+
+(* Pure function over the file set so it is trivially testable: every .ml
+   is expected to have a sibling .mli. Which files the expectation applies
+   to (lib/ only, lib/core exempt) is Policy's decision. *)
+let run_mli_coverage files =
+  let set = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace set f ()) files;
+  List.filter_map
+    (fun f ->
+      if Filename.check_suffix f ".ml" && not (Hashtbl.mem set (f ^ "i")) then
+        Some
+          ( f,
+            "library module has no .mli: every exported value must be \
+             declared (and documented) in an interface" )
+      else None)
+    files
+
+let ast_rule = function
+  | r when r = ct_compare -> Some run_ct_compare
+  | r when r = no_ambient_random -> Some run_no_ambient_random
+  | r when r = error_discipline -> Some run_error_discipline
+  | r when r = no_debug_io -> Some run_no_debug_io
+  | r when r = no_partial_stdlib -> Some run_no_partial_stdlib
+  | _ -> None
+
+let all_ast_rules =
+  [ ct_compare; no_ambient_random; error_discipline; no_debug_io;
+    no_partial_stdlib ]

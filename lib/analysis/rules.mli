@@ -1,0 +1,29 @@
+(** The lint rules.
+
+    Rule ids are the strings used in diagnostics, inline suppressions, the
+    baseline file, and {!Policy}. Each AST rule takes a parsed structure
+    and returns findings; {!run_mli_coverage} is a pure function over the
+    file set. Rationale for each rule lives in docs/ANALYSIS.md. *)
+
+val ct_compare : string
+val no_ambient_random : string
+val error_discipline : string
+val no_debug_io : string
+val no_partial_stdlib : string
+val mli_coverage : string
+
+(** Pseudo-rule for files that fail to parse. *)
+val parse_error : string
+
+type finding = { loc : Location.t; message : string }
+
+(** Resolve a rule id to its structure checker; [None] for non-AST rules
+    ({!mli_coverage}, {!parse_error}). *)
+val ast_rule : string -> (Parsetree.structure -> finding list) option
+
+val all_ast_rules : string list
+
+(** [run_mli_coverage files] flags every [.ml] path in [files] with no
+    sibling [.mli] in [files], as [(file, message)]. Which files the
+    expectation applies to is {!Policy}'s decision. *)
+val run_mli_coverage : string list -> (string * string) list

@@ -1,0 +1,62 @@
+(* Inline suppressions: a comment [(* prio-lint: allow <rule-id> ... *)]
+   waives diagnostics of the named rule(s) on the comment's own line and on
+   the line immediately after it (so the comment can sit above the
+   offending expression). Parsed textually from the raw source rather than
+   from the lexer's comment stream: it is simpler, works even on files that
+   fail to parse, and the marker syntax is rigid enough that false matches
+   are not a concern. *)
+
+type t = {
+  (* (line, rule) pairs at which the rule is waived *)
+  waived : (int * string, unit) Hashtbl.t;
+}
+
+let marker = "prio-lint: allow"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_'
+
+(* Rule ids listed after the marker, separated by spaces or commas, up to
+   the end of the comment (or line). *)
+let ids_after line start =
+  let n = String.length line in
+  let rec skip i = if i < n && (line.[i] = ' ' || line.[i] = ',') then skip (i + 1) else i in
+  let rec take i = if i < n && is_ident_char line.[i] then take (i + 1) else i in
+  let rec go acc i =
+    let i = skip i in
+    if i >= n || line.[i] = '*' then List.rev acc
+    else
+      let j = take i in
+      if j = i then List.rev acc
+      else go (String.sub line i (j - i) :: acc) j
+  in
+  go [] start
+
+let find_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = sub then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let of_source src =
+  let waived = Hashtbl.create 8 in
+  let add line rule =
+    Hashtbl.replace waived (line, rule) ();
+    Hashtbl.replace waived (line + 1, rule) ()
+  in
+  List.iteri
+    (fun idx line ->
+      match find_sub line marker with
+      | None -> ()
+      | Some stop ->
+        List.iter (fun rule -> add (idx + 1) rule) (ids_after line stop))
+    (String.split_on_char '\n' src);
+  { waived }
+
+let active t ~line ~rule = Hashtbl.mem t.waived (line, rule)

@@ -1,0 +1,14 @@
+(** Inline diagnostic suppressions.
+
+    A comment [(* prio-lint: allow <rule-id> [<rule-id> ...] *)] waives the
+    named rules on its own line and on the following line, so it can either
+    trail the offending expression or sit on the line above it. *)
+
+type t
+
+(** Scan raw file contents for suppression markers. *)
+val of_source : string -> t
+
+(** [active t ~line ~rule] is true when a marker waives [rule] at [line]
+    (1-based). *)
+val active : t -> line:int -> rule:string -> bool

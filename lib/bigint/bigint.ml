@@ -275,7 +275,7 @@ let sign x = x.sign
 let is_zero x = x.sign = 0
 
 let compare a b =
-  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  if a.sign <> b.sign then Int.compare a.sign b.sign
   else if a.sign >= 0 then mcompare a.mag b.mag
   else mcompare b.mag a.mag
 

@@ -23,10 +23,15 @@ let sha256_trunc ~key len msg =
   Bytes.sub (sha256 ~key msg) 0 len
 
 let verify ~key ~tag msg =
-  let expected = sha256_trunc ~key (Bytes.length tag) msg in
-  (* constant-time comparison *)
-  let acc = ref 0 in
-  Bytes.iteri
-    (fun i c -> acc := !acc lor (Char.code c lxor Char.code (Bytes.get expected i)))
-    tag;
-  !acc = 0 && Bytes.length tag > 0
+  let len = Bytes.length tag in
+  if len < 1 || len > 32 then false
+  else begin
+    let expected = sha256_trunc ~key len msg in
+    (* constant-time comparison: fold the whole tag before deciding *)
+    let acc = ref 0 in
+    Bytes.iteri
+      (fun i c ->
+        acc := !acc lor (Char.code c lxor Char.code (Bytes.get expected i)))
+      tag;
+    !acc = 0
+  end

@@ -7,4 +7,7 @@ val sha256_trunc : key:Bytes.t -> int -> Bytes.t -> Bytes.t
 (** Tag truncated to the given byte length (<= 32). *)
 
 val verify : key:Bytes.t -> tag:Bytes.t -> Bytes.t -> bool
-(** Constant-time comparison of a (possibly truncated) tag. *)
+(** Constant-time comparison of a (possibly truncated) tag: the whole tag
+    is folded before the verdict, so timing reveals nothing about which
+    byte mismatched. Tags of length 0 or > 32 are rejected (false), never
+    raised on. *)

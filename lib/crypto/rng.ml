@@ -18,10 +18,41 @@ let of_seed seed =
 
 let of_string_seed s = of_seed (Bytes.of_string s)
 
+(* OS entropy for nondeterministically seeded generators. This file is the
+   one sanctioned entropy seam (docs/ANALYSIS.md, no-ambient-random): all
+   ambient randomness enters the system here, gets folded into a ChaCha20
+   seed, and everything downstream is a pure function of that seed. *)
+let os_entropy n =
+  match open_in_bin "/dev/urandom" with
+  | ic ->
+    let b = Bytes.create n in
+    let r =
+      match really_input ic b 0 n with
+      | () -> Some b
+      | exception End_of_file -> None
+    in
+    close_in ic;
+    r
+  | exception Sys_error _ -> None
+
+(* Last-resort seed material for platforms without /dev/urandom: a digest
+   of volatile process state. Not cryptographically strong — but strictly
+   better than the PID-free time-only seeding it replaces, and unreachable
+   on the Unix systems this repo targets. *)
+let fallback_entropy () =
+  let parts =
+    [
+      string_of_float (Unix.gettimeofday ());
+      string_of_int (Unix.getpid ());
+      string_of_float (Sys.time ());
+    ]
+  in
+  Sha256.digest (Bytes.of_string (String.concat "\x00" parts))
+
 let create () =
-  Random.self_init ();
-  let b = Bytes.init 32 (fun _ -> Char.chr (Random.int 256)) in
-  of_seed b
+  match os_entropy 32 with
+  | Some b -> of_seed b
+  | None -> of_seed (fallback_entropy ())
 
 let refill t =
   t.block <- Chacha20.block ~key:t.key ~counter:t.counter ~nonce:zero_nonce;

@@ -16,8 +16,9 @@ val of_seed : Bytes.t -> t
 
 val of_string_seed : string -> t
 val create : unit -> t
-(** Fresh generator seeded from [Random.self_init]-style entropy; use only at
-    the edges (demo binaries), never inside protocol logic under test. *)
+(** Fresh generator seeded from OS entropy ([/dev/urandom], with a weak
+    process-state fallback for platforms without it); use only at the
+    edges (demo binaries), never inside protocol logic under test. *)
 
 val seed_bytes : int
 (** Length of a compressed-share seed (32). *)

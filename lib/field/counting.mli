@@ -1,0 +1,20 @@
+(** Instrumented field: wraps any field instance and counts operations.
+
+    Table 2 of the paper is an {e asymptotic} comparison (client performs
+    Θ(M log M) field multiplications and zero exponentiations, servers
+    exchange Θ(1) elements); wrapping the SNIP in this functor lets the
+    test suite verify those operation counts empirically rather than by
+    inspection. *)
+
+type stats = {
+  mutable muls : int;
+  mutable adds : int;  (** additions and subtractions *)
+  mutable invs : int;
+}
+
+module Make (F : Field_intf.S) : sig
+  include Field_intf.S
+
+  val stats : stats
+  val reset : unit -> unit
+end

@@ -61,9 +61,11 @@ module Make (C : Config) : Field_intf.S = struct
   let to_bytes x = B.to_bytes_be (to_bigint x) bytes_len
 
   let of_bytes b =
-    if Bytes.length b <> bytes_len then
+    if not (Int.equal (Bytes.length b) bytes_len) then
       invalid_arg (name ^ ".of_bytes: wrong width");
     let v = B.of_bytes_be b in
+    (* canonicality check on public wire bytes, not secret data *)
+    (* prio-lint: allow ct-compare *)
     if B.compare v order >= 0 then invalid_arg (name ^ ".of_bytes: not canonical");
     of_bigint v
 

@@ -27,10 +27,13 @@ let measure_exp_seconds ?(iters = 50) () =
   let x = ref Group.g in
   (* warm-up *)
   x := Group.exp !x e;
+  (* measuring wall-clock cost is this function's whole purpose *)
+  (* prio-lint: allow no-ambient-random *)
   let t0 = Unix.gettimeofday () in
   for _ = 1 to iters do
     x := Group.exp !x e
   done;
+  (* prio-lint: allow no-ambient-random *)
   let t1 = Unix.gettimeofday () in
   ignore (Sys.opaque_identity !x);
   (t1 -. t0) /. float_of_int iters

@@ -186,7 +186,9 @@ module Make (F : Prio_field.Field_intf.S) = struct
         vectors
     in
     let triple_ok =
-      run_snip_check t (Option.get t.triple_ctx) ~leader triple_subs
+      match t.triple_ctx with
+      | Some ctx -> run_snip_check t ctx ~leader triple_subs
+      | None -> assert false (* built for every Robust_mpc deployment *)
     in
     if not triple_ok then false
     else begin
@@ -232,21 +234,30 @@ module Make (F : Prio_field.Field_intf.S) = struct
         (fun i packet -> Server.receive t.servers.(i) ~client_id packet)
         pk.Client.sealed
     in
+    let vector_of = function
+      | Some (_, v) -> v
+      | None -> assert false (* guarded by the Option.is_none sweep *)
+    in
     let ok =
       if Array.exists Option.is_none received then false
       else begin
-        let vectors = Array.map (fun r -> snd (Option.get r)) received in
+        let vectors = Array.map vector_of received in
         match t.mode with
         | No_robustness -> true
         | Robust_snip ->
           let subs = Array.map (Snip.submission_of_vector t.circuit) vectors in
-          run_snip_check t (Option.get t.snip_ctx) ~leader subs
+          let ctx =
+            match t.snip_ctx with
+            | Some ctx -> ctx
+            | None -> assert false (* built for every Robust_snip deployment *)
+          in
+          run_snip_check t ctx ~leader subs
         | Robust_mpc -> run_mpc_check t ~leader vectors
       end
     in
     if ok then begin
       Array.iteri
-        (fun i r -> Server.accumulate t.servers.(i) (snd (Option.get r)))
+        (fun i r -> Server.accumulate t.servers.(i) (vector_of r))
         received;
       t.accepted <- t.accepted + 1
     end

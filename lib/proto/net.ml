@@ -727,6 +727,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
       (try
          serve ~tuning ?faults:(faults_for id) cfg ~id ~listen_fd
            ~follower_addrs
+         (* dying forked child: stderr is the only remaining channel *)
+         (* prio-lint: allow no-debug-io *)
        with e -> prerr_endline ("prio net server: " ^ Printexc.to_string e));
       exit 0
     | pid -> pid
@@ -761,6 +763,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
                serve ~tuning ?faults:(faults_for id) cfg ~id
                  ~listen_fd:listeners.(id) ~follower_addrs
              with e ->
+               (* dying forked child: stderr is the only channel left *)
+               (* prio-lint: allow no-debug-io *)
                prerr_endline ("prio net server: " ^ Printexc.to_string e));
             exit 0
           | pid -> pid)
@@ -907,50 +911,52 @@ module Make (F : Prio_field.Field_intf.S) = struct
     | Accepted -> true
     | Rejected _ | Unreachable _ -> false
 
-  (** Fetch and sum all accumulators.
-      @raise Failure naming the server and error if any is unreachable. *)
-  let collect_aggregate d : F.t array =
+  (** Fetch and sum all accumulators. [Error (i, e)] names the first
+      unreachable or garbled server and the structured cause. *)
+  let collect_aggregate d : (F.t array, int * protocol_error) result =
     ignore_sigpipe ();
     let tuning = d.tuning in
     let acc = Array.make d.cfg.trunc_len F.zero in
-    Array.iteri
-      (fun i addr ->
-        let fail e =
-          failwith
-            (Printf.sprintf "Net.collect_aggregate: server %d: %s" i
-               (string_of_protocol_error e))
-        in
-        match dial ~deadline:(Retry.after tuning.dial_timeout) addr with
-        | Error e -> fail e
-        | Ok fd ->
-          Fun.protect
-            ~finally:(fun () ->
-              try Unix.close fd with Unix.Unix_error _ -> ())
-            (fun () ->
-              let deadline = Retry.after tuning.io_timeout in
-              match write_frame ~deadline fd (tagged 'Q' Bytes.empty) with
-              | Error e -> fail e
-              | Ok () -> (
-                match
-                  read_frame ~deadline ~max_bytes:tuning.max_frame_bytes fd
-                with
-                | Error e -> fail e
-                | Ok reply ->
-                  if Bytes.length reply < 1 || Bytes.get reply 0 <> 'A' then
-                    fail (Bad_frame "expected accumulator reply")
-                  else (
-                    match
-                      W.vector_of_bytes_opt
-                        (Bytes.sub reply 1 (Bytes.length reply - 1))
-                    with
-                    | Some v when Array.length v = d.cfg.trunc_len ->
-                      Array.iteri
-                        (fun j x -> acc.(j) <- F.add acc.(j) x)
-                        v
-                    | Some _ | None ->
-                      fail (Bad_frame "bad accumulator payload")))))
-      d.addrs;
-    acc
+    let fetch addr : (unit, protocol_error) result =
+      match dial ~deadline:(Retry.after tuning.dial_timeout) addr with
+      | Error e -> Error e
+      | Ok fd ->
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let deadline = Retry.after tuning.io_timeout in
+            match write_frame ~deadline fd (tagged 'Q' Bytes.empty) with
+            | Error e -> Error e
+            | Ok () -> (
+              match
+                read_frame ~deadline ~max_bytes:tuning.max_frame_bytes fd
+              with
+              | Error e -> Error e
+              | Ok reply ->
+                if Bytes.length reply < 1 || Bytes.get reply 0 <> 'A' then
+                  Error (Bad_frame "expected accumulator reply")
+                else (
+                  match
+                    W.vector_of_bytes_opt
+                      (Bytes.sub reply 1 (Bytes.length reply - 1))
+                  with
+                  | Some v when Array.length v = d.cfg.trunc_len ->
+                    Array.iteri
+                      (fun j x -> acc.(j) <- F.add acc.(j) x)
+                      v;
+                    Ok ()
+                  | Some _ | None ->
+                    Error (Bad_frame "bad accumulator payload"))))
+    in
+    let rec go i =
+      if i >= Array.length d.addrs then Ok acc
+      else
+        match fetch d.addrs.(i) with
+        | Ok () -> go (i + 1)
+        | Error e -> Error (i, e)
+    in
+    go 0
 
   (** Stop all server processes and reap them: polite [X] frames first,
       then a grace period, then SIGKILL for anything still alive — so

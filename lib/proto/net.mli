@@ -173,9 +173,10 @@ module Make (F : Prio_field.Field_intf.S) : sig
     client_id:int -> F.t array -> bool
   (** [submit_outcome] collapsed to "accepted?". *)
 
-  val collect_aggregate : deployment -> F.t array
-  (** Query every server's accumulator and sum.
-      @raise Failure naming the server if one is unreachable. *)
+  val collect_aggregate :
+    deployment -> (F.t array, int * protocol_error) result
+  (** Query every server's accumulator and sum. [Error (i, e)] names the
+      first unreachable or garbled server and the structured cause. *)
 
   val shutdown : deployment -> unit
   (** Stop and reap every server process: polite [X] frames, a grace

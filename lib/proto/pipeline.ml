@@ -10,9 +10,9 @@
     (and n/T for the single-server no-privacy scheme). *)
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Retry.now () in
   let x = f () in
-  (x, Unix.gettimeofday () -. t0)
+  (x, Retry.now () -. t0)
 
 module Make (F : Prio_field.Field_intf.S) = struct
   module C = Prio_circuit.Circuit.Make (F)

@@ -74,7 +74,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
     match c with
     | Seed s -> expand_seed s ~len
     | Explicit v ->
-      if Array.length v <> len then invalid_arg "Share.expand: length mismatch";
+      if not (Int.equal (Array.length v) len) then
+        invalid_arg "Share.expand: length mismatch";
       v
 
   (** Split a vector so that the first s−1 shares are PRG seeds and the

@@ -232,7 +232,11 @@ module Make (F : Prio_field.Field_intf.S) = struct
         fv.(t) <- u;
         gv.(t) <- v
       done;
-      let re_n = Option.get re_n and re_2n = Option.get re_2n in
+      let re_n, re_2n =
+        match (re_n, re_2n) with
+        | Some a, Some b -> (a, b)
+        | _ -> assert false (* batch_ctx builds both whenever m > 0 *)
+      in
       let fr = RE.eval re_n fv in
       let gr = RE.eval re_n gv in
       let hr = RE.eval re_2n sub.proof.h_points in

@@ -1,0 +1,6 @@
+(* corpus: no-ambient-random negatives — seeded draws and explicit
+   instants are the sanctioned forms *)
+let draw rng n = Rng.int_below rng n
+let jitter rng = Rng.float01 rng
+let expired ~now ~deadline = now > deadline
+let pause s = Unix.sleepf s

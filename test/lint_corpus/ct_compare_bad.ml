@@ -1,0 +1,10 @@
+(* corpus: ct-compare positives — every comparison here must be flagged *)
+let tag_eq tag expected = tag = expected
+let tag_ne tag expected = tag <> expected
+let cmp a b = compare a b
+let scmp a b = String.compare a b
+let bcmp a b = Bytes.compare a b
+let seq a b = String.equal a b
+let beq a b = Bytes.equal a b
+let qcmp a b = Stdlib.compare a b
+let find x l = List.exists (( = ) x) l

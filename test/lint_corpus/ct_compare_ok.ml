@@ -1,0 +1,14 @@
+(* corpus: ct-compare negatives — nothing here may be flagged.
+   Comparisons against an int/char/bool literal pin the type to an
+   immediate and compile to one machine comparison; named monomorphic
+   equalities are the sanctioned spelling for everything else. *)
+let is_zero n = n = 0
+let is_one n = 1 = n
+let nonzero n = n <> 0
+let is_x c = c = 'x'
+let is_set b = b = true
+let is_neg n = n = -1
+let same_len a b = Int.equal (Bytes.length a) (Bytes.length b)
+let ordered a b = Int.compare a b <= 0
+let ch a b = Char.compare a b
+let bounded n len = n < len && n >= 0

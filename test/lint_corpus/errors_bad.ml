@@ -1,0 +1,5 @@
+(* corpus: error-discipline positives *)
+let boom () = failwith "unreachable server"
+let lookup t k = match find_opt t k with Some v -> v | None -> raise Not_found
+let fail2 msg = raise (Failure msg)
+let foreign () = raise (Unix.Unix_error (Unix.EPIPE, "write", ""))

@@ -1,0 +1,20 @@
+(* corpus: error-discipline negatives — locally declared control-flow
+   exceptions, the Exit idiom, contract checks, and re-raises are fine *)
+exception Degraded of int
+
+let gossip servers =
+  try
+    Array.iter (fun s -> if dead s then raise (Degraded s)) servers;
+    Ok ()
+  with Degraded i -> Error i
+
+let first_dead servers =
+  let exception Found of int in
+  try
+    Array.iteri (fun i s -> if dead s then raise (Found i)) servers;
+    None
+  with Found i -> Some i
+
+let bounded n = if n < 0 then invalid_arg "bounded: negative" else n
+let stop () = raise Exit
+let cleanup fd f = try f fd with e -> close fd; raise e

@@ -1,0 +1,5 @@
+(* corpus: no-debug-io positives *)
+let trace x = Printf.printf "x = %d\n" x
+let note msg = print_endline msg
+let warn msg = prerr_endline msg
+let dump v = Format.eprintf "%a" pp v

@@ -1,0 +1,6 @@
+(* corpus: no-debug-io negatives — building strings and writing to an
+   explicit formatter/channel is fine; only ambient stdout/stderr is not *)
+let render x = Printf.sprintf "x = %d" x
+let pp fmt x = Format.fprintf fmt "%d" x
+let log oc msg = Printf.fprintf oc "%s\n" msg
+let pp_pair fmt (a, b) = Format.pp_print_string fmt (render a ^ render b)

@@ -1,0 +1,5 @@
+(* corpus: no-partial-stdlib positives *)
+let first l = List.hd l
+let pick l n = List.nth l n
+let force o = Option.get o
+let cast x = Obj.magic x

@@ -1,0 +1,4 @@
+(* corpus: no-partial-stdlib negatives *)
+let first = function [] -> None | x :: _ -> Some x
+let force ~default o = Option.value o ~default
+let len l = List.length l

@@ -1,0 +1,8 @@
+(* corpus: inline suppressions — first two violations are waived (marker
+   on the same line, then on the line above); the last one is not *)
+let boom () = failwith "waived same-line" (* prio-lint: allow error-discipline *)
+
+(* prio-lint: allow error-discipline *)
+let boom2 () = failwith "waived line-above"
+
+let boom3 () = failwith "not waived"

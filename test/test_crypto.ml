@@ -109,6 +109,45 @@ let test_hmac_verify () =
   Alcotest.(check bool) "rejects wrong msg" false
     (Hmac.verify ~key ~tag (Bytes.of_string "other message"))
 
+(* Pin the verification contract the ct-compare lint rule exists to
+   protect: degenerate tag lengths are rejected (not raised on), every
+   truncation length round-trips, and a flip of any single bit anywhere
+   in the tag fails verification. *)
+let test_hmac_verify_contract () =
+  let key = Bytes.of_string "contract key" in
+  let msg = Bytes.of_string "the message under test" in
+  Alcotest.(check bool) "empty tag rejected" false
+    (Hmac.verify ~key ~tag:Bytes.empty msg);
+  Alcotest.(check bool) "oversize tag rejected" false
+    (Hmac.verify ~key ~tag:(Bytes.make 33 '\x00') msg);
+  for len = 1 to 32 do
+    let tag = Hmac.sha256_trunc ~key len msg in
+    Alcotest.(check bool)
+      (Printf.sprintf "trunc %d accepts" len)
+      true
+      (Hmac.verify ~key ~tag msg);
+    (* the final byte of a truncated tag must actually be checked *)
+    let bad = Bytes.copy tag in
+    Bytes.set bad (len - 1)
+      (Char.chr (Char.code (Bytes.get bad (len - 1)) lxor 1));
+    Alcotest.(check bool)
+      (Printf.sprintf "trunc %d corrupted tail rejected" len)
+      false
+      (Hmac.verify ~key ~tag:bad msg)
+  done;
+  let tag = Hmac.sha256 ~key msg in
+  for byte = 0 to 31 do
+    for bit = 0 to 7 do
+      let bad = Bytes.copy tag in
+      Bytes.set bad byte
+        (Char.chr (Char.code (Bytes.get bad byte) lxor (1 lsl bit)));
+      Alcotest.(check bool)
+        (Printf.sprintf "bit flip %d/%d rejected" byte bit)
+        false
+        (Hmac.verify ~key ~tag:bad msg)
+    done
+  done
+
 (* ------------------------------ Rng -------------------------------- *)
 
 let test_rng_deterministic () =
@@ -217,6 +256,8 @@ let () =
         [
           Alcotest.test_case "rfc4231 vectors" `Quick test_hmac_vectors;
           Alcotest.test_case "verify" `Quick test_hmac_verify;
+          Alcotest.test_case "verify contract" `Quick
+            test_hmac_verify_contract;
         ] );
       ( "rng",
         [

@@ -1,0 +1,267 @@
+(* Tests for the prio_lint static analyzer.
+
+   Two layers: (a) the tree gate — the linter must be clean on the whole
+   repo (modulo the checked-in baseline), so any new violation fails
+   `dune runtest` as well as `dune build @lint`; (b) a corpus of known-bad
+   and known-good snippets under lint_corpus/ with the exact diagnostics
+   pinned, so a rule that goes blind (or trigger-happy) is caught by the
+   suite, not by reviewers. *)
+
+module D = Prio_analysis.Diagnostic
+module Rules = Prio_analysis.Rules
+module Policy = Prio_analysis.Policy
+module Driver = Prio_analysis.Driver
+module Baseline = Prio_analysis.Baseline
+
+let read_file path =
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  src
+
+(* Lint one corpus file under every AST rule; diagnostics are labelled
+   with the bare file name so expectations stay short. *)
+let lint file =
+  let src = read_file (Filename.concat "lint_corpus" file) in
+  List.map D.to_string
+    (Driver.lint_source ~rules:Rules.all_ast_rules ~path:file src)
+
+let check_diags name expected actual =
+  Alcotest.(check (list string)) name expected actual
+
+(* ------------------------------ corpus ------------------------------- *)
+
+let test_ct_compare_positives () =
+  check_diags "ct_compare_bad"
+    [
+      "ct_compare_bad.ml:2:30: [ct-compare] polymorphic comparison (=) on \
+       non-literal operands: use a monomorphic or constant-time equality \
+       (F.equal, Int.equal, Hmac.verify)";
+      "ct_compare_bad.ml:3:30: [ct-compare] polymorphic comparison (<>) on \
+       non-literal operands: use a monomorphic or constant-time equality \
+       (F.equal, Int.equal, Hmac.verify)";
+      "ct_compare_bad.ml:4:14: [ct-compare] polymorphic compare is \
+       variable-time: use Int.compare or a field-specific comparison";
+      "ct_compare_bad.ml:5:15: [ct-compare] variable-time comparison \
+       String.compare: secret-dependent data must use a constant-time or \
+       field-specific equality";
+      "ct_compare_bad.ml:6:15: [ct-compare] variable-time comparison \
+       Bytes.compare: secret-dependent data must use a constant-time or \
+       field-specific equality";
+      "ct_compare_bad.ml:7:14: [ct-compare] String.equal short-circuits on \
+       the first mismatch: use a constant-time comparison for \
+       secret-dependent data";
+      "ct_compare_bad.ml:8:14: [ct-compare] Bytes.equal short-circuits on \
+       the first mismatch: use a constant-time comparison for \
+       secret-dependent data";
+      "ct_compare_bad.ml:9:15: [ct-compare] polymorphic compare is \
+       variable-time: use Int.compare or a field-specific comparison";
+      "ct_compare_bad.ml:10:28: [ct-compare] polymorphic comparison (=) on \
+       non-literal operands: use a monomorphic or constant-time equality \
+       (F.equal, Int.equal, Hmac.verify)";
+    ]
+    (lint "ct_compare_bad.ml")
+
+let test_ct_compare_negatives () =
+  check_diags "ct_compare_ok" [] (lint "ct_compare_ok.ml")
+
+let test_ambient_positives () =
+  check_diags "ambient_bad"
+    [
+      "ambient_bad.ml:2:17: [no-ambient-random] ambient randomness \
+       Random.int: every protocol execution must be a pure function of its \
+       Rng seed (thread a seeded Prio_crypto.Rng.t)";
+      "ambient_bad.ml:3:16: [no-ambient-random] ambient randomness \
+       Random.self_init: every protocol execution must be a pure function \
+       of its Rng seed (thread a seeded Prio_crypto.Rng.t)";
+      "ambient_bad.ml:4:13: [no-ambient-random] ambient clock \
+       Unix.gettimeofday: read time through the Retry.now seam (or take an \
+       instant as a parameter) so runs replay deterministically";
+      "ambient_bad.ml:5:15: [no-ambient-random] ambient clock Unix.time: \
+       read time through the Retry.now seam (or take an instant as a \
+       parameter) so runs replay deterministically";
+      "ambient_bad.ml:6:13: [no-ambient-random] ambient clock Sys.time: \
+       read time through the Retry.now seam (or take an instant as a \
+       parameter) so runs replay deterministically";
+    ]
+    (lint "ambient_bad.ml")
+
+let test_ambient_negatives () =
+  check_diags "ambient_ok" [] (lint "ambient_ok.ml")
+
+let test_error_discipline_positives () =
+  check_diags "errors_bad"
+    [
+      "errors_bad.ml:2:14: [error-discipline] failwith escapes the \
+       protocol boundary as Failure: return a structured protocol_error \
+       instead";
+      "errors_bad.ml:3:69: [error-discipline] raising Not_found across the \
+       protocol boundary: return a structured protocol_error \
+       (locally-declared exceptions caught before the public API are fine)";
+      "errors_bad.ml:4:23: [error-discipline] raising Failure across the \
+       protocol boundary: return a structured protocol_error \
+       (locally-declared exceptions caught before the public API are fine)";
+      "errors_bad.ml:5:24: [error-discipline] raising Unix.Unix_error \
+       across the protocol boundary: return a structured protocol_error \
+       (locally-declared exceptions caught before the public API are fine)";
+    ]
+    (lint "errors_bad.ml")
+
+let test_error_discipline_negatives () =
+  check_diags "errors_ok" [] (lint "errors_ok.ml")
+
+let test_debug_io_positives () =
+  check_diags "io_bad"
+    [
+      "io_bad.ml:2:14: [no-debug-io] debug I/O Printf.printf in library \
+       code: return the data, take a Format.formatter, or log at the \
+       binary layer";
+      "io_bad.ml:3:15: [no-debug-io] debug I/O print_endline in library \
+       code: return the data, take a Format.formatter, or log at the \
+       binary layer";
+      "io_bad.ml:4:15: [no-debug-io] debug I/O prerr_endline in library \
+       code: return the data, take a Format.formatter, or log at the \
+       binary layer";
+      "io_bad.ml:5:13: [no-debug-io] debug I/O Format.eprintf in library \
+       code: return the data, take a Format.formatter, or log at the \
+       binary layer";
+    ]
+    (lint "io_bad.ml")
+
+let test_debug_io_negatives () = check_diags "io_ok" [] (lint "io_ok.ml")
+
+let test_partial_positives () =
+  check_diags "partial_bad"
+    [
+      "partial_bad.ml:2:14: [no-partial-stdlib] List.hd raises on short \
+       lists: match explicitly or restructure";
+      "partial_bad.ml:3:15: [no-partial-stdlib] List.nth raises on short \
+       lists: match explicitly or restructure";
+      "partial_bad.ml:4:14: [no-partial-stdlib] Option.get raises on None: \
+       match explicitly on the option";
+      "partial_bad.ml:5:13: [no-partial-stdlib] Obj.magic defeats the type \
+       system entirely";
+    ]
+    (lint "partial_bad.ml")
+
+let test_partial_negatives () =
+  check_diags "partial_ok" [] (lint "partial_ok.ml")
+
+let test_mli_coverage () =
+  let flagged files =
+    List.map fst (Rules.run_mli_coverage files)
+  in
+  Alcotest.(check (list string))
+    "missing .mli flagged"
+    [ "lib/foo/b.ml"; "lib/bar/c.ml" ]
+    (flagged
+       [ "lib/foo/a.ml"; "lib/foo/a.mli"; "lib/foo/b.ml"; "lib/bar/c.ml" ]);
+  Alcotest.(check (list string))
+    "covered modules pass" []
+    (flagged [ "lib/foo/a.ml"; "lib/foo/a.mli"; "lib/foo/d.mli" ]);
+  (* the exemptions are Policy's, not the rule's *)
+  Alcotest.(check bool) "policy exempts lib/core" true
+    (Policy.severity_of "lib/core/prio.ml" Rules.mli_coverage = None);
+  Alcotest.(check bool) "policy demands .mli elsewhere in lib" true
+    (Policy.severity_of "lib/field/counting.ml" Rules.mli_coverage
+    = Some D.Error)
+
+let test_suppressions () =
+  check_diags "suppressed"
+    [
+      "suppressed.ml:8:15: [error-discipline] failwith escapes the \
+       protocol boundary as Failure: return a structured protocol_error \
+       instead";
+    ]
+    (lint "suppressed.ml")
+
+let test_baseline () =
+  let b =
+    Baseline.parse
+      "# comment\nlib/field/field_intf.ml mli-coverage\n\nlib/x.ml \
+       ct-compare # trailing\n"
+  in
+  Alcotest.(check bool) "entry waives" true
+    (Baseline.waived b ~file:"lib/field/field_intf.ml" ~rule:"mli-coverage");
+  Alcotest.(check bool) "trailing comment stripped" true
+    (Baseline.waived b ~file:"lib/x.ml" ~rule:"ct-compare");
+  Alcotest.(check bool) "other rule not waived" false
+    (Baseline.waived b ~file:"lib/field/field_intf.ml" ~rule:"ct-compare");
+  Alcotest.(check bool) "other file not waived" false
+    (Baseline.waived b ~file:"lib/field/babybear.ml" ~rule:"mli-coverage")
+
+let test_parse_error () =
+  match Driver.lint_source ~rules:Rules.all_ast_rules ~path:"garbage.ml"
+      "let let let ("
+  with
+  | [ d ] -> Alcotest.(check string) "rule" "parse-error" d.D.rule
+  | ds -> Alcotest.failf "expected one parse-error, got %d" (List.length ds)
+
+(* ------------------------------ policy ------------------------------- *)
+
+let test_policy () =
+  let sev = Policy.severity_of in
+  Alcotest.(check bool) "ct-compare hot in crypto" true
+    (sev "lib/crypto/hmac.ml" Rules.ct_compare = Some D.Error);
+  Alcotest.(check bool) "ct-compare off in proto" true
+    (sev "lib/proto/net.ml" Rules.ct_compare = None);
+  Alcotest.(check bool) "entropy seam exempt" true
+    (sev "lib/crypto/rng.ml" Rules.no_ambient_random = None);
+  Alcotest.(check bool) "clock seam exempt" true
+    (sev "lib/proto/retry.ml" Rules.no_ambient_random = None);
+  Alcotest.(check bool) "ambient randomness an error elsewhere" true
+    (sev "lib/crypto/chacha20.ml" Rules.no_ambient_random = Some D.Error);
+  Alcotest.(check bool) "bench may read the wall clock" true
+    (sev "bench/main.ml" Rules.no_ambient_random = None);
+  Alcotest.(check bool) "error-discipline scoped to proto" true
+    (sev "lib/proto/server.ml" Rules.error_discipline = Some D.Error
+    && sev "lib/afe/sum.ml" Rules.error_discipline = None);
+  Alcotest.(check bool) "partial functions a warning in examples" true
+    (sev "examples/survey.ml" Rules.no_partial_stdlib = Some D.Warning);
+  Alcotest.(check bool) "debug IO fine in binaries" true
+    (sev "bin/prio_cli.ml" Rules.no_debug_io = None)
+
+(* ----------------------------- tree gate ----------------------------- *)
+
+let test_tree_clean () =
+  let baseline = Baseline.load "../.prio-lint-baseline" in
+  let diags =
+    Driver.lint_tree ~baseline ~root:".."
+      ~dirs:[ "lib"; "bin"; "bench"; "examples" ] ()
+  in
+  check_diags "the tree is lint-clean" [] (List.map D.to_string diags)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "ct-compare positives" `Quick
+            test_ct_compare_positives;
+          Alcotest.test_case "ct-compare negatives" `Quick
+            test_ct_compare_negatives;
+          Alcotest.test_case "no-ambient-random positives" `Quick
+            test_ambient_positives;
+          Alcotest.test_case "no-ambient-random negatives" `Quick
+            test_ambient_negatives;
+          Alcotest.test_case "error-discipline positives" `Quick
+            test_error_discipline_positives;
+          Alcotest.test_case "error-discipline negatives" `Quick
+            test_error_discipline_negatives;
+          Alcotest.test_case "no-debug-io positives" `Quick
+            test_debug_io_positives;
+          Alcotest.test_case "no-debug-io negatives" `Quick
+            test_debug_io_negatives;
+          Alcotest.test_case "no-partial-stdlib positives" `Quick
+            test_partial_positives;
+          Alcotest.test_case "no-partial-stdlib negatives" `Quick
+            test_partial_negatives;
+          Alcotest.test_case "mli-coverage" `Quick test_mli_coverage;
+          Alcotest.test_case "inline suppressions" `Quick test_suppressions;
+          Alcotest.test_case "baseline" `Quick test_baseline;
+          Alcotest.test_case "parse errors reported" `Quick test_parse_error;
+        ] );
+      ("policy", [ Alcotest.test_case "severity map" `Quick test_policy ]);
+      ( "tree",
+        [ Alcotest.test_case "repo is clean" `Quick test_tree_clean ] );
+    ]

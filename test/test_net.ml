@@ -23,6 +23,14 @@ module Rng = Prio_crypto.Rng
 
 let rng = Rng.of_string_seed "net-tests"
 
+(* Unwrap [collect_aggregate] for tests that expect every server alive. *)
+let collect_exn d =
+  match Net.collect_aggregate d with
+  | Ok v -> v
+  | Error (i, e) ->
+    Alcotest.failf "collect_aggregate: server %d: %s" i
+      (NetT.string_of_protocol_error e)
+
 (* Short deadlines and an aggressive retry schedule: a dropped frame
    costs [io_timeout] of real waiting, so chaos runs stay fast. *)
 let fast_tuning =
@@ -70,7 +78,7 @@ let test_sum_end_to_end () =
           Alcotest.(check bool) "accepted over TCP" true
             (Net.submit d ~rng ~client_id:i (afe.A.encode ~rng x)))
         [ 3; 7; 15; 0; 9 ];
-      let total = afe.A.decode ~n:5 (Net.collect_aggregate d) in
+      let total = afe.A.decode ~n:5 (collect_exn d) in
       Alcotest.(check string) "aggregate" "34" (Prio_bigint.Bigint.to_string total))
 
 let test_rejects_cheater () =
@@ -82,7 +90,7 @@ let test_rejects_cheater () =
       bad.(0) <- F.of_int 999;
       Alcotest.(check bool) "cheater rejected over TCP" false
         (Net.submit d ~rng ~client_id:1 bad);
-      let total = afe.A.decode ~n:1 (Net.collect_aggregate d) in
+      let total = afe.A.decode ~n:1 (collect_exn d) in
       Alcotest.(check string) "aggregate unpolluted" "5"
         (Prio_bigint.Bigint.to_string total))
 
@@ -94,7 +102,7 @@ let test_five_servers_histogram () =
           Alcotest.(check bool) "accepted" true
             (Net.submit d ~rng ~client_id:i (afe.A.encode ~rng x)))
         [ 0; 1; 1; 3; 3; 3 ];
-      let counts = afe.A.decode ~n:6 (Net.collect_aggregate d) in
+      let counts = afe.A.decode ~n:6 (collect_exn d) in
       Alcotest.(check (array int)) "histogram over TCP" [| 1; 2; 0; 3 |] counts)
 
 (* --------------------------- chaos harness --------------------------- *)
@@ -133,7 +141,7 @@ let run_chaos ~seed policy values =
       Alcotest.(check bool) "cluster still accepts honest traffic" true
         (accepted <> []);
       let total =
-        afe.A.decode ~n:(List.length accepted) (Net.collect_aggregate d)
+        afe.A.decode ~n:(List.length accepted) (collect_exn d)
       in
       Alcotest.(check string) "aggregate = accepted-only sum"
         (string_of_int (List.fold_left ( + ) 0 accepted))
@@ -315,7 +323,7 @@ let test_fuzz_malformed_frames () =
       (* the cluster survived all of it *)
       Alcotest.(check bool) "still serving" true
         (Net.submit d ~rng ~client_id:0 (afe.A.encode ~rng 9));
-      let total = afe.A.decode ~n:1 (Net.collect_aggregate d) in
+      let total = afe.A.decode ~n:1 (collect_exn d) in
       Alcotest.(check string) "aggregate intact" "9"
         (Prio_bigint.Bigint.to_string total))
 
@@ -358,7 +366,7 @@ let test_idempotent_retries () =
       Alcotest.(check char) "post-decision P re-ack" 'K'
         (Bytes.get (exchange d.Net.addrs.(1) (p_frame 1)) 0);
       (* and the value was counted exactly once *)
-      let total = afe.A.decode ~n:1 (Net.collect_aggregate d) in
+      let total = afe.A.decode ~n:1 (collect_exn d) in
       Alcotest.(check string) "counted once" "11"
         (Prio_bigint.Bigint.to_string total))
 
