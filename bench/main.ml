@@ -16,17 +16,100 @@ module Rng = Prio.Rng
 
 let now () = Unix.gettimeofday ()
 
-(** Average seconds per call, warm-started, at least [min_reps] calls and
-    [min_time] seconds of sampling (the paper averages over 8 runs). *)
-let measure ?(min_time = 0.2) ?(min_reps = 3) f =
+(** Timing statistics over repeated calls of one workload. *)
+type stats = {
+  mean : float;  (** seconds per call *)
+  count : int;  (** calls sampled *)
+  min_s : float;  (** fastest single call, seconds *)
+  max_s : float;  (** slowest single call, seconds *)
+  total : float;  (** wall-clock seconds spent sampling *)
+}
+
+(** Sample [f] warm-started: at least [min_reps] calls and [min_time]
+    seconds of sampling (the paper averages over 8 runs). *)
+let measure_stats ?(min_time = 0.2) ?(min_reps = 3) f =
   ignore (f ());
   let t0 = now () in
-  let reps = ref 0 in
-  while !reps < min_reps || now () -. t0 < min_time do
+  let reps = ref 0 and mn = ref infinity and mx = ref neg_infinity in
+  let elapsed = ref 0. in
+  while !reps < min_reps || !elapsed < min_time do
+    let s0 = now () in
     ignore (f ());
-    incr reps
+    let dt = now () -. s0 in
+    if dt < !mn then mn := dt;
+    if dt > !mx then mx := dt;
+    incr reps;
+    elapsed := now () -. t0
   done;
-  (now () -. t0) /. float_of_int !reps
+  let n = !reps in
+  {
+    mean = !elapsed /. float_of_int n;
+    count = n;
+    min_s = !mn;
+    max_s = !mx;
+    total = !elapsed;
+  }
+
+(** [measure_stats] collapsed to its mean. *)
+let measure ?min_time ?min_reps f = (measure_stats ?min_time ?min_reps f).mean
+
+(* ---------------------------------------------------------------------- *)
+(* Machine-readable results. With [--json <path>] (BENCH_PRIO.json by     *)
+(* convention) the harness writes every record the selected experiments   *)
+(* emitted, plus the Obs metrics snapshot, as one JSON document — see     *)
+(* docs/OBSERVABILITY.md for the schema.                                  *)
+(* ---------------------------------------------------------------------- *)
+
+type jfield = I of int | Fl of float | S of string
+
+let json_records : (string * jfield) list list ref = ref []
+
+(** Emit one result row: the numbers a CI check or plot script would
+    want, identified by [experiment] and [name]. *)
+let record ~experiment ~name fields =
+  json_records :=
+    (("experiment", S experiment) :: ("name", S name) :: fields)
+    :: !json_records
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jfield_string = function
+  | I n -> string_of_int n
+  | Fl f -> if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+  | S s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let write_json path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc "{\n  \"schema\": \"prio-bench/1\",\n  \"records\": [\n";
+  let rows = List.rev !json_records in
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i fields ->
+      let body =
+        List.map
+          (fun (k, v) -> Printf.sprintf "\"%s\": %s" k (jfield_string v))
+          fields
+        |> String.concat ", "
+      in
+      output_string oc
+        (Printf.sprintf "    {%s}%s\n" body (if i = last then "" else ",")))
+    rows;
+  output_string oc "  ],\n  \"metrics\": ";
+  output_string oc (Prio.Obs_report.json ());
+  output_string oc "\n}\n"
 
 let pretty_time s =
   if s < 1e-6 then Printf.sprintf "%.0f ns" (s *. 1e9)
@@ -193,7 +276,16 @@ let fig4 () =
       in
       Printf.printf "%-8d %12.0f %14.0f %10.0f %10.1f %10s\n" l no_priv no_rob
         prio mpc
-        (if Float.is_nan nizk then "--" else Printf.sprintf "%.2f" nizk))
+        (if Float.is_nan nizk then "--" else Printf.sprintf "%.2f" nizk);
+      record ~experiment:"fig4" ~name:(Printf.sprintf "l%d" l)
+        [
+          ("l", I l);
+          ("no_privacy_per_s", Fl no_priv);
+          ("no_robustness_per_s", Fl no_rob);
+          ("prio_per_s", Fl prio);
+          ("prio_mpc_per_s", Fl mpc);
+          ("nizk_per_s", Fl nizk);
+        ])
     lengths;
   print_endline "(--: NIZK omitted above L=1024; its cost continues to grow linearly)"
 
@@ -235,7 +327,15 @@ let fig5 () =
         end
       in
       Printf.printf "%-8d %14.0f %10.0f %10.1f %10s\n" s no_rob prio mpc
-        (if Float.is_nan nizk then "--" else Printf.sprintf "%.2f" nizk))
+        (if Float.is_nan nizk then "--" else Printf.sprintf "%.2f" nizk);
+      record ~experiment:"fig5" ~name:(Printf.sprintf "s%d" s)
+        [
+          ("servers", I s);
+          ("no_robustness_per_s", Fl no_rob);
+          ("prio_per_s", Fl prio);
+          ("prio_mpc_per_s", Fl mpc);
+          ("nizk_per_s", Fl nizk);
+        ])
     [ 2; 3; 4; 5; 6; 8; 10 ]
 
 (* ---------------------------------------------------------------------- *)
@@ -261,7 +361,14 @@ let fig6 () =
       let mpc = transfer W.P.Cluster.Robust_mpc in
       let nizk = Prio.Nizk_pipeline.per_server_bytes ~l in
       Printf.printf "%-8d %12s %12s %12s\n" l (pretty_bytes prio)
-        (pretty_bytes mpc) (pretty_bytes nizk))
+        (pretty_bytes mpc) (pretty_bytes nizk);
+      record ~experiment:"fig6" ~name:(Printf.sprintf "l%d" l)
+        [
+          ("l", I l);
+          ("prio_bytes", I prio);
+          ("prio_mpc_bytes", I mpc);
+          ("nizk_bytes", I nizk);
+        ])
     [ 4; 16; 64; 256; 1024; 4096; 16384 ]
 
 (* ---------------------------------------------------------------------- *)
@@ -426,7 +533,14 @@ let table9 () =
       let prio = rate W.P.Cluster.Robust_snip 5 in
       Printf.printf "%-4d %10.0f %14.0f %10.0f %10.1fx %11.1fx %8.1fx\n" d
         no_priv no_rob prio (no_priv /. no_rob) (no_rob /. prio)
-        (no_priv /. prio))
+        (no_priv /. prio);
+      record ~experiment:"table9" ~name:(Printf.sprintf "d%d" d)
+        [
+          ("d", I d);
+          ("no_privacy_per_s", Fl no_priv);
+          ("no_robustness_per_s", Fl no_rob);
+          ("prio_per_s", Fl prio);
+        ])
     regression_dims
 
 (* ---------------------------------------------------------------------- *)
@@ -450,7 +564,15 @@ let table2 () =
       Printf.printf "%-8d %13d el %16s %13d B %18d\n" m proof_elts
         (pretty_bytes srv)
         (m * Prio.Nizk_bitproof.proof_bytes)
-        (6 * m))
+        (6 * m);
+      record ~experiment:"table2" ~name:(Printf.sprintf "m%d" m)
+        [
+          ("m", I m);
+          ("proof_elements", I proof_elts);
+          ("server_bytes", I srv);
+          ("nizk_proof_bytes", I (m * Prio.Nizk_bitproof.proof_bytes));
+          ("nizk_client_exps", I (6 * m));
+        ])
     [ 4; 16; 64; 256; 1024 ];
   print_endline
     "(Prio: proof length Θ(M), server transfer Θ(1), zero client\n\
@@ -471,7 +593,7 @@ let ablation () =
       let circuit = W.bits_circuit m in
       let enc = W.bits_encoding m in
       let p_opt =
-        measure (fun () ->
+        measure_stats (fun () ->
             W.P.Snip.prove ~rng:W.rng ~circuit ~num_servers:5 ~inputs:enc)
       in
       let p_ref =
@@ -481,14 +603,30 @@ let ablation () =
       let ctx = W.P.Snip.make_batch_ctx ~rng:W.rng ~circuit ~num_servers:5 in
       let subs_opt = W.P.Snip.prove ~rng:W.rng ~circuit ~num_servers:5 ~inputs:enc in
       let subs_ref = Ref.prove ~rng:W.rng ~circuit ~num_servers:5 ~inputs:enc in
-      let v_opt = measure (fun () -> assert (W.P.Snip.verify_all ctx subs_opt)) in
+      let v_opt =
+        measure_stats (fun () -> assert (W.P.Snip.verify_all ctx subs_opt))
+      in
       let v_ref =
         measure ~min_reps:1 ~min_time:0.05 (fun () ->
             assert (Ref.verify ~rng:W.rng circuit subs_ref))
       in
       Printf.printf "%-8d %14s %14s %9.1fx %16s %16s %9.1fx\n" m
-        (pretty_time p_opt) (pretty_time p_ref) (p_ref /. p_opt)
-        (pretty_time v_opt) (pretty_time v_ref) (v_ref /. v_opt))
+        (pretty_time p_opt.mean) (pretty_time p_ref) (p_ref /. p_opt.mean)
+        (pretty_time v_opt.mean) (pretty_time v_ref) (v_ref /. v_opt.mean);
+      record ~experiment:"ablation" ~name:(Printf.sprintf "m%d" m)
+        [
+          ("m", I m);
+          ("prove_opt_s", Fl p_opt.mean);
+          ("prove_opt_min_s", Fl p_opt.min_s);
+          ("prove_opt_max_s", Fl p_opt.max_s);
+          ("prove_opt_count", I p_opt.count);
+          ("prove_ref_s", Fl p_ref);
+          ("verify_opt_s", Fl v_opt.mean);
+          ("verify_opt_min_s", Fl v_opt.min_s);
+          ("verify_opt_max_s", Fl v_opt.max_s);
+          ("verify_opt_count", I v_opt.count);
+          ("verify_ref_s", Fl v_ref);
+        ])
     [ 16; 64; 256 ]
 
 (* ---------------------------------------------------------------------- *)
@@ -497,9 +635,13 @@ let ablation () =
 
 let net () =
   header "TCP deployment: end-to-end submissions/s (real processes and sockets)";
-  Printf.printf "%-8s %10s %14s\n" "L" "servers" "submissions/s";
+  Printf.printf "%-8s %10s %14s %14s %14s\n" "L" "servers" "submissions/s"
+    "upload/client" "server bytes";
   let module Wk = W87 in
   let module Net = Wk.P.Net in
+  let module Metrics = Prio.Obs_metrics in
+  let c_upload = Metrics.counter "prio_client_upload_bytes_total" in
+  let c_link = Metrics.counter "prio_server_link_bytes_total" in
   List.iter
     (fun (l, s) ->
       let circuit = Wk.bits_circuit l in
@@ -513,19 +655,63 @@ let net () =
             batch_seed = Rng.bytes Wk.rng 32;
           }
       in
-      let d = Net.launch cfg in
       let n = Stdlib.max 4 (256 / l) in
+      (* Seal every submission up front so the two byte-accounting paths
+         can be compared: the legacy per-packet [upload_bytes] field
+         against the unified Obs counter, which must agree exactly. *)
+      let upload_before = Metrics.value c_upload in
+      let packets =
+        Array.init n (fun i ->
+            Wk.P.Client.submit ~rng:Wk.rng
+              ~mode:(Wk.P.Client.Robust_snip circuit)
+              ~num_servers:s ~client_id:i ~master:Wk.master
+              (Wk.bits_encoding l))
+      in
+      let legacy_upload =
+        Array.fold_left
+          (fun acc pk -> acc + pk.Wk.P.Client.upload_bytes)
+          0 packets
+      in
+      let obs_upload = Metrics.value c_upload - upload_before in
+      assert (obs_upload = legacy_upload);
+      let d = Net.launch cfg in
       let _, secs =
         Prio_proto.Pipeline.time (fun () ->
-            for i = 0 to n - 1 do
-              assert (Net.submit d ~rng:Wk.rng ~client_id:i (Wk.bits_encoding l))
-            done)
+            Array.iteri
+              (fun i pk -> assert (Net.submit_packets d ~rng:Wk.rng ~client_id:i pk))
+              packets)
       in
       Net.shutdown d;
+      (* Same cross-check for server-to-server traffic, on an in-process
+         cluster of the same shape: the per-link matrix behind
+         [Cluster.total_server_bytes] against the Obs link counter. *)
+      let link_before = Metrics.value c_link in
+      let cluster, _, _ =
+        Wk.server_run ~mode:Wk.P.Cluster.Robust_snip ~circuit ~trunc_len:l
+          ~num_servers:s ~n (fun _ -> Wk.bits_encoding l)
+      in
+      let legacy_link = Wk.P.Cluster.total_server_bytes cluster in
+      let obs_link = Metrics.value c_link - link_before in
+      assert (obs_link = legacy_link);
       (* this path includes the client work and kernel round-trips; server
          processes genuinely run in parallel, so wall-clock is the honest
          denominator here *)
-      Printf.printf "%-8d %10d %14.1f\n" l s (float_of_int n /. secs))
+      Printf.printf "%-8d %10d %14.1f %14s %14s\n" l s
+        (float_of_int n /. secs)
+        (pretty_bytes (legacy_upload / n))
+        (pretty_bytes legacy_link);
+      record ~experiment:"net" ~name:(Printf.sprintf "l%d_s%d" l s)
+        [
+          ("l", I l);
+          ("servers", I s);
+          ("n", I n);
+          ("seconds", Fl secs);
+          ("submissions_per_s", Fl (float_of_int n /. secs));
+          ("upload_bytes_legacy", I legacy_upload);
+          ("upload_bytes_obs", I obs_upload);
+          ("server_bytes_legacy", I legacy_link);
+          ("server_bytes_obs", I obs_link);
+        ])
     [ (16, 3); (256, 3); (1024, 5) ]
 
 (* ---------------------------------------------------------------------- *)
@@ -559,7 +745,15 @@ let compression () =
       in
       Printf.printf "%-8d %14s %18s %14s %14s\n" b (pretty_bytes explicit)
         (pretty_bytes pk.W.P.Client.upload_bytes)
-        (pretty_bytes dpf_bytes) (pretty_time expand_secs))
+        (pretty_bytes dpf_bytes) (pretty_time expand_secs);
+      record ~experiment:"compression" ~name:(Printf.sprintf "b%d" b)
+        [
+          ("b", I b);
+          ("explicit_bytes", I explicit);
+          ("prio_upload_bytes", I pk.W.P.Client.upload_bytes);
+          ("dpf_bytes", I dpf_bytes);
+          ("dpf_expand_s", Fl expand_secs);
+        ])
     [ 6; 8; 10; 12; 14 ];
   print_endline
     "(DPF trades server CPU (the expand column) for logarithmic upload;\n\
@@ -599,7 +793,14 @@ let parallel () =
       in
       assert (accepted = n);
       Printf.printf "%-10d %14s %14.0f\n" domains (pretty_time secs)
-        (float_of_int n /. secs))
+        (float_of_int n /. secs);
+      record ~experiment:"parallel" ~name:(Printf.sprintf "domains%d" domains)
+        [
+          ("domains", I domains);
+          ("n", I n);
+          ("seconds", Fl secs);
+          ("submissions_per_s", Fl (float_of_int n /. secs));
+        ])
     [ 1; 2; 4 ];
   print_endline
     "(speedup tracks physical cores; submissions verify independently, so\n\
@@ -694,18 +895,36 @@ let experiments =
     ("micro", micro);
   ]
 
+let usage () =
+  Printf.eprintf "usage: %s [experiment] [--json <path>]\n" Sys.argv.(0);
+  exit 1
+
 let () =
-  match Sys.argv with
-  | [| _ |] ->
+  let json_path = ref None in
+  let rec split acc = function
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      split acc rest
+    | [ "--json" ] -> usage ()
+    | x :: rest -> split (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let selected = split [] (List.tl (Array.to_list Sys.argv)) in
+  (match selected with
+  | [] ->
     print_endline "Prio reproduction benchmarks (all experiments; see EXPERIMENTS.md)";
     List.iter (fun (_, f) -> f ()) experiments
-  | [| _; name |] -> (
+  | [ name ] -> (
     match List.assoc_opt name experiments with
     | Some f -> f ()
     | None ->
       Printf.eprintf "unknown experiment %S; one of: %s\n" name
         (String.concat " " (List.map fst experiments));
       exit 1)
-  | _ ->
-    Printf.eprintf "usage: %s [experiment]\n" Sys.argv.(0);
-    exit 1
+  | _ -> usage ());
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    write_json path;
+    Printf.printf "\nwrote %s (%d records + metrics snapshot)\n" path
+      (List.length !json_records)

@@ -96,6 +96,39 @@ let run_regression opts dims =
   print_endline ")";
   report stats
 
+(* --------------------------- observability --------------------------- *)
+
+(* A small end-to-end run (sum of 4-bit values) that exercises every
+   pipeline phase in-process, so its metrics and trace show the full
+   span taxonomy: client.prepare/prove/share/seal, cluster.submit,
+   server.snip_verify/aggregate/publish. *)
+let observed_workload opts =
+  let bits = 4 in
+  let rng, d = deploy opts (P.Afe_sum.sum ~bits) in
+  let values =
+    List.init opts.clients (fun _ -> Prio.Rng.int_below rng (1 lsl bits))
+  in
+  ignore (P.collect d values)
+
+let run_metrics opts format =
+  Prio.Obs_metrics.reset ();
+  observed_workload opts;
+  (match format with
+  | `Prometheus -> print_string (Prio.Obs_report.prometheus ())
+  | `Json -> print_endline (Prio.Obs_report.json ()));
+  Printf.eprintf
+    "# metrics from one in-process run (%d clients, %d servers); see docs/OBSERVABILITY.md\n"
+    opts.clients opts.servers
+
+let run_trace opts format =
+  let recorder = Prio.Obs_trace.create ~capacity:65536 () in
+  Prio.Obs_trace.install recorder;
+  Fun.protect ~finally:Prio.Obs_trace.uninstall (fun () ->
+      observed_workload opts);
+  match format with
+  | `Tree -> print_string (Prio.Obs_trace.tree recorder)
+  | `Jsonl -> print_string (Prio.Obs_trace.to_jsonl recorder)
+
 (* ------------------------------- terms ------------------------------ *)
 
 let opts_term =
@@ -141,9 +174,47 @@ let regression_cmd =
   Cmd.v (Cmd.info "regression" ~doc:"Privately train a least-squares model.")
     Term.(const run_regression $ opts_term $ dims)
 
+let metrics_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("prometheus", `Prometheus); ("json", `Json) ]) `Prometheus
+      & info [ "format" ] ~doc:"Output format: $(b,prometheus) or $(b,json).")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a small in-process deployment and print the Obs metrics \
+          snapshot (byte, latency, and accept/reject channels).")
+    Term.(const run_metrics $ opts_term $ format)
+
+let trace_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("tree", `Tree); ("jsonl", `Jsonl) ]) `Tree
+      & info [ "format" ] ~doc:"Output format: $(b,tree) or $(b,jsonl).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a small in-process deployment under the span recorder and \
+          print the trace (client.prepare through server.publish).")
+    Term.(const run_trace $ opts_term $ format)
+
 let () =
   let info =
     Cmd.info "prio-cli" ~version:"1.0.0"
       ~doc:"Private aggregate statistics with the Prio protocol (NSDI 2017)."
   in
-  exit (Cmd.eval (Cmd.group info [ count_cmd; sum_cmd; histogram_cmd; regression_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            count_cmd;
+            sum_cmd;
+            histogram_cmd;
+            regression_cmd;
+            metrics_cmd;
+            trace_cmd;
+          ]))

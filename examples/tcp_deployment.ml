@@ -4,6 +4,11 @@
    a follower SIGKILLed mid-run with the leader degrading gracefully, and
    the supervisor detecting and restarting the dead process.
 
+   The whole run executes under an installed Obs trace recorder: the
+   crash-drill report below is read back out of the recorder (the same
+   spans/events every instrumented deployment emits), and the full trace
+   is dumped as JSONL at the end.
+
    Run with: dune exec examples/tcp_deployment.exe *)
 
 open Core
@@ -12,8 +17,18 @@ module Net = P.Net
 module T = Prio.Transport
 module Faults = Prio.Faults
 module Retry = Prio.Retry
+module Trace = Prio.Obs_trace
+
+let attrs_str = function
+  | [] -> ""
+  | attrs ->
+    " ["
+    ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)
+    ^ "]"
 
 let () =
+  let recorder = Trace.create ~capacity:65536 () in
+  Trace.install recorder;
   let rng = Prio.Rng.of_string_seed "tcp-example" in
   let afe = P.Afe_sum.sum ~bits:8 in
   let cfg =
@@ -89,31 +104,75 @@ let () =
     expect;
 
   (* --- crash drill: SIGKILL a follower; the leader must refuse new
-     work cleanly (no hangs) and the supervisor must see the corpse --- *)
+     work cleanly (no hangs) and the supervisor must see the corpse.
+     Everything below happens silently — the report afterwards is read
+     back out of the trace recorder, not hand-printed as we go --- *)
+  let drill_mark = List.length (Trace.spans recorder) in
   Unix.kill d.Net.pids.(3) Sys.sigkill;
   Unix.sleepf 0.1;
-  (match (Net.poll_servers d).(3) with
-  | Net.Exited _ -> print_endline "supervisor: follower 3 is down"
-  | Net.Running -> print_endline "supervisor: follower 3 still running?!");
-  (match
-     Net.submit_outcome d ~rng ~client_id:100 (afe.P.Afe.encode ~rng 1)
-   with
+  let follower_down =
+    match (Net.poll_servers d).(3) with Net.Exited _ -> true | Net.Running -> false
+  in
+  let degraded_outcome =
+    Net.submit_outcome d ~rng ~client_id:100 (afe.P.Afe.encode ~rng 1)
+  in
+  let leader_alive =
+    match (Net.poll_servers d).(0) with Net.Running -> true | Net.Exited _ -> false
+  in
+  (* revive it on the original port; new traffic flows again (the dead
+     process's accumulator shares are lost, so a real deployment would
+     close out the damaged batch and open a fresh one) *)
+  Net.restart_server d 3;
+  let post_restart_ok = Net.submit d ~rng ~client_id:101 (afe.P.Afe.encode ~rng 42) in
+
+  print_endline "crash drill, as the trace recorder saw it:";
+  let drill_spans =
+    List.filteri (fun i _ -> i >= drill_mark) (Trace.spans recorder)
+  in
+  List.iter
+    (fun (sp : Trace.span) ->
+      match (sp.Trace.kind, sp.Trace.name) with
+      | ( Trace.Event,
+          (( "supervisor.exited" | "supervisor.restarted" | "retry"
+           | "net.rejected" | "net.unreachable" ) as name) ) ->
+        Printf.printf "  %-22s%s\n" name (attrs_str sp.Trace.attrs)
+      | _ -> ())
+    drill_spans;
+  assert follower_down;
+  assert leader_alive;
+  (match degraded_outcome with
   | Net.Accepted -> print_endline "degraded cluster accepted a submission?!"
   | Net.Rejected why -> Printf.printf "degraded cluster refused cleanly: %s\n" why
   | Net.Unreachable e ->
     Printf.printf "submission failed fast, no hang: %s\n"
       (T.string_of_protocol_error e));
-  (match (Net.poll_servers d).(0) with
-  | Net.Running -> print_endline "leader survived the follower crash"
-  | Net.Exited _ -> print_endline "leader died?!");
-
-  (* --- revive it on the original port; new traffic flows again (the
-     dead process's accumulator shares are lost, so a real deployment
-     would close out the damaged batch and open a fresh one) --- *)
-  Net.restart_server d 3;
-  Printf.printf "supervisor: follower 3 restarted (pid %d)\n" d.Net.pids.(3);
-  Printf.printf "post-restart submission accepted: %b\n"
-    (Net.submit d ~rng ~client_id:101 (afe.P.Afe.encode ~rng 42));
+  Printf.printf "post-restart submission accepted: %b\n" post_restart_ok;
 
   Net.shutdown d;
-  print_endline "servers shut down cleanly"
+  print_endline "servers shut down cleanly";
+
+  (* --- the recorder self-check: the run above must have produced spans
+     for every client-side protocol phase, plus at least one retry and
+     one injected fault (the seeded chaos makes this deterministic) --- *)
+  let names =
+    List.map (fun sp -> sp.Trace.name) (Trace.spans recorder)
+  in
+  let has n = List.mem n names in
+  List.iter
+    (fun n -> if not (has n) then failwith ("trace is missing span " ^ n))
+    [ "net.submit"; "net.upload"; "net.verify"; "net.rpc"; "net.collect";
+      "client.prove"; "client.share"; "client.seal"; "snip.prove" ];
+  if not (has "retry") then failwith "trace recorded no retry event";
+  if not (has "fault") then failwith "trace recorded no fault event";
+  if not (has "supervisor.exited" && has "supervisor.restarted") then
+    failwith "trace missed the follower death/restart";
+
+  let path = "tcp_deployment_trace.jsonl" in
+  let oc = open_out path in
+  output_string oc (Trace.to_jsonl recorder);
+  close_out oc;
+  Trace.uninstall ();
+  Printf.printf
+    "trace self-check passed: %d spans/events recorded (retries, faults, and \
+     every protocol phase present); full trace written to %s\n"
+    (List.length names) path

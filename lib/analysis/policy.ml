@@ -5,9 +5,10 @@
 
    - lib/crypto, lib/field, lib/share handle secrets (keys, MAC tags,
      shares) -> timing rules are errors there;
-   - lib/crypto/rng.ml is the single sanctioned entropy seam and
-     lib/proto/retry.ml the single wall-clock seam -> ambient
-     nondeterminism is an error everywhere else;
+   - lib/crypto/rng.ml is the single sanctioned entropy seam; the wall
+     clock is sanctioned only in lib/proto/retry.ml (deadlines) and
+     lib/obs/clock.ml (observability) -> ambient nondeterminism is an
+     error everywhere else;
    - lib/proto is the network boundary -> failures must surface as
      [protocol_error] values, not exceptions;
    - bin/, bench/ and examples/ are leaf programs: printing is their job,
@@ -21,8 +22,13 @@ let under dir path =
 
 let under_any dirs path = List.exists (fun d -> under d path) dirs
 
-(* The sanctioned seams for rule no-ambient-random. *)
-let entropy_seams = [ "lib/crypto/rng.ml"; "lib/proto/retry.ml" ]
+(* The sanctioned seam for rule no-ambient-random. *)
+let entropy_seams = [ "lib/crypto/rng.ml" ]
+
+(* The sanctioned seams for rule no-ambient-clock. rng.ml's fallback
+   entropy mixes in the clock; retry.ml owns deadlines; obs/clock.ml is
+   the observability layer's injectable clock. *)
+let clock_seams = [ "lib/crypto/rng.ml"; "lib/proto/retry.ml"; "lib/obs/clock.ml" ]
 
 let ct_dirs = [ "lib/crypto"; "lib/field"; "lib/share" ]
 
@@ -30,6 +36,7 @@ let all_rules =
   [
     Rules.ct_compare;
     Rules.no_ambient_random;
+    Rules.no_ambient_clock;
     Rules.error_discipline;
     Rules.no_debug_io;
     Rules.no_partial_stdlib;
@@ -46,6 +53,11 @@ let verdicts_for path : verdict list =
         if under_any ct_dirs path then err r else None
       | r when r = Rules.no_ambient_random ->
         if List.mem path entropy_seams then None
+        else if under_any [ "lib"; "bin"; "examples" ] path then err r
+        else None
+      | r when r = Rules.no_ambient_clock ->
+        (* bench/ keeps the wall clock: that is what it measures. *)
+        if List.mem path clock_seams then None
         else if under_any [ "lib"; "bin"; "examples" ] path then err r
         else None
       | r when r = Rules.error_discipline ->

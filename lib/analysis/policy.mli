@@ -14,6 +14,12 @@ val severity_of : string -> string -> Diagnostic.severity option
 (** The AST rules (everything but mli-coverage) enabled at [path]. *)
 val ast_rules_for : string -> string list
 
-(** Files where ambient time/randomness is sanctioned: the entropy seam
-    ([lib/crypto/rng.ml]) and the wall-clock seam ([lib/proto/retry.ml]). *)
+(** Files where ambient randomness is sanctioned: the entropy seam
+    ([lib/crypto/rng.ml]). *)
 val entropy_seams : string list
+
+(** Files where the ambient wall clock is sanctioned: the entropy seam
+    (whose fallback mixes in the clock), the deadline seam
+    ([lib/proto/retry.ml]), and the observability clock seam
+    ([lib/obs/clock.ml]). *)
+val clock_seams : string list

@@ -13,6 +13,7 @@ open Parsetree
 
 let ct_compare = "ct-compare"
 let no_ambient_random = "no-ambient-random"
+let no_ambient_clock = "no-ambient-clock"
 let error_discipline = "error-discipline"
 let no_debug_io = "no-debug-io"
 let no_partial_stdlib = "no-partial-stdlib"
@@ -119,12 +120,6 @@ let ambient_ident lid =
          "ambient randomness %s: every protocol execution must be a pure \
           function of its Rng seed (thread a seeded Prio_crypto.Rng.t)"
          (lid_name lid))
-  | [ "Unix"; ("time" | "gettimeofday") ] | [ "Sys"; "time" ] ->
-    Some
-      (Printf.sprintf
-         "ambient clock %s: read time through the Retry.now seam (or take \
-          an instant as a parameter) so runs replay deterministically"
-         (lid_name lid))
   | _ -> None
 
 let run_no_ambient_random str =
@@ -137,6 +132,37 @@ let run_no_ambient_random str =
               (match e.pexp_desc with
               | Pexp_ident { txt; loc } -> (
                 match ambient_ident txt with
+                | Some msg -> add loc msg
+                | None -> ())
+              | _ -> ());
+              Ast_iterator.default_iterator.expr it e);
+        }
+      in
+      iter_structure it str)
+
+(* --- no-ambient-clock ------------------------------------------------- *)
+
+let ambient_clock_ident lid =
+  match path_of lid with
+  | [ "Unix"; ("time" | "gettimeofday") ] | [ "Sys"; "time" ] ->
+    Some
+      (Printf.sprintf
+         "ambient clock %s: read time through the Obs.Clock or Retry.now \
+          seams (or take an instant as a parameter) so runs replay \
+          deterministically"
+         (lid_name lid))
+  | _ -> None
+
+let run_no_ambient_clock str =
+  collect (fun add ->
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun it e ->
+              (match e.pexp_desc with
+              | Pexp_ident { txt; loc } -> (
+                match ambient_clock_ident txt with
                 | Some msg -> add loc msg
                 | None -> ())
               | _ -> ());
@@ -296,11 +322,12 @@ let run_mli_coverage files =
 let ast_rule = function
   | r when r = ct_compare -> Some run_ct_compare
   | r when r = no_ambient_random -> Some run_no_ambient_random
+  | r when r = no_ambient_clock -> Some run_no_ambient_clock
   | r when r = error_discipline -> Some run_error_discipline
   | r when r = no_debug_io -> Some run_no_debug_io
   | r when r = no_partial_stdlib -> Some run_no_partial_stdlib
   | _ -> None
 
 let all_ast_rules =
-  [ ct_compare; no_ambient_random; error_discipline; no_debug_io;
-    no_partial_stdlib ]
+  [ ct_compare; no_ambient_random; no_ambient_clock; error_discipline;
+    no_debug_io; no_partial_stdlib ]

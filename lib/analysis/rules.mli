@@ -7,6 +7,7 @@
 
 val ct_compare : string
 val no_ambient_random : string
+val no_ambient_clock : string
 val error_discipline : string
 val no_debug_io : string
 val no_partial_stdlib : string

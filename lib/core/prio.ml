@@ -31,6 +31,11 @@ module Babybear = Prio_field.Babybear
 module F87 = Prio_field.F87
 module F265 = Prio_field.F265
 
+module Obs_clock = Prio_obs.Clock
+module Obs_metrics = Prio_obs.Metrics
+module Obs_trace = Prio_obs.Trace
+module Obs_report = Prio_obs.Report
+
 module Dp = Prio_proto.Dp
 module Registry = Prio_proto.Registry
 module Retry = Prio_proto.Retry

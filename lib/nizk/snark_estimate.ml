@@ -28,12 +28,12 @@ let measure_exp_seconds ?(iters = 50) () =
   (* warm-up *)
   x := Group.exp !x e;
   (* measuring wall-clock cost is this function's whole purpose *)
-  (* prio-lint: allow no-ambient-random *)
+  (* prio-lint: allow no-ambient-clock *)
   let t0 = Unix.gettimeofday () in
   for _ = 1 to iters do
     x := Group.exp !x e
   done;
-  (* prio-lint: allow no-ambient-random *)
+  (* prio-lint: allow no-ambient-clock *)
   let t1 = Unix.gettimeofday () in
   ignore (Sys.opaque_identity !x);
   (t1 -. t0) /. float_of_int iters

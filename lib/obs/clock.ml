@@ -1,0 +1,37 @@
+(** The sanctioned time seam for the observability layer.
+
+    Everything in {!Metrics} and {!Trace} reads time through a [t], so a
+    test can swap in a {!manual} or {!ticking} clock and get byte-for-byte
+    deterministic spans and latency histograms. This file (together with
+    [Retry.now]) is the only place outside the entropy seam allowed to
+    touch the ambient wall clock — the [no-ambient-clock] lint rule
+    enforces that. *)
+
+type t =
+  | System
+  | Manual of float ref
+  | Ticking of { mutable current : float; step : float }
+
+let system = System
+let manual ?(start = 0.) () = Manual (ref start)
+let ticking ?(start = 0.) ~step () = Ticking { current = start; step }
+
+let now = function
+  | System -> Unix.gettimeofday ()
+  | Manual r -> !r
+  | Ticking tk ->
+    let v = tk.current in
+    tk.current <- v +. tk.step;
+    v
+
+let set c at =
+  match c with
+  | Manual r -> r := at
+  | Ticking tk -> tk.current <- at
+  | System -> invalid_arg "Obs.Clock.set: cannot set the system clock"
+
+let advance c dt =
+  match c with
+  | Manual r -> r := !r +. dt
+  | Ticking tk -> tk.current <- tk.current +. dt
+  | System -> invalid_arg "Obs.Clock.advance: cannot advance the system clock"

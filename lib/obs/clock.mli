@@ -1,0 +1,27 @@
+(** Injectable clocks: the observability layer's only source of time.
+
+    Production code uses {!system}; tests use {!manual} (frozen until
+    {!advance}d) or {!ticking} (auto-advances a fixed step per read, so
+    every span gets a distinct, deterministic start and duration). *)
+
+type t
+
+val system : t
+(** Wall-clock seconds ([Unix.gettimeofday]). *)
+
+val manual : ?start:float -> unit -> t
+(** A clock frozen at [start] (default [0.]) until {!set}/{!advance}. *)
+
+val ticking : ?start:float -> step:float -> unit -> t
+(** A clock that returns [start], [start +. step], [start +. 2step], …
+    on successive reads — deterministic non-zero durations for tests. *)
+
+val now : t -> float
+
+val set : t -> float -> unit
+(** Jump a {!manual}/{!ticking} clock to an absolute instant.
+    @raise Invalid_argument on the system clock. *)
+
+val advance : t -> float -> unit
+(** Move a {!manual}/{!ticking} clock forward by a delta.
+    @raise Invalid_argument on the system clock. *)

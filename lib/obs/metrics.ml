@@ -1,0 +1,206 @@
+(** Global metrics registry: named counters, gauges, and log-scale
+    histograms.
+
+    Design constraints (ISSUE 4 tentpole):
+    - O(1) hot-path recording: counters are a single [Atomic] RMW,
+      histogram observation is one [frexp] plus two array writes.
+    - A global no-op mode ({!disable}) so instrumented hot paths cost a
+      single atomic load and no allocation when observability is off.
+    - Registration is idempotent: [counter name] returns the existing
+      counter when one is already registered under [name], so functor
+      instantiations and re-instantiated pipelines share channels.
+
+    Thread-safety: counters use [Atomic] and are exact under parallel
+    domains ({!Parallel} runs replica clusters on separate domains).
+    Gauge and histogram updates are plain mutations — racing domains can
+    lose updates there; the pipeline only feeds them from the
+    coordinating domain. *)
+
+(* ------------------------------ no-op mode ----------------------------- *)
+
+let enabled = Atomic.make true
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+(* ------------------------------- buckets ------------------------------- *)
+
+(* Power-of-two log-scale buckets shared by every histogram: bucket [i]
+   covers [2^(min_exp+i), 2^(min_exp+i+1)), with the first bucket also
+   absorbing zero/negative samples and the last bucket unbounded above.
+   The range 2^-30 .. 2^34 spans sub-nanosecond latencies through
+   multi-gigabyte byte counts. *)
+
+let num_buckets = 64
+let min_exp = -30
+
+let bucket_of v =
+  if v <= 0. then 0
+  else begin
+    let _, e = Float.frexp v in
+    (* v = m * 2^e with m in [0.5, 1), so 2^(e-1) <= v < 2^e *)
+    let i = e - 1 - min_exp in
+    if i < 0 then 0 else if i >= num_buckets then num_buckets - 1 else i
+  end
+
+let bucket_lower i =
+  if i <= 0 then 0. else Float.ldexp 1. (min_exp + i)
+
+let bucket_upper i =
+  if i >= num_buckets - 1 then infinity else Float.ldexp 1. (min_exp + i + 1)
+
+(* ------------------------------- metrics ------------------------------- *)
+
+type counter = { c_name : string; cell : int Atomic.t }
+
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let register name wrong mk unpack =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+        match unpack m with
+        | Some x -> x
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics: %s is already registered as a %s"
+               name wrong))
+      | None ->
+        let x = mk () in
+        x)
+
+let counter name =
+  register name "non-counter"
+    (fun () ->
+      let c = { c_name = name; cell = Atomic.make 0 } in
+      Hashtbl.replace registry name (Counter c);
+      c)
+    (function Counter c -> Some c | _ -> None)
+
+let gauge name =
+  register name "non-gauge"
+    (fun () ->
+      let g = { g_name = name; g_value = 0. } in
+      Hashtbl.replace registry name (Gauge g);
+      g)
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram name =
+  register name "non-histogram"
+    (fun () ->
+      let h =
+        { h_name = name; buckets = Array.make num_buckets 0; h_count = 0;
+          h_sum = 0.; h_min = infinity; h_max = neg_infinity }
+      in
+      Hashtbl.replace registry name (Histogram h);
+      h)
+    (function Histogram h -> Some h | _ -> None)
+
+(* ------------------------------ recording ------------------------------ *)
+
+let add c n = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.cell n)
+let incr c = add c 1
+let value c = Atomic.get c.cell
+
+let set g v = if Atomic.get enabled then g.g_value <- v
+let gauge_value g = g.g_value
+
+let observe h v =
+  if Atomic.get enabled then begin
+    let i = bucket_of v in
+    h.buckets.(i) <- h.buckets.(i) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let observe_int h n = observe h (float_of_int n)
+
+let count h = h.h_count
+let sum h = h.h_sum
+let mean h = if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count
+
+(* -------------------------------- timing ------------------------------- *)
+
+let clock = ref Clock.system
+let set_clock c = clock := c
+
+let time h f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let t0 = Clock.now !clock in
+    Fun.protect ~finally:(fun () -> observe h (Clock.now !clock -. t0)) f
+  end
+
+(* ------------------------------- snapshot ------------------------------ *)
+
+type histogram_view = {
+  hv_count : int;
+  hv_sum : float;
+  hv_min : float;  (** [infinity] when empty *)
+  hv_max : float;  (** [neg_infinity] when empty *)
+  hv_buckets : (float * int) array;
+      (** (inclusive upper bound, samples in bucket) for non-empty
+          buckets, in increasing bound order; last bound may be
+          [infinity] *)
+}
+
+type view =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of histogram_view
+
+let view_of = function
+  | Counter c -> Counter_v (Atomic.get c.cell)
+  | Gauge g -> Gauge_v g.g_value
+  | Histogram h ->
+    let bs = ref [] in
+    for i = num_buckets - 1 downto 0 do
+      if h.buckets.(i) > 0 then bs := (bucket_upper i, h.buckets.(i)) :: !bs
+    done;
+    Histogram_v
+      { hv_count = h.h_count; hv_sum = h.h_sum; hv_min = h.h_min;
+        hv_max = h.h_max; hv_buckets = Array.of_list !bs }
+
+let snapshot () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, view_of m) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c.cell 0
+          | Gauge g -> g.g_value <- 0.
+          | Histogram h ->
+            Array.fill h.buckets 0 num_buckets 0;
+            h.h_count <- 0;
+            h.h_sum <- 0.;
+            h.h_min <- infinity;
+            h.h_max <- neg_infinity)
+        registry)
+
+let name_of_counter c = c.c_name
+let name_of_gauge g = g.g_name
+let name_of_histogram h = h.h_name

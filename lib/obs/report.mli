@@ -1,0 +1,12 @@
+(** Exporters over the global {!Metrics} registry. Both return strings;
+    this library performs no I/O. *)
+
+val prometheus : unit -> string
+(** Prometheus exposition text: a [# TYPE] line per metric, cumulative
+    [_bucket{le="…"}] series plus [_sum]/[_count] for histograms. *)
+
+val json : unit -> string
+(** One JSON object keyed by metric name; counters as integers, gauges
+    as numbers, histograms as
+    [{"count":…,"sum":…,"min":…,"max":…,"buckets":[[le,n],…]}] (non-finite
+    bounds rendered as [null]). *)

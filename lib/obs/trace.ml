@@ -1,0 +1,203 @@
+(** Nested spans and instant events with a ring-buffer recorder.
+
+    A {!recorder} is installed globally ({!install}); until then every
+    {!with_span}/{!event} call is a near-free passthrough (one ref read).
+    Spans are recorded at start (so parents precede children in the
+    ring) and their duration is patched in place when the span closes;
+    the ring keeps the most recent [capacity] entries, evicting the
+    oldest. Exporters: {!to_jsonl} (one JSON object per line, machine
+    diffable) and {!tree} (indented human view).
+
+    Like {!Metrics}, the recorder reads time only through {!Clock}, so a
+    fixed clock plus seeded fault injection yields byte-identical trace
+    output across runs. *)
+
+type kind = Span | Event
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  kind : kind;
+  start : float;
+  mutable duration : float;
+  mutable attrs : (string * string) list;
+}
+
+type recorder = {
+  clock : Clock.t;
+  capacity : int;
+  ring : span option array;
+  mutable total : int;  (** spans ever started, including evicted ones *)
+  mutable stack : span list;  (** open spans, innermost first *)
+  mutable next_id : int;
+}
+
+let create ?(clock = Clock.system) ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Obs.Trace.create: capacity must be positive";
+  { clock; capacity; ring = Array.make capacity None; total = 0; stack = [];
+    next_id = 0 }
+
+let current : recorder option ref = ref None
+let install r = current := Some r
+let uninstall () = current := None
+let installed () = !current
+
+let recorded r = min r.total r.capacity
+let total r = r.total
+
+let push r sp =
+  r.ring.(r.total mod r.capacity) <- Some sp;
+  r.total <- r.total + 1
+
+let fresh r ~kind ?(attrs = []) name =
+  let parent = match r.stack with [] -> None | sp :: _ -> Some sp.id in
+  let id = r.next_id in
+  r.next_id <- id + 1;
+  let sp =
+    { id; parent; name; kind; start = Clock.now r.clock; duration = 0.; attrs }
+  in
+  push r sp;
+  sp
+
+let with_span ?attrs name f =
+  match !current with
+  | None -> f ()
+  | Some r ->
+    let sp = fresh r ~kind:Span ?attrs name in
+    r.stack <- sp :: r.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        sp.duration <- Clock.now r.clock -. sp.start;
+        (* tolerate a child left open by an exception: drop down to sp *)
+        let rec unwind = function
+          | top :: rest when top == sp -> rest
+          | _ :: rest -> unwind rest
+          | [] -> []
+        in
+        r.stack <- unwind r.stack)
+      f
+
+let event ?attrs name =
+  match !current with
+  | None -> ()
+  | Some r -> ignore (fresh r ~kind:Event ?attrs name)
+
+let add_attr k v =
+  match !current with
+  | None -> ()
+  | Some r -> (
+    match r.stack with
+    | [] -> ()
+    | sp :: _ -> sp.attrs <- sp.attrs @ [ (k, v) ])
+
+(* ------------------------------- exporters ----------------------------- *)
+
+(** Recorded spans, oldest first (evicted entries are gone). *)
+let spans r =
+  let n = recorded r in
+  let first = r.total - n in
+  List.init n (fun i ->
+      match r.ring.((first + i) mod r.capacity) with
+      | Some sp -> sp
+      | None -> assert false (* slots below [total] are always filled *))
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    (* shortest representation that round-trips: epoch-scale starts keep
+       their microseconds without printing 17 digits for everything *)
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let span_to_json sp =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "{\"id\":%d" sp.id);
+  (match sp.parent with
+  | None -> Buffer.add_string buf ",\"parent\":null"
+  | Some p -> Buffer.add_string buf (Printf.sprintf ",\"parent\":%d" p));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"kind\":%s"
+       (match sp.kind with Span -> "\"span\"" | Event -> "\"event\""));
+  Buffer.add_string buf (Printf.sprintf ",\"name\":\"%s\"" (json_escape sp.name));
+  Buffer.add_string buf (Printf.sprintf ",\"start\":%s" (float_lit sp.start));
+  if sp.kind = Span then
+    Buffer.add_string buf (Printf.sprintf ",\"duration\":%s" (float_lit sp.duration));
+  if sp.attrs <> [] then begin
+    Buffer.add_string buf ",\"attrs\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+      sp.attrs;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let to_jsonl r =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun sp ->
+      Buffer.add_string buf (span_to_json sp);
+      Buffer.add_char buf '\n')
+    (spans r);
+  Buffer.contents buf
+
+(** Indented parent/child view. Spans whose parent was evicted from the
+    ring (or never existed) render at the root. *)
+let tree r =
+  let all = spans r in
+  let present = Hashtbl.create 64 in
+  List.iter (fun sp -> Hashtbl.replace present sp.id ()) all;
+  let children = Hashtbl.create 64 in
+  let roots =
+    List.filter
+      (fun sp ->
+        match sp.parent with
+        | Some p when Hashtbl.mem present p ->
+          Hashtbl.replace children p
+            (sp :: (try Hashtbl.find children p with Not_found -> []));
+          false
+        | _ -> true)
+      all
+  in
+  let buf = Buffer.create 1024 in
+  let attr_str sp =
+    if sp.attrs = [] then ""
+    else
+      " ["
+      ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) sp.attrs)
+      ^ "]"
+  in
+  let rec render depth sp =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    (match sp.kind with
+    | Span ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s (%.6fs)%s\n" sp.name sp.duration (attr_str sp))
+    | Event ->
+      Buffer.add_string buf (Printf.sprintf "* %s%s\n" sp.name (attr_str sp)));
+    List.iter (render (depth + 1))
+      (List.rev (try Hashtbl.find children sp.id with Not_found -> []))
+  in
+  List.iter (render 0) roots;
+  Buffer.contents buf

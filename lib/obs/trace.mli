@@ -1,0 +1,59 @@
+(** Nested spans with a ring-buffer recorder and JSONL / tree exporters.
+
+    Usage: create and {!install} a {!recorder}, wrap protocol phases in
+    {!with_span}, mark instants with {!event}, then export with
+    {!to_jsonl} or {!tree}. With no recorder installed every call is a
+    near-free no-op, so library code can be instrumented unconditionally. *)
+
+type kind = Span | Event
+
+type span = {
+  id : int;
+  parent : int option;  (** enclosing span id, [None] at the root *)
+  name : string;
+  kind : kind;
+  start : float;  (** clock instant the span opened *)
+  mutable duration : float;  (** seconds; [0.] for events / still-open spans *)
+  mutable attrs : (string * string) list;
+}
+
+type recorder
+
+val create : ?clock:Clock.t -> ?capacity:int -> unit -> recorder
+(** Ring buffer holding the last [capacity] (default 4096) spans.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val install : recorder -> unit
+(** Make [r] the global recorder that {!with_span}/{!event} feed. *)
+
+val uninstall : unit -> unit
+val installed : unit -> recorder option
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span nested under the innermost
+    open span; the span closes (and its duration is patched) even if [f]
+    raises. Passthrough when no recorder is installed. *)
+
+val event : ?attrs:(string * string) list -> string -> unit
+(** Record an instant event under the innermost open span. *)
+
+val add_attr : string -> string -> unit
+(** Attach a key/value to the innermost open span (no-op outside one). *)
+
+val spans : recorder -> span list
+(** Recorded spans, oldest first; entries evicted by the ring are gone. *)
+
+val recorded : recorder -> int
+(** Spans currently held in the ring. *)
+
+val total : recorder -> int
+(** Spans ever started, including evicted ones. *)
+
+val to_jsonl : recorder -> string
+(** One JSON object per line:
+    [{"id":…,"parent":…,"kind":"span"|"event","name":…,"start":…,
+      "duration":…,"attrs":{…}}]. *)
+
+val tree : recorder -> string
+(** Indented human-readable parent/child rendering; spans whose parent
+    was evicted render at the root. *)

@@ -15,6 +15,15 @@ module Make (F : Prio_field.Field_intf.S) = struct
   module W = Wire.Make (F)
   module Rng = Prio_crypto.Rng
   module Authbox = Prio_crypto.Authbox
+  module Metrics = Prio_obs.Metrics
+  module Trace = Prio_obs.Trace
+
+  (* The unified client-upload channel: every sealed submission — explicit,
+     PRG-compressed, or DPF-compressed ({!Compressed}) — adds its on-wire
+     bytes here, so one counter answers "what did clients upload?" across
+     all encodings (paper Table 2 / Figure 4 x-axis). *)
+  let m_upload_bytes = Metrics.counter "prio_client_upload_bytes_total"
+  let h_submit = Metrics.histogram "prio_client_submit_seconds"
 
   (** How a submission protects robustness. *)
   type mode =
@@ -36,6 +45,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
 
   (** The flat plaintext vector to be shared: encoding ‖ proof material. *)
   let plain_vector ~rng ~mode (encoding : F.t array) : F.t array =
+    Trace.with_span "client.prove" @@ fun () ->
     match mode with
     | No_robustness -> encoding
     | Robust_snip circuit ->
@@ -62,7 +72,9 @@ module Make (F : Prio_field.Field_intf.S) = struct
   (** Per-server compressed share payloads of the flat vector. *)
   let payloads ~rng ~mode ~num_servers (encoding : F.t array) :
       Sh.compressed array =
-    Sh.split_compressed rng ~s:num_servers (plain_vector ~rng ~mode encoding)
+    let plain = plain_vector ~rng ~mode encoding in
+    Trace.with_span "client.share" @@ fun () ->
+    Sh.split_compressed rng ~s:num_servers plain
 
   type packets = {
     nonce : Bytes.t;  (** submission id, for replay protection *)
@@ -75,6 +87,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
   (** Seal one packet per server: nonce ‖ payload, boxed under the pairwise
       client/server key. *)
   let seal ~rng ~client_id ~master (payloads : Sh.compressed array) : packets =
+    Trace.with_span "client.seal" @@ fun () ->
     let nonce = Rng.bytes rng nonce_len in
     let sealed =
       Array.mapi
@@ -85,10 +98,14 @@ module Make (F : Prio_field.Field_intf.S) = struct
         payloads
     in
     let upload_bytes = Array.fold_left (fun acc b -> acc + Bytes.length b) 0 sealed in
+    Metrics.add m_upload_bytes upload_bytes;
     { nonce; sealed; upload_bytes }
 
   (** One-call client pipeline: encode, prove, share, seal. *)
   let submit ~rng ~mode ~num_servers ~client_id ~master (encoding : F.t array) :
       packets =
+    Trace.with_span "client.submit" ~attrs:[ ("client", string_of_int client_id) ]
+    @@ fun () ->
+    Metrics.time h_submit @@ fun () ->
     seal ~rng ~client_id ~master (payloads ~rng ~mode ~num_servers encoding)
 end

@@ -27,6 +27,18 @@ module Make (F : Prio_field.Field_intf.S) = struct
   module Server = Server.Make (F)
   module Client = Client.Make (F)
   module Rng = Prio_crypto.Rng
+  module Metrics = Prio_obs.Metrics
+  module Trace = Prio_obs.Trace
+
+  (* Unified byte/latency channels (ISSUE 4): the links matrix below stays
+     the per-link source of truth; these global metrics are the cross-layer
+     aggregate view that bench and prio_cli read. *)
+  let m_link_bytes = Metrics.counter "prio_server_link_bytes_total"
+  let m_accepted = Metrics.counter "prio_cluster_accepted_total"
+  let m_rejected = Metrics.counter "prio_cluster_rejected_total"
+  let h_snip_verify = Metrics.histogram "prio_snip_verify_seconds"
+  let h_mpc_eval = Metrics.histogram "prio_mpc_eval_seconds"
+  let h_submit = Metrics.histogram "prio_cluster_submit_seconds"
 
   type mode =
     | Robust_snip  (** full Prio: SNIP-verified submissions *)
@@ -137,7 +149,10 @@ module Make (F : Prio_field.Field_intf.S) = struct
     end
 
   let send t ~src ~dst nbytes =
-    if src <> dst then t.links.(src).(dst) <- t.links.(src).(dst) + nbytes
+    if src <> dst then begin
+      t.links.(src).(dst) <- t.links.(src).(dst) + nbytes;
+      Metrics.add m_link_bytes nbytes
+    end
 
   let broadcast_from t ~src nbytes =
     for dst = 0 to t.s - 1 do
@@ -150,6 +165,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
      per-server parsed submission shares for the SNIP's circuit. *)
   let run_snip_check t (ctx : Snip.batch_ctx) ~leader
       (subs : Snip.submission_share array) : bool =
+    Trace.with_span "server.snip_verify" @@ fun () ->
+    Metrics.time h_snip_verify @@ fun () ->
     let states = Array.map (Snip.server_prepare ctx) subs in
     (* openings to the leader *)
     let d = ref F.zero and e = ref F.zero in
@@ -174,6 +191,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
   (* Prio-MPC: triple-SNIP check, then Beaver evaluation of the Valid
      circuit with per-gate broadcast accounting. *)
   let run_mpc_check t ~leader (vectors : F.t array array) : bool =
+    Trace.with_span "server.mpc_eval" @@ fun () ->
+    Metrics.time h_mpc_eval @@ fun () ->
     let m = C.num_mul_gates t.circuit in
     let l = t.encoding_len in
     let tc_inputs_len = 3 * m in
@@ -227,6 +246,10 @@ module Make (F : Prio_field.Field_intf.S) = struct
   let submit t ~client_id (pk : Client.packets) : bool =
     if Array.length pk.Client.sealed <> t.s then
       invalid_arg "Cluster.submit: one packet per server required";
+    Trace.with_span "cluster.submit"
+      ~attrs:[ ("client", string_of_int client_id) ]
+    @@ fun () ->
+    Metrics.time h_submit @@ fun () ->
     let leader = t.next_leader in
     t.next_leader <- (t.next_leader + 1) mod t.s;
     let received =
@@ -256,12 +279,17 @@ module Make (F : Prio_field.Field_intf.S) = struct
       end
     in
     if ok then begin
-      Array.iteri
-        (fun i r -> Server.accumulate t.servers.(i) (vector_of r))
-        received;
-      t.accepted <- t.accepted + 1
+      Trace.with_span "server.aggregate" (fun () ->
+          Array.iteri
+            (fun i r -> Server.accumulate t.servers.(i) (vector_of r))
+            received);
+      t.accepted <- t.accepted + 1;
+      Metrics.incr m_accepted
     end
-    else t.rejected <- t.rejected + 1;
+    else begin
+      t.rejected <- t.rejected + 1;
+      Metrics.incr m_rejected
+    end;
     maybe_rotate_batch t;
     ok
 
@@ -270,6 +298,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
       [dp_alpha] makes each server add its distributed-noise share first
       (§7). *)
   let publish ?dp_alpha t : F.t array =
+    Trace.with_span "server.publish" @@ fun () ->
     let parts =
       Array.mapi
         (fun i srv ->

@@ -18,6 +18,12 @@
 module Make (F : Prio_field.Field_intf.S) = struct
   module Dpf = Prio_share.Dpf.Make (F)
   module Rng = Prio_crypto.Rng
+  module Metrics = Prio_obs.Metrics
+  module Trace = Prio_obs.Trace
+
+  (* DPF uploads feed the same unified channel as {!Client.seal}, so the
+     cross-encoding byte comparison (Appendix G) reads off one counter. *)
+  let m_upload_bytes = Metrics.counter "prio_client_upload_bytes_total"
 
   type t = {
     bits : int;  (** domain is [0, 2^bits) *)
@@ -43,6 +49,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
       size in bytes. *)
   let submit rng t ~value : int =
     if value < 0 || value >= domain t then invalid_arg "Compressed.submit: range";
+    Trace.with_span "client.submit_compressed" @@ fun () ->
     let k0, k1 = Dpf.gen rng ~bits:t.bits ~alpha:value ~beta:F.one in
     List.iteri
       (fun server key ->
@@ -54,6 +61,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
     t.accepted <- t.accepted + 1;
     let bytes = Dpf.key_bytes k0 + Dpf.key_bytes k1 in
     t.upload_bytes <- t.upload_bytes + bytes;
+    Metrics.add m_upload_bytes bytes;
     bytes
 
   (** The aggregate histogram. *)

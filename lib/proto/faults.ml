@@ -13,6 +13,10 @@
     batch. *)
 
 module Rng = Prio_crypto.Rng
+module Metrics = Prio_obs.Metrics
+module Trace = Prio_obs.Trace
+
+let m_injected = Metrics.counter "prio_faults_injected_total"
 
 type policy = {
   p_drop : float;  (** frame silently vanishes *)
@@ -75,8 +79,10 @@ let decide t (frame : Bytes.t) : verdict =
   t.seen <- t.seen + 1;
   let p = t.policy in
   let roll = Rng.float01 t.rng in
-  let inj v =
+  let inj kind v =
     t.injected <- t.injected + 1;
+    Metrics.incr m_injected;
+    Trace.event "fault" ~attrs:[ ("kind", kind) ];
     v
   in
   let c0 = p.p_crash in
@@ -84,14 +90,16 @@ let decide t (frame : Bytes.t) : verdict =
   let c2 = c1 +. p.p_drop in
   let c3 = c2 +. p.p_corrupt in
   let c4 = c3 +. p.p_truncate in
-  if roll < c0 then inj Crash
-  else if roll < c1 then inj Disconnect
-  else if roll < c2 then inj Drop
-  else if roll < c3 then inj (Deliver (flip_byte t.rng frame))
-  else if roll < c4 then inj (Deliver (cut t.rng frame))
+  if roll < c0 then inj "crash" Crash
+  else if roll < c1 then inj "disconnect" Disconnect
+  else if roll < c2 then inj "drop" Drop
+  else if roll < c3 then inj "corrupt" (Deliver (flip_byte t.rng frame))
+  else if roll < c4 then inj "truncate" (Deliver (cut t.rng frame))
   else begin
     if p.p_delay > 0. && Rng.float01 t.rng < p.p_delay then begin
       t.injected <- t.injected + 1;
+      Metrics.incr m_injected;
+      Trace.event "fault" ~attrs:[ ("kind", "delay") ];
       Retry.sleep p.delay
     end;
     Deliver frame

@@ -107,6 +107,22 @@ let default_tuning =
     backoff = Retry.default_backoff;
   }
 
+(* ---------------------------- observability ---------------------------- *)
+
+module Metrics = Prio_obs.Metrics
+module Trace = Prio_obs.Trace
+
+(* Unified on-wire accounting: every frame that crosses a socket in this
+   process — uploads, gossip, collection — lands in these channels, the
+   TCP analogue of {!Cluster}'s links matrix. *)
+let m_tx_bytes = Metrics.counter "prio_net_tx_bytes_total"
+let m_tx_frames = Metrics.counter "prio_net_tx_frames_total"
+let m_rx_bytes = Metrics.counter "prio_net_rx_bytes_total"
+let m_rx_frames = Metrics.counter "prio_net_rx_frames_total"
+let m_timeouts = Metrics.counter "prio_net_timeouts_total"
+let h_frame_bytes = Metrics.histogram "prio_net_frame_bytes"
+let h_rpc = Metrics.histogram "prio_net_rpc_seconds"
+
 (* ------------------------------- framing ------------------------------- *)
 
 let put_u32 v =
@@ -158,7 +174,16 @@ let write_frame ?(deadline = Retry.no_deadline) fd (payload : Bytes.t) :
       | exception Unix.Unix_error (e, _, _) ->
         Error (Io_error ("write_frame: " ^ Unix.error_message e))
   in
-  send 0 (4 + n)
+  match send 0 (4 + n) with
+  | Ok () ->
+    Metrics.add m_tx_bytes (4 + n);
+    Metrics.incr m_tx_frames;
+    Metrics.observe_int h_frame_bytes n;
+    Ok ()
+  | Error (Timeout _) as e ->
+    Metrics.incr m_timeouts;
+    e
+  | Error _ as e -> e
 
 let read_exactly fd n deadline : (Bytes.t, protocol_error) result =
   let buf = Bytes.create n in
@@ -182,14 +207,27 @@ let read_frame ?(deadline = Retry.no_deadline)
     ?(max_bytes = default_max_frame_bytes) fd :
     (Bytes.t, protocol_error) result =
   match read_exactly fd 4 deadline with
+  | Error (Timeout _) as e ->
+    Metrics.incr m_timeouts;
+    e
   | Error _ as e -> e
-  | Ok hdr ->
+  | Ok hdr -> (
     let n = get_u32 hdr 0 in
     if n > max_bytes then
       (* refuse before allocating attacker-controlled memory *)
       Error (Frame_oversize n)
     else if n = 0 then Error (Bad_frame "empty (tag-less) frame")
-    else read_exactly fd n deadline
+    else
+      match read_exactly fd n deadline with
+      | Ok frame ->
+        Metrics.add m_rx_bytes (4 + n);
+        Metrics.incr m_rx_frames;
+        Metrics.observe_int h_frame_bytes n;
+        Ok frame
+      | Error (Timeout _) as e ->
+        Metrics.incr m_timeouts;
+        e
+      | Error _ as e -> e)
 
 (* ----------------------------- error frame ----------------------------- *)
 
@@ -795,6 +833,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
           | 0, _ -> Running
           | _, st ->
             d.statuses.(i) <- Some st;
+            Trace.event "supervisor.exited"
+              ~attrs:[ ("server", string_of_int i) ];
             Exited st
           | exception Unix.Unix_error (ECHILD, _, _) ->
             (* someone else reaped it; treat as gone *)
@@ -819,7 +859,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
     in
     Unix.close listen_fd;
     d.pids.(i) <- pid;
-    d.statuses.(i) <- None
+    d.statuses.(i) <- None;
+    Trace.event "supervisor.restarted" ~attrs:[ ("server", string_of_int i) ]
 
   (* ----------------------------- clients ---------------------------- *)
 
@@ -849,6 +890,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
       attempt (a dead port fails fast and is retried on the backoff
       schedule, not spun on). *)
   let rpc ?faults ~tuning ~rng addr payload =
+    Trace.with_span "net.rpc" @@ fun () ->
+    Metrics.time h_rpc @@ fun () ->
     Retry.with_backoff ~rng tuning.backoff (fun ~attempt:_ ->
         match
           dial ~retry_refused:false
@@ -872,21 +915,24 @@ module Make (F : Prio_field.Field_intf.S) = struct
                 | Error e -> `Retry e
                 | Ok reply -> classify_ack reply)))
 
-  (** Upload one client's submission over TCP and drive its verification,
-      with per-frame deadlines and idempotent retry under [faults]. *)
-  let submit_outcome ?faults d ~rng ~client_id (encoding : F.t array) :
-      outcome =
+  (** Upload already-sealed packets over TCP and drive their verification
+      — the packet-level entry point, so callers that prepared
+      submissions up front (the bench harness, {!Pipeline.prepare}
+      output) can replay them against a TCP deployment and compare the
+      wire bytes against [packets.upload_bytes]. *)
+  let submit_packets_outcome ?faults d ~rng ~client_id
+      (pk : Client.packets) : outcome =
     ignore_sigpipe ();
+    if Array.length pk.Client.sealed <> d.cfg.num_servers then
+      invalid_arg "Net.submit_packets: one packet per server required";
+    Trace.with_span "net.submit" ~attrs:[ ("client", string_of_int client_id) ]
+    @@ fun () ->
     let tuning = d.tuning in
-    let pk =
-      Client.submit ~rng
-        ~mode:(Client.Robust_snip d.cfg.circuit)
-        ~num_servers:d.cfg.num_servers ~client_id ~master:d.cfg.master
-        encoding
-    in
     (* followers first, so their shares are in place; leader last *)
     let order = List.init (d.cfg.num_servers - 1) (fun i -> i + 1) @ [ 0 ] in
     let upload i =
+      Trace.with_span "net.upload" ~attrs:[ ("server", string_of_int i) ]
+      @@ fun () ->
       rpc ?faults ~tuning ~rng d.addrs.(i)
         (tagged 'P' (Bytes.cat (put_u32 client_id) pk.Client.sealed.(i)))
     in
@@ -898,13 +944,43 @@ module Make (F : Prio_field.Field_intf.S) = struct
         | Ok (`Nack why) -> Some (Rejected why)
         | Error e -> Some (Unreachable e))
     in
-    match push order with
-    | Some early -> early
-    | None -> (
-      match rpc ?faults ~tuning ~rng d.addrs.(0) (tagged 'V' (put_u32 client_id)) with
-      | Ok `Ack -> Accepted
-      | Ok (`Nack why) -> Rejected why
-      | Error e -> Unreachable e)
+    let outcome =
+      match push order with
+      | Some early -> early
+      | None -> (
+        match
+          Trace.with_span "net.verify" (fun () ->
+              rpc ?faults ~tuning ~rng d.addrs.(0)
+                (tagged 'V' (put_u32 client_id)))
+        with
+        | Ok `Ack -> Accepted
+        | Ok (`Nack why) -> Rejected why
+        | Error e -> Unreachable e)
+    in
+    (match outcome with
+    | Accepted -> ()
+    | Rejected why -> Trace.event "net.rejected" ~attrs:[ ("why", why) ]
+    | Unreachable e ->
+      Trace.event "net.unreachable"
+        ~attrs:[ ("error", string_of_protocol_error e) ]);
+    outcome
+
+  let submit_packets ?faults d ~rng ~client_id (pk : Client.packets) : bool =
+    match submit_packets_outcome ?faults d ~rng ~client_id pk with
+    | Accepted -> true
+    | Rejected _ | Unreachable _ -> false
+
+  (** Upload one client's submission over TCP and drive its verification,
+      with per-frame deadlines and idempotent retry under [faults]. *)
+  let submit_outcome ?faults d ~rng ~client_id (encoding : F.t array) :
+      outcome =
+    let pk =
+      Client.submit ~rng
+        ~mode:(Client.Robust_snip d.cfg.circuit)
+        ~num_servers:d.cfg.num_servers ~client_id ~master:d.cfg.master
+        encoding
+    in
+    submit_packets_outcome ?faults d ~rng ~client_id pk
 
   let submit ?faults d ~rng ~client_id (encoding : F.t array) : bool =
     match submit_outcome ?faults d ~rng ~client_id encoding with
@@ -915,6 +991,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
       unreachable or garbled server and the structured cause. *)
   let collect_aggregate d : (F.t array, int * protocol_error) result =
     ignore_sigpipe ();
+    Trace.with_span "net.collect" @@ fun () ->
     let tuning = d.tuning in
     let acc = Array.make d.cfg.trunc_len F.zero in
     let fetch addr : (unit, protocol_error) result =

@@ -103,6 +103,7 @@ val dial :
 
 module Make (F : Prio_field.Field_intf.S) : sig
   module C : module type of Prio_circuit.Circuit.Make (F)
+  module Client : module type of Client.Make (F)
 
   type config = {
     circuit : C.t;
@@ -159,6 +160,20 @@ module Make (F : Prio_field.Field_intf.S) : sig
     | Accepted
     | Rejected of string  (** the cluster answered definitively *)
     | Unreachable of protocol_error  (** retries exhausted *)
+
+  val submit_packets_outcome :
+    ?faults:Faults.t -> deployment -> rng:Prio_crypto.Rng.t ->
+    client_id:int -> Client.packets -> outcome
+  (** Upload already-sealed packets (followers first, then the leader
+      with the verify trigger) — the packet-level entry point for
+      callers that prepared submissions up front and want to compare
+      wire traffic against [packets.upload_bytes].
+      @raise Invalid_argument on a packet-count/server-count mismatch. *)
+
+  val submit_packets :
+    ?faults:Faults.t -> deployment -> rng:Prio_crypto.Rng.t ->
+    client_id:int -> Client.packets -> bool
+  (** [submit_packets_outcome] collapsed to "accepted?". *)
 
   val submit_outcome :
     ?faults:Faults.t -> deployment -> rng:Prio_crypto.Rng.t ->

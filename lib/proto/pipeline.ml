@@ -19,6 +19,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
   module Cluster = Cluster.Make (F)
   module Client = Client.Make (F)
   module Rng = Prio_crypto.Rng
+  module Trace = Prio_obs.Trace
 
   type prepared = {
     packets : (int * Client.packets) array;  (** (client_id, packets) *)
@@ -30,6 +31,9 @@ module Make (F : Prio_field.Field_intf.S) = struct
       servers, as the paper's load generators did). *)
   let prepare ~rng (cluster : Cluster.t) (encodings : F.t array list) : prepared
       =
+    Trace.with_span "client.prepare"
+      ~attrs:[ ("clients", string_of_int (List.length encodings)) ]
+    @@ fun () ->
     let mode = Cluster.client_mode cluster in
     let master = cluster.Cluster.master in
     let s = cluster.Cluster.s in
@@ -54,6 +58,9 @@ module Make (F : Prio_field.Field_intf.S) = struct
   (** Feed all prepared submissions through the cluster; returns the number
       accepted and the serial server-side seconds. *)
   let process (cluster : Cluster.t) (p : prepared) : int * float =
+    Trace.with_span "server.process"
+      ~attrs:[ ("submissions", string_of_int (Array.length p.packets)) ]
+    @@ fun () ->
     let accepted, seconds =
       time (fun () ->
           Array.fold_left

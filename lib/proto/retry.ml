@@ -8,6 +8,10 @@
     reproducible from a seed. *)
 
 module Rng = Prio_crypto.Rng
+module Metrics = Prio_obs.Metrics
+module Trace = Prio_obs.Trace
+
+let m_retries = Metrics.counter "prio_retry_attempts_total"
 
 (* ------------------------------ deadlines ------------------------------ *)
 
@@ -65,6 +69,8 @@ let with_backoff ?rng ?(on_retry = fun ~attempt:_ _ -> ()) b f =
     | `Retry e ->
       if attempt + 1 >= b.max_attempts then Error e
       else begin
+        Metrics.incr m_retries;
+        Trace.event "retry" ~attrs:[ ("attempt", string_of_int attempt) ];
         on_retry ~attempt e;
         sleep (delay_for ?rng b ~attempt);
         go (attempt + 1)

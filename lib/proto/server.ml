@@ -9,6 +9,10 @@ module Make (F : Prio_field.Field_intf.S) = struct
   module W = Wire.Make (F)
   module Rng = Prio_crypto.Rng
   module Authbox = Prio_crypto.Authbox
+  module Metrics = Prio_obs.Metrics
+  module Trace = Prio_obs.Trace
+
+  let m_dropped = Metrics.counter "prio_server_dropped_packets_total"
 
   type t = {
     id : int;
@@ -48,7 +52,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
   (** Authenticate, decrypt, replay-check and expand one client packet into
       this server's flat share vector. [None] on forgery, replay, or
       malformed payload — the packet is dropped, as in the real system. *)
-  let receive t ~client_id (packet : Bytes.t) : (Bytes.t * F.t array) option =
+  let receive_checked t ~client_id (packet : Bytes.t) :
+      (Bytes.t * F.t array) option =
     let key = Authbox.derive_key ~client_id ~server_id:t.id ~master:t.master in
     match Authbox.open_ ~key packet with
     | None -> None
@@ -71,6 +76,16 @@ module Make (F : Prio_field.Field_intf.S) = struct
               Some (nonce, share))
         end
       end
+
+  let receive t ~client_id (packet : Bytes.t) : (Bytes.t * F.t array) option =
+    match receive_checked t ~client_id packet with
+    | None ->
+      Metrics.incr m_dropped;
+      Trace.event "server.dropped_packet"
+        ~attrs:
+          [ ("server", string_of_int t.id); ("client", string_of_int client_id) ];
+      None
+    | some -> some
 
   (** Aggregate step: fold the first k' components of an accepted encoding
       share into the local accumulator. *)

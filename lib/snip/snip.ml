@@ -35,6 +35,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
   module RE = Prio_poly.Roots_eval.Make (F)
   module Sh = Prio_share.Share.Make (F)
   module Rng = Prio_crypto.Rng
+  module Trace = Prio_obs.Trace
 
   type proof_share = {
     f0 : F.t;  (** share of the random mask f(0) *)
@@ -112,6 +113,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
     let m = C.num_mul_gates circuit in
     if m = 0 then [||]
     else begin
+      Trace.with_span "snip.prove" ~attrs:[ ("mul_gates", string_of_int m) ]
+      @@ fun () ->
       let _, pairs = C.eval_mul_pairs circuit ~inputs in
       let n = Ntt.next_pow2 (m + 1) in
       let u = Array.make n F.zero and v = Array.make n F.zero in
@@ -273,6 +276,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
       pipelines. *)
   let verify_all (ctx : batch_ctx) (subs : submission_share array) : bool =
     if Array.length subs <> ctx.s then invalid_arg "Snip.verify_all: wrong share count";
+    Trace.with_span "snip.verify" @@ fun () ->
     let states = Array.map (server_prepare ctx) subs in
     let d = Array.fold_left (fun acc (_, o) -> F.add acc o.d) F.zero states in
     let e = Array.fold_left (fun acc (_, o) -> F.add acc o.e) F.zero states in

@@ -1,6 +1,3 @@
 (* corpus: no-ambient-random positives *)
 let entropy () = Random.int 256
 let reseed () = Random.self_init ()
-let now () = Unix.gettimeofday ()
-let stamp () = Unix.time ()
-let cpu () = Sys.time ()

@@ -1,0 +1,4 @@
+(* corpus: no-ambient-clock positives *)
+let now () = Unix.gettimeofday ()
+let stamp () = Unix.time ()
+let cpu () = Sys.time ()

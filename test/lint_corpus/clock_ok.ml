@@ -1,0 +1,6 @@
+(* corpus: no-ambient-clock negatives — the seams and explicit instants
+   are the sanctioned forms *)
+let start () = Retry.now ()
+let trace_start clock = Clock.now clock
+let expired ~now ~deadline = now > deadline
+let pause s = Unix.sleepf s

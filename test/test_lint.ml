@@ -74,20 +74,30 @@ let test_ambient_positives () =
       "ambient_bad.ml:3:16: [no-ambient-random] ambient randomness \
        Random.self_init: every protocol execution must be a pure function \
        of its Rng seed (thread a seeded Prio_crypto.Rng.t)";
-      "ambient_bad.ml:4:13: [no-ambient-random] ambient clock \
-       Unix.gettimeofday: read time through the Retry.now seam (or take an \
-       instant as a parameter) so runs replay deterministically";
-      "ambient_bad.ml:5:15: [no-ambient-random] ambient clock Unix.time: \
-       read time through the Retry.now seam (or take an instant as a \
-       parameter) so runs replay deterministically";
-      "ambient_bad.ml:6:13: [no-ambient-random] ambient clock Sys.time: \
-       read time through the Retry.now seam (or take an instant as a \
-       parameter) so runs replay deterministically";
     ]
     (lint "ambient_bad.ml")
 
 let test_ambient_negatives () =
   check_diags "ambient_ok" [] (lint "ambient_ok.ml")
+
+let test_clock_positives () =
+  check_diags "clock_bad"
+    [
+      "clock_bad.ml:2:13: [no-ambient-clock] ambient clock \
+       Unix.gettimeofday: read time through the Obs.Clock or Retry.now \
+       seams (or take an instant as a parameter) so runs replay \
+       deterministically";
+      "clock_bad.ml:3:15: [no-ambient-clock] ambient clock Unix.time: read \
+       time through the Obs.Clock or Retry.now seams (or take an instant \
+       as a parameter) so runs replay deterministically";
+      "clock_bad.ml:4:13: [no-ambient-clock] ambient clock Sys.time: read \
+       time through the Obs.Clock or Retry.now seams (or take an instant \
+       as a parameter) so runs replay deterministically";
+    ]
+    (lint "clock_bad.ml")
+
+let test_clock_negatives () =
+  check_diags "clock_ok" [] (lint "clock_ok.ml")
 
 let test_error_discipline_positives () =
   check_diags "errors_bad"
@@ -207,12 +217,21 @@ let test_policy () =
     (sev "lib/proto/net.ml" Rules.ct_compare = None);
   Alcotest.(check bool) "entropy seam exempt" true
     (sev "lib/crypto/rng.ml" Rules.no_ambient_random = None);
-  Alcotest.(check bool) "clock seam exempt" true
-    (sev "lib/proto/retry.ml" Rules.no_ambient_random = None);
+  Alcotest.(check bool) "retry seam is not an entropy seam" true
+    (sev "lib/proto/retry.ml" Rules.no_ambient_random = Some D.Error);
   Alcotest.(check bool) "ambient randomness an error elsewhere" true
     (sev "lib/crypto/chacha20.ml" Rules.no_ambient_random = Some D.Error);
+  Alcotest.(check bool) "retry seam exempt from the clock rule" true
+    (sev "lib/proto/retry.ml" Rules.no_ambient_clock = None);
+  Alcotest.(check bool) "obs clock seam exempt from the clock rule" true
+    (sev "lib/obs/clock.ml" Rules.no_ambient_clock = None);
+  Alcotest.(check bool) "entropy seam exempt from the clock rule" true
+    (sev "lib/crypto/rng.ml" Rules.no_ambient_clock = None);
+  Alcotest.(check bool) "ambient clock an error elsewhere" true
+    (sev "lib/proto/net.ml" Rules.no_ambient_clock = Some D.Error);
   Alcotest.(check bool) "bench may read the wall clock" true
-    (sev "bench/main.ml" Rules.no_ambient_random = None);
+    (sev "bench/main.ml" Rules.no_ambient_clock = None
+    && sev "bench/main.ml" Rules.no_ambient_random = None);
   Alcotest.(check bool) "error-discipline scoped to proto" true
     (sev "lib/proto/server.ml" Rules.error_discipline = Some D.Error
     && sev "lib/afe/sum.ml" Rules.error_discipline = None);
@@ -244,6 +263,10 @@ let () =
             test_ambient_positives;
           Alcotest.test_case "no-ambient-random negatives" `Quick
             test_ambient_negatives;
+          Alcotest.test_case "no-ambient-clock positives" `Quick
+            test_clock_positives;
+          Alcotest.test_case "no-ambient-clock negatives" `Quick
+            test_clock_negatives;
           Alcotest.test_case "error-discipline positives" `Quick
             test_error_discipline_positives;
           Alcotest.test_case "error-discipline negatives" `Quick

@@ -1,0 +1,302 @@
+(* The observability layer: injectable clocks, the metrics registry and
+   its log-scale histograms, the span recorder, and the properties the
+   rest of the system leans on — zero-cost no-op mode, deterministic
+   traces under fixed clocks and seeded faults, and the unified byte
+   accounting agreeing exactly with the legacy per-object accessors. *)
+
+open Core
+module Clock = Prio.Obs_clock
+module Metrics = Prio.Obs_metrics
+module Trace = Prio.Obs_trace
+module Report = Prio.Obs_report
+module Faults = Prio.Faults
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let with_recorder ?clock f =
+  let r = Trace.create ?clock ~capacity:4096 () in
+  Trace.install r;
+  Fun.protect ~finally:Trace.uninstall (fun () -> f r)
+
+(* ------------------------------- clocks ------------------------------ *)
+
+let test_clocks () =
+  let m = Clock.manual ~start:10. () in
+  Alcotest.(check (float 0.)) "manual frozen" 10. (Clock.now m);
+  Alcotest.(check (float 0.)) "manual frozen twice" 10. (Clock.now m);
+  Clock.advance m 2.5;
+  Alcotest.(check (float 0.)) "manual advanced" 12.5 (Clock.now m);
+  Clock.set m 100.;
+  Alcotest.(check (float 0.)) "manual set" 100. (Clock.now m);
+  let t = Clock.ticking ~start:0. ~step:1. () in
+  Alcotest.(check (float 0.)) "tick 0" 0. (Clock.now t);
+  Alcotest.(check (float 0.)) "tick 1" 1. (Clock.now t);
+  Alcotest.(check (float 0.)) "tick 2" 2. (Clock.now t);
+  Alcotest.check_raises "system clock cannot be set"
+    (Invalid_argument "Obs.Clock.set: cannot set the system clock") (fun () ->
+      Clock.set Clock.system 0.)
+
+(* ---------------------------- span nesting --------------------------- *)
+
+let test_span_nesting () =
+  let clock = Clock.manual ~start:100. () in
+  with_recorder ~clock @@ fun r ->
+  Trace.with_span "outer" ~attrs:[ ("phase", "test") ] (fun () ->
+      Clock.advance clock 1.;
+      Trace.with_span "inner" (fun () -> Clock.advance clock 0.5);
+      Trace.event "mark" ~attrs:[ ("k", "v") ];
+      Clock.advance clock 0.25);
+  match Trace.spans r with
+  | [ outer; inner; mark ] ->
+    Alcotest.(check string) "outer name" "outer" outer.Trace.name;
+    Alcotest.(check (option int)) "outer is a root" None outer.Trace.parent;
+    Alcotest.(check (float 0.)) "outer start" 100. outer.Trace.start;
+    Alcotest.(check (float 1e-9)) "outer duration" 1.75 outer.Trace.duration;
+    Alcotest.(check string) "inner name" "inner" inner.Trace.name;
+    Alcotest.(check (option int))
+      "inner nested under outer" (Some outer.Trace.id) inner.Trace.parent;
+    Alcotest.(check (float 0.)) "inner start" 101. inner.Trace.start;
+    Alcotest.(check (float 1e-9)) "inner duration" 0.5 inner.Trace.duration;
+    Alcotest.(check bool) "mark is an event" true (mark.Trace.kind = Trace.Event);
+    Alcotest.(check (option int))
+      "event under outer" (Some outer.Trace.id) mark.Trace.parent
+  | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans)
+
+let test_span_exception_safety () =
+  let clock = Clock.manual () in
+  with_recorder ~clock @@ fun r ->
+  (try
+     Trace.with_span "outer" (fun () ->
+         Trace.with_span "thrower" (fun () ->
+             Clock.advance clock 1.;
+             failwith "boom"))
+   with Failure _ -> ());
+  (* both spans closed despite the exception; a sibling span opened
+     afterwards nests at the root, not under a leaked parent *)
+  Trace.with_span "after" (fun () -> ());
+  match Trace.spans r with
+  | [ outer; thrower; after ] ->
+    Alcotest.(check (float 1e-9))
+      "raising span still got a duration" 1. thrower.Trace.duration;
+    Alcotest.(check (float 1e-9))
+      "outer closed too" 1. outer.Trace.duration;
+    Alcotest.(check (option int)) "stack unwound" None after.Trace.parent
+  | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans)
+
+let test_ring_eviction () =
+  let r = Trace.create ~capacity:4 () in
+  Trace.install r;
+  Fun.protect ~finally:Trace.uninstall (fun () ->
+      for i = 0 to 9 do
+        Trace.event (Printf.sprintf "e%d" i)
+      done);
+  Alcotest.(check int) "ring holds capacity" 4 (Trace.recorded r);
+  Alcotest.(check int) "total counts evictions" 10 (Trace.total r);
+  Alcotest.(check (list string)) "oldest evicted first"
+    [ "e6"; "e7"; "e8"; "e9" ]
+    (List.map (fun sp -> sp.Trace.name) (Trace.spans r))
+
+(* ----------------------- histogram bucket scheme --------------------- *)
+
+let test_bucket_boundaries () =
+  (* power-of-two buckets: 1.0 is the lower edge of its bucket *)
+  let b1 = Metrics.bucket_of 1.0 in
+  Alcotest.(check (float 0.)) "1.0 sits on a lower edge" 1.0
+    (Metrics.bucket_lower b1);
+  Alcotest.(check (float 0.)) "and its upper edge is 2" 2.0
+    (Metrics.bucket_upper b1);
+  Alcotest.(check int) "1.5 shares the bucket" b1 (Metrics.bucket_of 1.5);
+  Alcotest.(check int) "1.999 shares the bucket" b1 (Metrics.bucket_of 1.999);
+  Alcotest.(check int) "2.0 starts the next" (b1 + 1) (Metrics.bucket_of 2.0);
+  Alcotest.(check int) "0.5 is one below" (b1 - 1) (Metrics.bucket_of 0.5);
+  (* non-positive values land in the first bucket *)
+  Alcotest.(check int) "zero in bucket 0" 0 (Metrics.bucket_of 0.);
+  Alcotest.(check int) "negative in bucket 0" 0 (Metrics.bucket_of (-3.));
+  (* the edges round-trip across the whole range *)
+  for i = 1 to Metrics.num_buckets - 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "lower edge of bucket %d round-trips" i)
+      i
+      (Metrics.bucket_of (Metrics.bucket_lower i))
+  done;
+  Alcotest.(check (float 0.)) "last bucket is unbounded" infinity
+    (Metrics.bucket_upper (Metrics.num_buckets - 1));
+  (* huge values clamp into the last bucket instead of overflowing *)
+  Alcotest.(check int) "huge values clamp" (Metrics.num_buckets - 1)
+    (Metrics.bucket_of 1e300)
+
+let test_histogram_recording () =
+  let h = Metrics.histogram "test_obs_hist_seconds" in
+  Metrics.reset ();
+  List.iter (Metrics.observe h) [ 0.25; 1.0; 1.5; 3.0 ];
+  Alcotest.(check int) "count" 4 (Metrics.count h);
+  Alcotest.(check (float 1e-9)) "sum" 5.75 (Metrics.sum h);
+  Alcotest.(check (float 1e-9)) "mean" 1.4375 (Metrics.mean h);
+  match List.assoc_opt "test_obs_hist_seconds" (Metrics.snapshot ()) with
+  | Some (Metrics.Histogram_v hv) ->
+    Alcotest.(check int) "view count" 4 hv.Metrics.hv_count;
+    Alcotest.(check (float 0.)) "view min" 0.25 hv.Metrics.hv_min;
+    Alcotest.(check (float 0.)) "view max" 3.0 hv.Metrics.hv_max;
+    Alcotest.(check int) "bucket samples add up to count" 4
+      (Array.fold_left (fun acc (_, n) -> acc + n) 0 hv.Metrics.hv_buckets);
+    (* [1.0; 1.5] share the [1,2) bucket; its recorded bound is 2 *)
+    Alcotest.(check bool) "the [1,2) bucket holds two samples" true
+      (Array.exists (fun (le, n) -> le = 2.0 && n = 2) hv.Metrics.hv_buckets)
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+let test_metrics_time_deterministic () =
+  let h = Metrics.histogram "test_obs_timed_seconds" in
+  Metrics.reset ();
+  let clock = Clock.ticking ~start:0. ~step:0.125 () in
+  Metrics.set_clock clock;
+  Fun.protect ~finally:(fun () -> Metrics.set_clock Clock.system) (fun () ->
+      let x = Metrics.time h (fun () -> 42) in
+      Alcotest.(check int) "timed thunk's value passes through" 42 x;
+      (* one read at entry, one at exit: exactly one step elapsed *)
+      Alcotest.(check (float 0.)) "duration from the injected clock" 0.125
+        (Metrics.sum h))
+
+(* ------------------------------ no-op mode --------------------------- *)
+
+let test_noop_is_allocation_free () =
+  let c = Metrics.counter "test_obs_noop_total" in
+  let h = Metrics.histogram "test_obs_noop_seconds" in
+  Metrics.reset ();
+  let v = 1.5 (* pre-boxed: keeps caller-side boxing out of the measure *) in
+  Metrics.disable ();
+  Fun.protect ~finally:Metrics.enable (fun () ->
+      for _ = 1 to 100 do
+        Metrics.incr c
+      done;
+      let before = Gc.minor_words () in
+      for _ = 1 to 10_000 do
+        Metrics.incr c;
+        Metrics.add c 3;
+        Metrics.observe h v;
+        Trace.event "dropped" (* no recorder installed: also free *)
+      done;
+      let delta = Gc.minor_words () -. before in
+      Alcotest.(check bool)
+        (Printf.sprintf "disabled recording allocates nothing (%.0f words)" delta)
+        true (delta < 10.);
+      Alcotest.(check int) "nothing was recorded" 0 (Metrics.value c);
+      Alcotest.(check int) "histogram untouched" 0 (Metrics.count h))
+
+(* ------------------------- deterministic traces ---------------------- *)
+
+(* One chaos round: seeded faults rolled over a fixed frame sequence
+   under a manual clock. Everything feeding the trace is deterministic,
+   so the exported JSONL must be byte-identical across runs. *)
+let chaos_jsonl () =
+  let clock = Clock.manual ~start:42. () in
+  with_recorder ~clock @@ fun r ->
+  let faults =
+    Faults.create ~seed:"obs-deterministic"
+      { Faults.none with Faults.p_drop = 0.3; Faults.p_corrupt = 0.2 }
+  in
+  let frame = Bytes.make 32 'x' in
+  Trace.with_span "chaos" (fun () ->
+      for i = 1 to 50 do
+        Clock.advance clock 0.01;
+        (match Faults.decide faults frame with
+        | Faults.Deliver _ -> ()
+        | Faults.Drop | Faults.Disconnect | Faults.Crash -> ());
+        if i mod 10 = 0 then Trace.event "checkpoint"
+      done);
+  Trace.to_jsonl r
+
+let test_deterministic_trace () =
+  let a = chaos_jsonl () in
+  let b = chaos_jsonl () in
+  Alcotest.(check string) "two seeded chaos runs export identical JSONL" a b;
+  Alcotest.(check bool) "the chaos actually injected faults" true
+    (contains ~affix:"\"fault\"" a)
+
+(* ---------------------- unified byte accounting ---------------------- *)
+
+(* The ISSUE-4 contract: the Obs counters and the legacy per-object
+   accessors are two views of the same accounting, and must agree
+   exactly — uploads against [prepared.upload_bytes], server gossip
+   against [Cluster.total_server_bytes]. *)
+let test_byte_unification () =
+  let module P = Prio.Make (Prio.F87) in
+  let rng = Prio.Rng.of_string_seed "obs-bytes" in
+  let l = 16 in
+  let circuit =
+    let b = P.Circuit.Builder.create ~num_inputs:l in
+    for i = 0 to l - 1 do
+      P.Circuit.Builder.assert_bit b (P.Circuit.Builder.input b i)
+    done;
+    P.Circuit.Builder.build b
+  in
+  let cluster =
+    P.Cluster.create ~rng ~mode:P.Cluster.Robust_snip ~circuit ~trunc_len:l
+      ~num_servers:3 ~master:(Prio.Rng.bytes rng 32) ()
+  in
+  let c_upload = Metrics.counter "prio_client_upload_bytes_total" in
+  let c_link = Metrics.counter "prio_server_link_bytes_total" in
+  let upload0 = Metrics.value c_upload and link0 = Metrics.value c_link in
+  let encodings =
+    List.init 6 (fun _ ->
+        Array.init l (fun _ -> P.Field.of_int (Prio.Rng.int_below rng 2)))
+  in
+  let prepared = P.Pipeline.prepare ~rng cluster encodings in
+  let accepted, _ = P.Pipeline.process cluster prepared in
+  Alcotest.(check int) "all submissions accepted" 6 accepted;
+  Alcotest.(check int) "upload counter equals legacy upload_bytes"
+    prepared.P.Pipeline.upload_bytes
+    (Metrics.value c_upload - upload0);
+  Alcotest.(check int) "link counter equals legacy total_server_bytes"
+    (P.Cluster.total_server_bytes cluster)
+    (Metrics.value c_link - link0)
+
+(* ------------------------------ exporters ---------------------------- *)
+
+let test_report_formats () =
+  let c = Metrics.counter "test_obs_report_total" in
+  let h = Metrics.histogram "test_obs_report_seconds" in
+  Metrics.reset ();
+  Metrics.add c 7;
+  Metrics.observe h 1.5;
+  let prom = Report.prometheus () in
+  Alcotest.(check bool) "prometheus has the counter" true
+    (contains ~affix:"test_obs_report_total 7" prom);
+  Alcotest.(check bool) "prometheus histograms are cumulative to +Inf" true
+    (contains ~affix:"test_obs_report_seconds_bucket{le=\"+Inf\"} 1" prom);
+  let json = Report.json () in
+  Alcotest.(check bool) "json has the counter" true
+    (contains ~affix:"\"test_obs_report_total\":7" json)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("clock", [ Alcotest.test_case "clocks" `Quick test_clocks ]);
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+          Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+          Alcotest.test_case "deterministic under seeded chaos" `Quick
+            test_deterministic_trace;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "histogram recording" `Quick
+            test_histogram_recording;
+          Alcotest.test_case "time under an injected clock" `Quick
+            test_metrics_time_deterministic;
+          Alcotest.test_case "no-op mode allocates nothing" `Quick
+            test_noop_is_allocation_free;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "unified byte accounting" `Quick
+            test_byte_unification;
+          Alcotest.test_case "report formats" `Quick test_report_formats;
+        ] );
+    ]
