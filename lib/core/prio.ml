@@ -41,6 +41,7 @@ module Registry = Prio_proto.Registry
 module Retry = Prio_proto.Retry
 module Faults = Prio_proto.Faults
 module Transport = Prio_proto.Net
+module Pool = Prio_proto.Pool
 module Schnorr = Prio_nizk.Schnorr
 module Nizk_group = Prio_nizk.Group
 module Nizk_pedersen = Prio_nizk.Pedersen

@@ -95,4 +95,16 @@ module Make (C : Config) : Field_intf.S = struct
     if k < 0 || k > two_adicity then
       invalid_arg (name ^ ".root_of_unity: out of range");
     (Lazy.force root_table).(k)
+
+  (* The generator check above only rules out quadratic residues; a bad
+     Config could still derive a low-order "root of unity" and silently
+     corrupt every NTT. Pin the two-adic root to exact order 2^k: the
+     table entry for k = adicity squares down to the primitive square
+     root of unity, which must be −1 (and square back to 1). *)
+  let () =
+    if two_adicity >= 1 then begin
+      let r2 = root_of_unity 1 in
+      assert (equal r2 (neg one));
+      assert (is_one (sqr r2))
+    end
 end

@@ -10,11 +10,12 @@
       counter when one is already registered under [name], so functor
       instantiations and re-instantiated pipelines share channels.
 
-    Thread-safety: counters use [Atomic] and are exact under parallel
-    domains ({!Parallel} runs replica clusters on separate domains).
-    Gauge and histogram updates are plain mutations — racing domains can
-    lose updates there; the pipeline only feeds them from the
-    coordinating domain. *)
+    Thread-safety: every metric kind is domain-safe. Counters are a
+    single [Atomic] RMW; gauges are an atomic last-writer-wins cell;
+    histogram bucket/count cells are atomic and the float accumulators
+    (sum, min, max) are updated through CAS retry loops, so no sample is
+    ever lost under concurrent domains ({!Parallel} and the proto worker
+    pool record from many domains at once). *)
 
 (* ------------------------------ no-op mode ----------------------------- *)
 
@@ -53,16 +54,24 @@ let bucket_upper i =
 
 type counter = { c_name : string; cell : int Atomic.t }
 
-type gauge = { g_name : string; mutable g_value : float }
+type gauge = { g_name : string; g_cell : float Atomic.t }
 
 type histogram = {
   h_name : string;
-  buckets : int array;
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
+  buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+  h_min : float Atomic.t;
+  h_max : float Atomic.t;
 }
+
+(* Lock-free read-modify-write on a boxed-float atomic: CAS compares the
+   box by physical equality, and [Atomic.get] returns the exact box a
+   successful [set] installed, so the retry loop is sound. *)
+let rec update_float cell f =
+  let old = Atomic.get cell in
+  let next = f old in
+  if not (Atomic.compare_and_set cell old next) then update_float cell f
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
@@ -98,7 +107,7 @@ let counter name =
 let gauge name =
   register name "non-gauge"
     (fun () ->
-      let g = { g_name = name; g_value = 0. } in
+      let g = { g_name = name; g_cell = Atomic.make 0. } in
       Hashtbl.replace registry name (Gauge g);
       g)
     (function Gauge g -> Some g | _ -> None)
@@ -107,8 +116,10 @@ let histogram name =
   register name "non-histogram"
     (fun () ->
       let h =
-        { h_name = name; buckets = Array.make num_buckets 0; h_count = 0;
-          h_sum = 0.; h_min = infinity; h_max = neg_infinity }
+        { h_name = name;
+          buckets = Array.init num_buckets (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0; h_sum = Atomic.make 0.;
+          h_min = Atomic.make infinity; h_max = Atomic.make neg_infinity }
       in
       Hashtbl.replace registry name (Histogram h);
       h)
@@ -120,24 +131,27 @@ let add c n = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.cell n)
 let incr c = add c 1
 let value c = Atomic.get c.cell
 
-let set g v = if Atomic.get enabled then g.g_value <- v
-let gauge_value g = g.g_value
+let set g v = if Atomic.get enabled then Atomic.set g.g_cell v
+let gauge_value g = Atomic.get g.g_cell
 
 let observe h v =
   if Atomic.get enabled then begin
     let i = bucket_of v in
-    h.buckets.(i) <- h.buckets.(i) + 1;
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v
+    ignore (Atomic.fetch_and_add h.buckets.(i) 1);
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    update_float h.h_sum (fun s -> s +. v);
+    update_float h.h_min (fun m -> if v < m then v else m);
+    update_float h.h_max (fun m -> if v > m then v else m)
   end
 
 let observe_int h n = observe h (float_of_int n)
 
-let count h = h.h_count
-let sum h = h.h_sum
-let mean h = if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count
+let count h = Atomic.get h.h_count
+let sum h = Atomic.get h.h_sum
+
+let mean h =
+  let c = Atomic.get h.h_count in
+  if c = 0 then 0. else Atomic.get h.h_sum /. float_of_int c
 
 (* -------------------------------- timing ------------------------------- *)
 
@@ -171,15 +185,17 @@ type view =
 
 let view_of = function
   | Counter c -> Counter_v (Atomic.get c.cell)
-  | Gauge g -> Gauge_v g.g_value
+  | Gauge g -> Gauge_v (Atomic.get g.g_cell)
   | Histogram h ->
     let bs = ref [] in
     for i = num_buckets - 1 downto 0 do
-      if h.buckets.(i) > 0 then bs := (bucket_upper i, h.buckets.(i)) :: !bs
+      let n = Atomic.get h.buckets.(i) in
+      if n > 0 then bs := (bucket_upper i, n) :: !bs
     done;
     Histogram_v
-      { hv_count = h.h_count; hv_sum = h.h_sum; hv_min = h.h_min;
-        hv_max = h.h_max; hv_buckets = Array.of_list !bs }
+      { hv_count = Atomic.get h.h_count; hv_sum = Atomic.get h.h_sum;
+        hv_min = Atomic.get h.h_min; hv_max = Atomic.get h.h_max;
+        hv_buckets = Array.of_list !bs }
 
 let snapshot () =
   with_lock (fun () ->
@@ -192,13 +208,13 @@ let reset () =
         (fun _ m ->
           match m with
           | Counter c -> Atomic.set c.cell 0
-          | Gauge g -> g.g_value <- 0.
+          | Gauge g -> Atomic.set g.g_cell 0.
           | Histogram h ->
-            Array.fill h.buckets 0 num_buckets 0;
-            h.h_count <- 0;
-            h.h_sum <- 0.;
-            h.h_min <- infinity;
-            h.h_max <- neg_infinity)
+            Array.iter (fun b -> Atomic.set b 0) h.buckets;
+            Atomic.set h.h_count 0;
+            Atomic.set h.h_sum 0.;
+            Atomic.set h.h_min infinity;
+            Atomic.set h.h_max neg_infinity)
         registry)
 
 let name_of_counter c = c.c_name

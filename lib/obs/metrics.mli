@@ -3,8 +3,10 @@
     Creation is idempotent ([counter name] twice returns the same
     counter), recording is O(1), and {!disable} turns every recording
     call into a single atomic load with no allocation — instrumented hot
-    paths cost nothing when observability is off. Counters are
-    domain-safe ([Atomic]); gauges and histograms are single-writer. *)
+    paths cost nothing when observability is off. Every metric kind is
+    domain-safe: counters and histogram cells are [Atomic], gauges are
+    last-writer-wins atomic cells, and histogram float accumulators use
+    CAS retry loops — concurrent recording never loses a sample. *)
 
 type counter
 type gauge

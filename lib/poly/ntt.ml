@@ -7,9 +7,15 @@
 
     The transform of size n = 2^k maps coefficients (c_0..c_{n-1}) to
     evaluations at the powers (ω^0, ω^1, …, ω^{n-1}) of a primitive n-th root
-    of unity ω; the inverse transform interpolates. *)
+    of unity ω; the inverse transform interpolates.
+
+    [ntt]/[intt]/[mul] execute against cached {!Ntt_plan} tables; the
+    [_uncached] variants recompute roots on every call and exist as the
+    reference implementation for equivalence tests and benchmarks. *)
 
 module Make (F : Prio_field.Field_intf.S) = struct
+  module Plan = Ntt_plan.Make (F)
+
   let is_pow2 n = n > 0 && n land (n - 1) = 0
 
   let log2 n =
@@ -67,20 +73,53 @@ module Make (F : Prio_field.Field_intf.S) = struct
   (** Coefficients → evaluations at (ω^0 … ω^{n-1}); returns a new array. *)
   let ntt (coeffs : F.t array) : F.t array =
     let a = Array.copy coeffs in
-    transform_with_root a (root_for (Array.length a));
+    Plan.transform (Plan.get (Array.length a)) a;
     a
 
   (** Evaluations at (ω^0 … ω^{n-1}) → coefficients; returns a new array. *)
   let intt (values : F.t array) : F.t array =
+    let a = Array.copy values in
+    let p = Plan.get (Array.length a) in
+    Plan.transform p ~inverse:true a;
+    let n_inv = Plan.n_inv p in
+    Array.map (F.mul n_inv) a
+
+  (** Polynomial product via NTT; sizes are padded to the covering power of
+      two internally. *)
+  let mul (p : F.t array) (q : F.t array) : F.t array =
+    let lp = Array.length p and lq = Array.length q in
+    if lp = 0 || lq = 0 then [||]
+    else begin
+      let out_len = lp + lq - 1 in
+      let n = next_pow2 out_len in
+      let pad a = Array.init n (fun i -> if i < Array.length a then a.(i) else F.zero) in
+      let fa = pad p and fb = pad q in
+      let plan = Plan.get n in
+      Plan.transform plan fa;
+      Plan.transform plan fb;
+      for i = 0 to n - 1 do
+        fa.(i) <- F.mul fa.(i) fb.(i)
+      done;
+      Plan.transform plan ~inverse:true fa;
+      let n_inv = Plan.n_inv plan in
+      Array.init out_len (fun i -> F.mul n_inv fa.(i))
+    end
+
+  (* ----------------- uncached reference implementations ----------------- *)
+
+  let ntt_uncached (coeffs : F.t array) : F.t array =
+    let a = Array.copy coeffs in
+    transform_with_root a (root_for (Array.length a));
+    a
+
+  let intt_uncached (values : F.t array) : F.t array =
     let n = Array.length values in
     let a = Array.copy values in
     transform_with_root a (F.inv (root_for n));
     let n_inv = F.inv (F.of_int n) in
     Array.map (F.mul n_inv) a
 
-  (** Polynomial product via NTT; sizes are padded to the covering power of
-      two internally. *)
-  let mul (p : F.t array) (q : F.t array) : F.t array =
+  let mul_uncached (p : F.t array) (q : F.t array) : F.t array =
     let lp = Array.length p and lq = Array.length q in
     if lp = 0 || lq = 0 then [||]
     else begin

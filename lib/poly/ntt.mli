@@ -8,6 +8,9 @@
     log₂ n ≤ [F.two_adicity]. *)
 
 module Make (F : Prio_field.Field_intf.S) : sig
+  module Plan : module type of Ntt_plan.Make (F)
+  (** The cached-plan layer this instantiation executes against. *)
+
   val is_pow2 : int -> bool
 
   val log2 : int -> int
@@ -28,4 +31,11 @@ module Make (F : Prio_field.Field_intf.S) : sig
   val mul : F.t array -> F.t array -> F.t array
   (** Polynomial product via NTT; output has exact length
       |p| + |q| − 1. *)
+
+  val ntt_uncached : F.t array -> F.t array
+  val intt_uncached : F.t array -> F.t array
+
+  val mul_uncached : F.t array -> F.t array -> F.t array
+  (** Reference implementations that re-derive every root with [F.pow]
+      on each call; must agree exactly with the plan-cached paths. *)
 end

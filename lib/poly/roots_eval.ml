@@ -17,6 +17,7 @@
 
 module Make (F : Prio_field.Field_intf.S) = struct
   module P = Poly.Make (F)
+  module Plan = Ntt_plan.Make (F)
 
   type ctx = {
     n : int;
@@ -39,15 +40,12 @@ module Make (F : Prio_field.Field_intf.S) = struct
       go 0 1
     in
     if k > F.two_adicity then invalid_arg "Roots_eval.create: n exceeds two-adicity";
-    let omega = F.root_of_unity k in
-    (* powers ω^j and denominators (r − ω^j) *)
-    let pow_omega = Array.make n F.one in
-    for j = 1 to n - 1 do
-      pow_omega.(j) <- F.mul pow_omega.(j - 1) omega
-    done;
+    (* powers ω^j from the shared NTT plan, denominators (r − ω^j) *)
+    let plan = Plan.get n in
+    let pow_omega = Array.init n (Plan.omega_pow plan) in
     let denoms = Array.map (fun wj -> F.sub r wj) pow_omega in
     let inv_denoms = P.batch_invert denoms in
-    let scale = F.mul (F.sub (F.pow r n) F.one) (F.inv (F.of_int n)) in
+    let scale = F.mul (F.sub (F.pow r n) F.one) (Plan.n_inv plan) in
     let weights =
       Array.init n (fun j -> F.mul scale (F.mul pow_omega.(j) inv_denoms.(j)))
     in

@@ -128,6 +128,19 @@ module Make (F : Prio_field.Field_intf.S) = struct
       rejected = 0;
     }
 
+  let resample_batch_secrets t =
+    match t.mode with
+    | Robust_snip ->
+      t.snip_ctx <-
+        Some (Snip.make_batch_ctx ~rng:t.rng ~circuit:t.circuit ~num_servers:t.s)
+    | Robust_mpc ->
+      let m = C.num_mul_gates t.circuit in
+      t.triple_ctx <-
+        Some
+          (Snip.make_batch_ctx ~rng:t.rng ~circuit:(Mpc.triple_circuit ~m)
+             ~num_servers:t.s)
+    | No_robustness -> ()
+
   (* Resample the batch secrets after every [batch_size] submissions
      (Appendix I): bounds what a probing client can learn about r. *)
   let maybe_rotate_batch t =
@@ -135,17 +148,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
     if t.processed_in_batch >= t.batch_size then begin
       t.processed_in_batch <- 0;
       t.batches <- t.batches + 1;
-      (match t.mode with
-      | Robust_snip ->
-        t.snip_ctx <-
-          Some (Snip.make_batch_ctx ~rng:t.rng ~circuit:t.circuit ~num_servers:t.s)
-      | Robust_mpc ->
-        let m = C.num_mul_gates t.circuit in
-        t.triple_ctx <-
-          Some
-            (Snip.make_batch_ctx ~rng:t.rng ~circuit:(Mpc.triple_circuit ~m)
-               ~num_servers:t.s)
-      | No_robustness -> ())
+      resample_batch_secrets t
     end
 
   let send t ~src ~dst nbytes =
@@ -316,8 +319,9 @@ module Make (F : Prio_field.Field_intf.S) = struct
       the deployment parameters (same circuit, servers, master). Used by
       {!Parallel} to merge per-domain replicas after a multicore batch. *)
   let merge_into ~(dst : t) (src : t) =
-    if dst.s <> src.s || dst.trunc_len <> src.trunc_len then
-      invalid_arg "Cluster.merge_into: mismatched deployments";
+    if dst.s <> src.s || dst.trunc_len <> src.trunc_len
+       || dst.batch_size <> src.batch_size || dst.mode <> src.mode
+    then invalid_arg "Cluster.merge_into: mismatched deployments";
     Array.iteri
       (fun i srv ->
         let d = dst.servers.(i) in
@@ -332,7 +336,27 @@ module Make (F : Prio_field.Field_intf.S) = struct
     Array.iteri
       (fun i row ->
         Array.iteri (fun j b -> dst.links.(i).(j) <- dst.links.(i).(j) + b) row)
-      src.links
+      src.links;
+    (* Merge the Appendix-I rotation schedule: [batches - 1] full batches
+       plus the partial one, on each side, give the total submissions ever
+       processed; re-deriving (batches, processed_in_batch) from that total
+       keeps the merged counters identical to a sequential run's, so no
+       secret ever serves more than batch_size submissions. If the merge
+       crossed a batch boundary, resample the secrets now rather than
+       letting the stale r overstay its budget. *)
+    let total =
+      (((dst.batches - 1) + (src.batches - 1)) * dst.batch_size)
+      + dst.processed_in_batch + src.processed_in_batch
+    in
+    let batches = (total / dst.batch_size) + 1 in
+    let crossed = batches > dst.batches in
+    dst.batches <- batches;
+    dst.processed_in_batch <- total mod dst.batch_size;
+    if crossed then resample_batch_secrets dst;
+    (* Leader rotation is per submission (Figure 5): the merged cluster
+       continues the global round-robin exactly where a sequential run
+       over the union would be. *)
+    dst.next_leader <- (dst.accepted + dst.rejected) mod dst.s
 
   (** Bytes sent by server [i] over the run. *)
   let bytes_sent t i = Array.fold_left ( + ) 0 t.links.(i)

@@ -96,6 +96,9 @@ type tuning = {
   dial_timeout : float;  (** per-connection-establishment deadline *)
   select_tick : float;  (** serve-loop wakeup when idle *)
   backoff : Retry.backoff;  (** client-side RPC retry schedule *)
+  verify_domains : int;
+      (** worker domains per server process for SNIP preparation; 1 runs
+          everything inline on the event-loop thread *)
 }
 
 let default_tuning =
@@ -105,6 +108,7 @@ let default_tuning =
     dial_timeout = 2.0;
     select_tick = 0.25;
     backoff = Retry.default_backoff;
+    verify_domains = 1;
   }
 
 (* ---------------------------- observability ---------------------------- *)
@@ -389,6 +393,9 @@ module Make (F : Prio_field.Field_intf.S) = struct
   type pending = {
     share : F.t array;
     mutable state : Snip.server_state option;
+    mutable prep : (Snip.server_state * Snip.opening) Pool.future option;
+        (** eager [server_prepare], queued on the worker pool at upload
+            time so it overlaps with subsequent frame handling *)
   }
 
   (** Run one server's event loop until an [X] frame arrives. [listen_fd]
@@ -413,6 +420,22 @@ module Make (F : Prio_field.Field_intf.S) = struct
         ~circuit:cfg.circuit ~num_servers:cfg.num_servers
     in
     let pending : (int, pending) Hashtbl.t = Hashtbl.create 64 in
+    (* Multicore verification: the heavy communication-free step
+       (circuit walk + three polynomial evaluations) runs on this pool.
+       With [verify_domains = 1] the pool is inline and preparation
+       happens lazily at gossip time, exactly as before; with more
+       domains, preparation is queued the moment an upload lands, so it
+       overlaps with the event loop's frame handling and with the other
+       submissions' preparation. Created here — after the fork — so the
+       worker domains belong to this server process. *)
+    let pool = Pool.create ~domains:tuning.verify_domains in
+    let eager = Pool.size pool > 1 in
+    let prepare_pending (p : pending) : Snip.server_state * Snip.opening =
+      match p.prep with
+      | Some fut -> Pool.await fut
+      | None ->
+        Snip.server_prepare ctx (Snip.submission_of_vector cfg.circuit p.share)
+    in
     let nf = if id = 0 then Array.length follower_addrs else 0 in
     (* leader: persistent connections to followers, redialed on demand *)
     let follower_fds : Unix.file_descr option array = Array.make nf None in
@@ -500,8 +523,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
     let verify client_id (p : pending) =
       let exception Degraded of int * protocol_error in
       try
-        let sub = Snip.submission_of_vector cfg.circuit p.share in
-        let my_state, my_opening = Snip.server_prepare ctx sub in
+        let my_state, my_opening = prepare_pending p in
         let expect_pair j tag = function
           | Error err -> raise (Degraded (j, err))
           | Ok r -> (
@@ -587,7 +609,14 @@ module Make (F : Prio_field.Field_intf.S) = struct
                 match Server.receive state ~client_id sealed with
                 | None -> reply fd (tagged 'R' Bytes.empty)
                 | Some (_, share) ->
-                  Hashtbl.replace pending client_id { share; state = None };
+                  let p = { share; state = None; prep = None } in
+                  Hashtbl.replace pending client_id p;
+                  if eager then
+                    p.prep <-
+                      Some
+                        (Pool.submit pool (fun () ->
+                             Snip.server_prepare ctx
+                               (Snip.submission_of_vector cfg.circuit p.share)));
                   reply fd (tagged 'K' Bytes.empty)));
             `Keep)
       | 'V' ->
@@ -624,8 +653,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
             (match Hashtbl.find_opt pending client_id with
             | None -> reply_error fd Unknown_client (string_of_int client_id)
             | Some p ->
-              let sub = Snip.submission_of_vector cfg.circuit p.share in
-              let st, opening = Snip.server_prepare ctx sub in
+              let st, opening = prepare_pending p in
               p.state <- Some st;
               reply fd (tagged 'O' (pair_bytes opening.Snip.d opening.Snip.e)));
             `Keep)
@@ -727,6 +755,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
              readable
        done
      with Exit -> ());
+    Pool.shutdown pool;
     List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !conns;
     Array.iter
       (function
@@ -986,6 +1015,42 @@ module Make (F : Prio_field.Field_intf.S) = struct
     match submit_outcome ?faults d ~rng ~client_id encoding with
     | Accepted -> true
     | Rejected _ | Unreachable _ -> false
+
+  (** Drive a whole prepared batch against the deployment, [domains]
+      submissions in flight at once (each on its own pool thread with a
+      deterministically split RNG). Verification of distinct clients is
+      independent and the servers' per-client decisions don't depend on
+      arrival order, so the outcome array — returned in packet order — is
+      the same as submitting serially. This is the client-side half of the
+      runtime's multicore story; pair it with [tuning.verify_domains] on
+      the server side. *)
+  let submit_batch ?faults ?(domains = 1) d ~rng
+      (packets : (int * Client.packets) array) : outcome array =
+    ignore_sigpipe ();
+    Trace.with_span "net.submit_batch"
+      ~attrs:
+        [ ("submissions", string_of_int (Array.length packets));
+          ("domains", string_of_int domains) ]
+    @@ fun () ->
+    (* split before dispatch: RNG derivation stays in packet order no
+       matter how the pool schedules the submissions *)
+    let rngs = Array.map (fun _ -> Rng.split rng) packets in
+    if domains <= 1 then
+      Array.mapi
+        (fun i (client_id, pk) ->
+          submit_packets_outcome ?faults d ~rng:rngs.(i) ~client_id pk)
+        packets
+    else begin
+      let pool = Pool.create ~domains in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          Pool.map_array pool
+            (fun i ->
+              let client_id, pk = packets.(i) in
+              submit_packets_outcome ?faults d ~rng:rngs.(i) ~client_id pk)
+            (Array.init (Array.length packets) Fun.id))
+    end
 
   (** Fetch and sum all accumulators. [Error (i, e)] names the first
       unreachable or garbled server and the structured cause. *)

@@ -49,6 +49,10 @@ type tuning = {
   dial_timeout : float;  (** per-connection-establishment deadline *)
   select_tick : float;  (** serve-loop wakeup when idle *)
   backoff : Retry.backoff;  (** client-side RPC retry schedule *)
+  verify_domains : int;
+      (** worker domains per server process for SNIP preparation
+          (default 1 = inline on the event loop); with more, preparation
+          is queued eagerly at upload time and overlaps frame handling *)
 }
 
 val default_tuning : tuning
@@ -187,6 +191,15 @@ module Make (F : Prio_field.Field_intf.S) : sig
     ?faults:Faults.t -> deployment -> rng:Prio_crypto.Rng.t ->
     client_id:int -> F.t array -> bool
   (** [submit_outcome] collapsed to "accepted?". *)
+
+  val submit_batch :
+    ?faults:Faults.t -> ?domains:int -> deployment ->
+    rng:Prio_crypto.Rng.t -> (int * Client.packets) array -> outcome array
+  (** Drive a prepared batch with [domains] submissions in flight at
+      once (default 1 = serial); outcomes come back in packet order and
+      match a serial run — per-client decisions are independent of
+      arrival order. Per-packet RNGs are split from [rng] in packet
+      order before dispatch, so the run is deterministic. *)
 
   val collect_aggregate :
     deployment -> (F.t array, int * protocol_error) result

@@ -19,41 +19,66 @@ module Make (F : Prio_field.Field_intf.S) = struct
       number of accepted submissions. [make_replica] must build identical
       deployments (same circuit, server count, and master key) with
       independent RNGs; each domain gets one replica, and the first
-      replica receives the merge. *)
-  let process ~(make_replica : unit -> Cluster.t)
-      ~(packets : (int * Client.packets) array) ~domains : Cluster.t * int =
+      replica receives the merge (always in shard-index order, so the
+      merged state is deterministic). When [?pool] is given its worker
+      domains run the shards — no per-call [Domain.spawn]. *)
+  let process ?(pool : Pool.t option) ~(make_replica : unit -> Cluster.t)
+      ~domains (packets : (int * Client.packets) array) : Cluster.t * int =
     if domains < 1 then invalid_arg "Parallel.process: domains < 1";
     let n = Array.length packets in
     let shard d =
-      (* round-robin so uneven work (accept vs reject) spreads out *)
+      (* round-robin so uneven work (accept vs reject) spreads out; each
+         entry keeps its global position for the leader schedule below *)
       Array.of_seq
         (Seq.filter_map
-           (fun i -> if i mod domains = d then Some packets.(i) else None)
+           (fun i -> if i mod domains = d then Some (i, packets.(i)) else None)
            (Seq.init n Fun.id))
     in
     let run_shard shard () =
       let replica = make_replica () in
       let accepted =
         Array.fold_left
-          (fun acc (client_id, pk) ->
+          (fun acc (global_i, (client_id, pk)) ->
+            (* Seed leader rotation from the global submission index: each
+               replica sees an interleaved subsequence of the batch, and
+               the per-link byte matrix must come out identical to a
+               sequential run over the whole batch (Figure 5/6 parity). *)
+            replica.Cluster.next_leader <- global_i mod replica.Cluster.s;
             if Cluster.submit replica ~client_id pk then acc + 1 else acc)
           0 shard
       in
       (replica, accepted)
     in
-    if domains = 1 then run_shard packets ()
+    if domains = 1 then run_shard (shard 0) ()
     else begin
-      let handles =
-        Array.init (domains - 1) (fun d -> Domain.spawn (run_shard (shard (d + 1))))
-      in
-      let first, accepted0 = run_shard (shard 0) () in
-      let total = ref accepted0 in
-      Array.iter
-        (fun h ->
-          let replica, accepted = Domain.join h in
+      match pool with
+      | Some p ->
+        let results =
+          Pool.map_array p
+            (fun d -> run_shard (shard d) ())
+            (Array.init domains Fun.id)
+        in
+        let first, accepted0 = results.(0) in
+        let total = ref accepted0 in
+        for d = 1 to domains - 1 do
+          let replica, accepted = results.(d) in
           Cluster.merge_into ~dst:first replica;
-          total := !total + accepted)
-        handles;
-      (first, !total)
+          total := !total + accepted
+        done;
+        (first, !total)
+      | None ->
+        let handles =
+          Array.init (domains - 1) (fun d ->
+              Domain.spawn (run_shard (shard (d + 1))))
+        in
+        let first, accepted0 = run_shard (shard 0) () in
+        let total = ref accepted0 in
+        Array.iter
+          (fun h ->
+            let replica, accepted = Domain.join h in
+            Cluster.merge_into ~dst:first replica;
+            total := !total + accepted)
+          handles;
+        (first, !total)
     end
 end

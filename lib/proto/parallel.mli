@@ -8,9 +8,15 @@ module Make (F : Prio_field.Field_intf.S) : sig
   module Client : module type of Client.Make (F)
 
   val process :
+    ?pool:Pool.t ->
     make_replica:(unit -> Cluster.t) ->
-    packets:(int * Client.packets) array -> domains:int -> Cluster.t * int
+    domains:int -> (int * Client.packets) array -> Cluster.t * int
   (** Verify the batch on [domains] cores; returns the merged cluster and
       the accepted count. [make_replica] must build identical deployments
-      (same circuit, server count, master) with independent RNGs. *)
+      (same circuit, server count, master) with independent RNGs. Shards
+      are merged in index order, and every counter of the result —
+      aggregates, accepted/rejected, per-link bytes, batch-rotation
+      state, next leader — matches a sequential run over the same batch.
+      With [?pool] the shards run on the pool's resident domains instead
+      of freshly spawned ones. *)
 end

@@ -1,0 +1,34 @@
+(** Fixed-size domain worker pool with helping futures.
+
+    Domains are spawned once at {!create}; tasks are closures pushed
+    through a mutex/condition queue. {!await} helps — it runs other
+    queued tasks while its own is pending — so awaiting inside a task
+    cannot deadlock and the awaiting thread keeps working. A pool of
+    [domains:1] runs every task inline on the caller, making domain
+    count a pure tuning knob. Task metrics land in the global
+    {!Prio_obs.Metrics} registry ([prio_pool_tasks_total],
+    [prio_pool_task_seconds]). *)
+
+type t
+type 'a future
+
+val create : domains:int -> t
+(** [domains ≥ 1] units of capacity: the caller plus [domains − 1]
+    spawned worker domains. Raises [Invalid_argument] on [domains < 1]. *)
+
+val size : t -> int
+(** The capacity [create] was given (including the caller). *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task (inline pools run it immediately). Raises
+    [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block (helping) until the task finishes; re-raises its exception. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Concurrent map whose results always come back in index order, so
+    downstream folds/merges are deterministic. *)
+
+val shutdown : t -> unit
+(** Finish queued tasks, join the workers. Idempotent. *)

@@ -83,6 +83,18 @@ module Axioms (F : Field_intf.S) = struct
           Alcotest.check_raises "out of range"
             (Invalid_argument (F.name ^ ".root_of_unity: out of range"))
             (fun () -> ignore (F.root_of_unity (F.two_adicity + 1))));
+      Alcotest.test_case (F.name ^ ": full two-adicity root order") `Quick
+        (fun () ->
+          (* the derived 2^two_adicity root must have EXACT order: squaring
+             it two_adicity - 1 times lands on -1 (not 1), one more square
+             reaches 1. A root of smaller order would silently corrupt
+             every boundary-sized NTT. *)
+          let r = ref (F.root_of_unity F.two_adicity) in
+          for _ = 1 to F.two_adicity - 1 do
+            r := F.mul !r !r
+          done;
+          Alcotest.(check bool) "reaches -1" true (F.equal !r (F.neg F.one));
+          Alcotest.(check bool) "then 1" true (F.is_one (F.mul !r !r)));
       Alcotest.test_case (F.name ^ ": division by zero") `Quick (fun () ->
           Alcotest.check_raises "inv zero" Division_by_zero (fun () ->
               ignore (F.inv F.zero)));

@@ -185,6 +185,50 @@ let test_noop_is_allocation_free () =
       Alcotest.(check int) "nothing was recorded" 0 (Metrics.value c);
       Alcotest.(check int) "histogram untouched" 0 (Metrics.count h))
 
+(* --------------------------- domain safety --------------------------- *)
+
+(* Regression for the lost-update race: gauge cells and histogram
+   sum/min/max were plain mutable floats, so concurrent observers could
+   overwrite each other's read-modify-write. Hammer one histogram, one
+   counter and one gauge from several domains and demand that not a
+   single sample is lost. Every observed value is a small multiple of
+   0.25, so the float sum is exact under any interleaving. *)
+let test_metrics_domain_hammer () =
+  let c = Metrics.counter "test_obs_hammer_total" in
+  let h = Metrics.histogram "test_obs_hammer_seconds" in
+  let g = Metrics.gauge "test_obs_hammer_gauge" in
+  Metrics.reset ();
+  let domains = 4 and iters = 25_000 in
+  let worker d () =
+    let v = 0.25 *. float_of_int (1 lsl d) in
+    for _ = 1 to iters do
+      Metrics.incr c;
+      Metrics.observe h v;
+      Metrics.set g (float_of_int d)
+    done
+  in
+  let ds = Array.init domains (fun d -> Domain.spawn (worker d)) in
+  Array.iter Domain.join ds;
+  let total = domains * iters in
+  Alcotest.(check int) "no lost counter increments" total (Metrics.value c);
+  Alcotest.(check int) "no lost histogram samples" total (Metrics.count h);
+  Alcotest.(check (float 0.)) "exact concurrent sum"
+    (float_of_int iters *. (0.25 +. 0.5 +. 1.0 +. 2.0))
+    (Metrics.sum h);
+  let gv = Metrics.gauge_value g in
+  Alcotest.(check bool) "gauge holds one of the written values" true
+    (List.exists (fun d -> gv = float_of_int d) [ 0; 1; 2; 3 ]);
+  match List.assoc_opt "test_obs_hammer_seconds" (Metrics.snapshot ()) with
+  | Some (Metrics.Histogram_v hv) ->
+    Alcotest.(check (float 0.)) "min survived" 0.25 hv.Metrics.hv_min;
+    Alcotest.(check (float 0.)) "max survived" 2.0 hv.Metrics.hv_max;
+    Alcotest.(check int) "bucket totals add up" total
+      (Array.fold_left (fun acc (_, n) -> acc + n) 0 hv.Metrics.hv_buckets);
+    (* the four values land in four distinct buckets, iters each *)
+    Alcotest.(check bool) "every occupied bucket is complete" true
+      (Array.for_all (fun (_, n) -> n = 0 || n = iters) hv.Metrics.hv_buckets)
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
 (* ------------------------- deterministic traces ---------------------- *)
 
 (* One chaos round: seeded faults rolled over a fixed frame sequence
@@ -292,6 +336,8 @@ let () =
             test_metrics_time_deterministic;
           Alcotest.test_case "no-op mode allocates nothing" `Quick
             test_noop_is_allocation_free;
+          Alcotest.test_case "multi-domain hammer loses nothing" `Quick
+            test_metrics_domain_hammer;
         ] );
       ( "integration",
         [

@@ -114,6 +114,92 @@ module Suite (F : Field_intf.S) = struct
       (Invalid_argument "Ntt.transform: size must be a power of two") (fun () ->
         ignore (N.ntt (random_poly 3)))
 
+  let test_ntt_plan_vs_uncached () =
+    (* The plan-cached transforms must agree exactly with the direct
+       per-stage-twiddle path, element for element. *)
+    List.iter
+      (fun n ->
+        let c = random_poly n in
+        Alcotest.(check bool)
+          (Printf.sprintf "ntt plan = uncached (n=%d)" n)
+          true
+          (Array.for_all2 F.equal (N.ntt c) (N.ntt_uncached c));
+        let v = random_poly n in
+        Alcotest.(check bool)
+          (Printf.sprintf "intt plan = uncached (n=%d)" n)
+          true
+          (Array.for_all2 F.equal (N.intt v) (N.intt_uncached v)))
+      [ 1; 2; 8; 64; 512; 4096 ];
+    for _ = 1 to 10 do
+      let p = random_poly (1 + Rng.int_below rng 50) in
+      let q = random_poly (1 + Rng.int_below rng 50) in
+      Alcotest.(check bool) "mul plan = uncached" true
+        (P.equal (N.mul p q) (N.mul_uncached p q))
+    done
+
+  let test_ntt_mul_shapes () =
+    (* size-1 operands and non-power-of-two product lengths *)
+    let a = F.random rng and b = F.random rng in
+    let r = N.mul [| a |] [| b |] in
+    Alcotest.(check int) "1x1 length" 1 (Array.length r);
+    Alcotest.(check bool) "1x1 product" true (F.equal r.(0) (F.mul a b));
+    Alcotest.(check int) "empty left" 0 (Array.length (N.mul [||] [| a |]));
+    Alcotest.(check int) "empty right" 0 (Array.length (N.mul [| a |] [||]));
+    List.iter
+      (fun (lp, lq) ->
+        let p = random_poly lp and q = random_poly lq in
+        let r = N.mul p q in
+        Alcotest.(check int)
+          (Printf.sprintf "product length (%d,%d)" lp lq)
+          (lp + lq - 1) (Array.length r);
+        Alcotest.(check bool)
+          (Printf.sprintf "matches naive (%d,%d)" lp lq)
+          true
+          (P.equal r (P.mul_naive p q)))
+      [ (1, 6); (3, 5); (9, 17); (33, 31); (40, 25) ]
+
+  let sqr_times x k =
+    let r = ref x in
+    for _ = 1 to k do
+      r := F.mul !r !r
+    done;
+    !r
+
+  let test_two_adicity_boundary () =
+    (* root_of_unity k must have exact multiplicative order 2^k, up to and
+       including the field's two-adicity (27 for BabyBear: the derived
+       root's order is what keeps boundary-sized transforms sound). *)
+    List.iter
+      (fun k ->
+        if k >= 1 && k <= F.two_adicity then begin
+          let r = F.root_of_unity k in
+          let half = sqr_times r (k - 1) in
+          Alcotest.(check bool)
+            (Printf.sprintf "root_of_unity %d squared %d times = -1" k (k - 1))
+            true
+            (F.equal half (F.neg F.one));
+          Alcotest.(check bool)
+            (Printf.sprintf "root_of_unity %d has order 2^%d" k k)
+            true
+            (F.is_one (F.mul half half))
+        end)
+      [ 1; 2; F.two_adicity - 1; F.two_adicity ];
+    Alcotest.check_raises "beyond two-adicity"
+      (Invalid_argument (F.name ^ ".root_of_unity: out of range"))
+      (fun () -> ignore (F.root_of_unity (F.two_adicity + 1)));
+    (* a deep transform adjacent to the practical boundary, on both paths *)
+    let n = 1 lsl Stdlib.min F.two_adicity 13 in
+    let c = random_poly n in
+    let v = N.ntt c in
+    Alcotest.(check bool)
+      (Printf.sprintf "deep roundtrip (n=%d)" n)
+      true
+      (Array.for_all2 F.equal (N.intt v) c);
+    Alcotest.(check bool)
+      (Printf.sprintf "deep plan = uncached (n=%d)" n)
+      true
+      (Array.for_all2 F.equal v (N.ntt_uncached c))
+
   let test_roots_eval () =
     List.iter
       (fun n ->
@@ -150,6 +236,12 @@ module Suite (F : Field_intf.S) = struct
       Alcotest.test_case (F.name ^ ": ntt = evaluation") `Quick test_ntt_is_evaluation;
       Alcotest.test_case (F.name ^ ": ntt mul vs naive") `Quick test_ntt_mul_vs_naive;
       Alcotest.test_case (F.name ^ ": ntt size check") `Quick test_ntt_bad_size;
+      Alcotest.test_case (F.name ^ ": ntt plan vs uncached") `Quick
+        test_ntt_plan_vs_uncached;
+      Alcotest.test_case (F.name ^ ": ntt mul shapes") `Quick
+        test_ntt_mul_shapes;
+      Alcotest.test_case (F.name ^ ": two-adicity boundary") `Quick
+        test_two_adicity_boundary;
       Alcotest.test_case (F.name ^ ": fixed-point eval ctx") `Quick test_roots_eval;
       Alcotest.test_case (F.name ^ ": eval ctx grid guard") `Quick
         test_roots_eval_rejects_grid_point;

@@ -443,9 +443,12 @@ module Par = Prio_proto.Parallel.Make (F)
 let test_parallel_matches_serial () =
   let afe = Sum.sum ~bits:4 in
   let master = Rng.bytes rng 32 in
+  (* batch_size 4 forces several batch-secret rotations inside the run, so
+     the merged rotation counters are exercised end to end *)
   let make_replica () =
-    Cl.create ~rng:(Rng.split rng) ~mode:Cl.Robust_snip ~circuit:afe.A.circuit
-      ~trunc_len:afe.A.trunc_len ~num_servers:3 ~master ()
+    Cl.create ~batch_size:4 ~rng:(Rng.split rng) ~mode:Cl.Robust_snip
+      ~circuit:afe.A.circuit ~trunc_len:afe.A.trunc_len ~num_servers:3 ~master
+      ()
   in
   (* 20 submissions, 5 of them malformed *)
   let packets =
@@ -464,20 +467,92 @@ let test_parallel_matches_serial () =
          (fun i -> if i mod 4 = 3 then None else Some (i mod 16))
          (List.init 20 Fun.id))
   in
+  (* plain sequential reference: every observable below must match it *)
+  let serial = make_replica () in
+  Array.iter (fun (id, pk) -> ignore (Cl.submit serial ~client_id:id pk)) packets;
+  let serial_links = Array.map Array.copy serial.Cl.links in
+  let serial_total = afe.A.decode ~n:serial.Cl.accepted (Cl.publish serial) in
+  Alcotest.(check string) "serial aggregate" (string_of_int expected_total)
+    (B.to_string serial_total);
   List.iter
     (fun domains ->
-      let merged, accepted = Par.process ~make_replica ~packets ~domains in
+      let merged, accepted = Par.process ~make_replica ~domains packets in
       Alcotest.(check int)
         (Printf.sprintf "accepted (%d domains)" domains)
-        15 accepted;
-      Alcotest.(check int) "counters merged" 15 merged.Cl.accepted;
-      Alcotest.(check int) "rejections merged" 5 merged.Cl.rejected;
+        serial.Cl.accepted accepted;
+      Alcotest.(check int) "counters merged" serial.Cl.accepted
+        merged.Cl.accepted;
+      Alcotest.(check int) "rejections merged" serial.Cl.rejected
+        merged.Cl.rejected;
+      Alcotest.(check int)
+        (Printf.sprintf "batches (%d domains)" domains)
+        serial.Cl.batches merged.Cl.batches;
+      Alcotest.(check int)
+        (Printf.sprintf "processed_in_batch (%d domains)" domains)
+        serial.Cl.processed_in_batch merged.Cl.processed_in_batch;
+      Alcotest.(check int)
+        (Printf.sprintf "next_leader (%d domains)" domains)
+        serial.Cl.next_leader merged.Cl.next_leader;
+      Array.iteri
+        (fun i row ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "link bytes from server %d (%d domains)" i domains)
+            serial_links.(i) row)
+        merged.Cl.links;
       let total = afe.A.decode ~n:accepted (Cl.publish merged) in
       Alcotest.(check string)
         (Printf.sprintf "aggregate (%d domains)" domains)
         (string_of_int expected_total)
         (B.to_string total))
     [ 1; 2; 4 ]
+
+let test_merge_rotation () =
+  (* regression: merge_into used to drop processed_in_batch/batches, so a
+     merged cluster under-counted rotations and kept stale batch secrets.
+     Two replicas fed 4 + 6 submissions at batch_size 3 must merge to the
+     exact rotation state of one cluster that saw all 10. *)
+  let afe = Sum.sum ~bits:4 in
+  let master = Rng.bytes rng 32 in
+  let mk () =
+    Cl.create ~batch_size:3 ~rng:(Rng.split rng) ~mode:Cl.Robust_snip
+      ~circuit:afe.A.circuit ~trunc_len:afe.A.trunc_len ~num_servers:3 ~master
+      ()
+  in
+  let packets =
+    Array.init 10 (fun i ->
+        let enc = afe.A.encode ~rng (i mod 16) in
+        ( i,
+          Client.submit ~rng ~mode:(Client.Robust_snip afe.A.circuit)
+            ~num_servers:3 ~client_id:i ~master enc ))
+  in
+  let seq = mk () in
+  Array.iter (fun (id, pk) -> ignore (Cl.submit seq ~client_id:id pk)) packets;
+  Alcotest.(check int) "sequential batches" 4 seq.Cl.batches;
+  Alcotest.(check int) "sequential carry" 1 seq.Cl.processed_in_batch;
+  let a = mk () and b = mk () in
+  Array.iteri
+    (fun i (id, pk) ->
+      let c = if i < 4 then a else b in
+      (* seed the leader the way Parallel does, from the global index *)
+      c.Cl.next_leader <- i mod c.Cl.s;
+      ignore (Cl.submit c ~client_id:id pk))
+    packets;
+  Cl.merge_into ~dst:a b;
+  Alcotest.(check int) "merged accepted" seq.Cl.accepted a.Cl.accepted;
+  Alcotest.(check int) "merged batches" seq.Cl.batches a.Cl.batches;
+  Alcotest.(check int) "merged processed_in_batch" seq.Cl.processed_in_batch
+    a.Cl.processed_in_batch;
+  Alcotest.(check int) "merged next_leader" seq.Cl.next_leader a.Cl.next_leader;
+  Array.iteri
+    (fun i row ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "merged link bytes from server %d" i)
+        seq.Cl.links.(i) row)
+    a.Cl.links;
+  let total = afe.A.decode ~n:a.Cl.accepted (Cl.publish a) in
+  let expected = List.fold_left ( + ) 0 (List.init 10 (fun i -> i mod 16)) in
+  Alcotest.(check string) "merged aggregate" (string_of_int expected)
+    (B.to_string total)
 
 (* --------------------------- NIZK pipeline --------------------------- *)
 
@@ -541,6 +616,11 @@ let () =
           Alcotest.test_case "bandwidth" `Quick test_compressed_bandwidth;
         ] );
       ( "multicore",
-        [ Alcotest.test_case "parallel = serial" `Quick test_parallel_matches_serial ] );
+        [
+          Alcotest.test_case "parallel = serial" `Quick
+            test_parallel_matches_serial;
+          Alcotest.test_case "merge carries rotation state" `Quick
+            test_merge_rotation;
+        ] );
       ("nizk pipeline", [ Alcotest.test_case "end to end" `Quick test_nizk_pipeline ]);
     ]
