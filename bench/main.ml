@@ -65,8 +65,14 @@ type jfield = I of int | Fl of float | S of string
 let json_records : (string * jfield) list list ref = ref []
 
 (** Emit one result row: the numbers a CI check or plot script would
-    want, identified by [experiment] and [name]. *)
+    want, identified by [experiment] and [name]. Every row carries the
+    detected core count so result files from different machines compare
+    fairly; experiments that already report it keep their own value. *)
 let record ~experiment ~name fields =
+  let fields =
+    if List.mem_assoc "cores" fields then fields
+    else ("cores", I (Domain.recommended_domain_count ())) :: fields
+  in
   json_records :=
     (("experiment", S experiment) :: ("name", S name) :: fields)
     :: !json_records
@@ -715,6 +721,200 @@ let net () =
     [ (16, 3); (256, 3); (1024, 5) ]
 
 (* ---------------------------------------------------------------------- *)
+(* Streaming capstone: 100k+ submissions through a sharded TCP deployment  *)
+(* with epoch rotation keeping server memory flat, persistent client       *)
+(* sessions, and a mid-run follower crash restored from its checkpoint.    *)
+(* ---------------------------------------------------------------------- *)
+
+(* Resident set of a live process from /proc/<pid>/statm (pages; Linux
+   pages are 4 KiB here); 0 when unreadable (process gone / non-Linux). *)
+let proc_rss_bytes pid =
+  match open_in (Printf.sprintf "/proc/%d/statm" pid) with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match String.split_on_char ' ' (input_line ic) with
+        | _ :: resident :: _ ->
+          (try int_of_string resident * 4096 with Failure _ -> 0)
+        | _ | (exception End_of_file) -> 0)
+
+let streaming () =
+  header "Streaming: sharded TCP deployment, epochs, crash+restore, flat RSS";
+  let module Wk = W87 in
+  let module Net = Wk.P.Net in
+  let afe = Wk.P.Afe_sum.sum ~bits:1 in
+  let shards = 2 and num_servers = 3 in
+  let total_n =
+    (* the capstone default pushes 100k+ submissions; the env knob keeps
+       smoke runs of the full suite fast *)
+    match Sys.getenv_opt "PRIO_BENCH_STREAM_N" with
+    | Some s -> ( try int_of_string s with Failure _ -> 100_000)
+    | None -> 100_000
+  in
+  let per_shard = total_n / shards in
+  let epoch_size = 2_500 in
+  (* kill the follower when shard 0 sits exactly on an epoch boundary:
+     rotation snapshots the server, so with the stream paused and the
+     event loop drained the latest checkpoint is current and the restore
+     is lossless — the strongest consistency claim a crash drill can
+     assert without two-phase decision broadcast *)
+  let crash_after = per_shard / 2 / epoch_size * epoch_size in
+  let ckpt_dirs =
+    Array.init shards (fun i ->
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "prio-bench-ckpt-%d-%d" (Unix.getpid ()) i)
+        in
+        (try Unix.mkdir dir 0o700 with Unix.Unix_error (EEXIST, _, _) -> ());
+        dir)
+  in
+  let deployments =
+    Array.init shards (fun i ->
+        let tuning =
+          Prio_proto.Net.
+            {
+              default_tuning with
+              epoch_size;
+              checkpoint_dir = Some ckpt_dirs.(i);
+              (* rotation is the snapshot trigger; per-decision snapshots
+                 would fsync once per submission *)
+              checkpoint_every = max_int;
+            }
+        in
+        let cfg =
+          Net.
+            {
+              circuit = afe.Wk.P.Afe.circuit;
+              trunc_len = afe.Wk.P.Afe.trunc_len;
+              num_servers;
+              master = Wk.master;
+              batch_seed = Rng.bytes Wk.rng 32;
+            }
+        in
+        Net.launch ~tuning cfg)
+  in
+  let sessions = Array.map Net.open_session deployments in
+  let accepted = Array.make shards 0 in
+  let expected = ref 0 in
+  let crashed = ref false in
+  let after_crash = ref 0 in
+  let restore_latency = ref 0. in
+  let rss_warm = ref 0 and rss_final = ref 0 in
+  let shard0_follower () = deployments.(0).Net.pids.(1) in
+  let submit_exn shard ~client_id v =
+    match
+      Net.submit_session sessions.(shard) ~rng:Wk.rng ~client_id
+        (afe.Wk.P.Afe.encode ~rng:Wk.rng v)
+    with
+    | Net.Accepted ->
+      accepted.(shard) <- accepted.(shard) + 1;
+      expected := !expected + v
+    | Net.Rejected why -> failwith ("streaming: honest submission nacked: " ^ why)
+    | Net.Unreachable e ->
+      failwith ("streaming: " ^ Prio_proto.Net.string_of_protocol_error e)
+  in
+  let t0 = now () in
+  for i = 0 to total_n - 1 do
+    let shard = i mod shards in
+    submit_exn shard ~client_id:i (i land 1);
+    if shard = 0 then begin
+      let done0 = accepted.(0) in
+      if (not !crashed) && done0 = crash_after then begin
+        crashed := true;
+        (* pause: let the follower drain its decision queue and finish the
+           boundary snapshot before the lights go out *)
+        Unix.sleepf 0.3;
+        Unix.kill (shard0_follower ()) Sys.sigkill;
+        let rec wait_dead () =
+          match (Net.poll_servers deployments.(0)).(1) with
+          | Net.Exited _ -> ()
+          | Net.Running ->
+            Unix.sleepf 0.01;
+            wait_dead ()
+        in
+        wait_dead ();
+        let t = now () in
+        Net.restart_server deployments.(0) 1;
+        (* restore latency = restart to first accepted submission; the
+           session redials the follower transparently *)
+        submit_exn 0 ~client_id:(total_n + 1) 0;
+        restore_latency := now () -. t;
+        Printf.printf "  crash+restore at %d shard-0 decisions: %s\n%!"
+          crash_after (pretty_time !restore_latency)
+      end
+      (* both RSS samples are of the restored process: one midway between
+         the restore and the end of the stream, one at the end — with
+         per-epoch table rotation the gap covers thousands of decisions
+         and must stay flat *)
+      else if !crashed then begin
+        incr after_crash;
+        if !after_crash = (per_shard - crash_after) / 2 then
+          rss_warm := proc_rss_bytes (shard0_follower ())
+      end
+    end
+  done;
+  rss_final := proc_rss_bytes (shard0_follower ());
+  let secs = now () -. t0 in
+  Array.iter Net.close_session sessions;
+  let total =
+    Array.to_list deployments
+    |> List.mapi (fun i d ->
+           match Net.collect_aggregate d with
+           | Error (srv, e) ->
+             failwith
+               (Printf.sprintf "streaming: shard %d server %d: %s" i srv
+                  (Prio_proto.Net.string_of_protocol_error e))
+           | Ok sigma ->
+             int_of_string
+               (Prio_bigint.Bigint.to_string
+                  (afe.Wk.P.Afe.decode ~n:accepted.(i) sigma)))
+    |> List.fold_left ( + ) 0
+  in
+  Array.iter Net.shutdown deployments;
+  Array.iter
+    (fun dir ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    ckpt_dirs;
+  (* consistency across the crash: nothing checkpointed was lost, nothing
+     double-counted *)
+  assert (total = !expected);
+  (* flat memory: the follower's RSS at the end of the stream is within
+     noise of its RSS tens of epochs earlier (GC slack, not table growth) *)
+  let growth =
+    if !rss_warm = 0 then 1.
+    else float_of_int !rss_final /. float_of_int !rss_warm
+  in
+  let flat = !rss_warm > 0 && growth < 1.25 in
+  assert flat;
+  Printf.printf
+    "  %d submissions over %d shards: %.1f/s; RSS %s -> %s (x%.3f, flat)\n"
+    total_n shards
+    (float_of_int total_n /. secs)
+    (pretty_bytes !rss_warm) (pretty_bytes !rss_final) growth;
+  record ~experiment:"streaming" ~name:"capstone"
+    [
+      ("n", I total_n);
+      ("shards", I shards);
+      ("servers_per_shard", I num_servers);
+      ("epoch_size", I epoch_size);
+      ("seconds", Fl secs);
+      ("submissions_per_s", Fl (float_of_int total_n /. secs));
+      ("crash_at_decisions", I crash_after);
+      ("restore_latency_s", Fl !restore_latency);
+      ("rss_warm_bytes", I !rss_warm);
+      ("rss_final_bytes", I !rss_final);
+      ("rss_growth_ratio", Fl growth);
+      ("flat_memory", S (if flat then "true" else "false"));
+      ("aggregate_matches", S (if total = !expected then "true" else "false"));
+    ]
+
+(* ---------------------------------------------------------------------- *)
 (* Appendix G: client upload size, three sharing strategies.               *)
 (* ---------------------------------------------------------------------- *)
 
@@ -1014,6 +1214,7 @@ let experiments =
        forking experiment ahead of every domain-spawning one (the runtime
        refuses fork after any domain has existed in this process) *)
     ("net", net);
+    ("streaming", streaming);
     ("net_scaling", net_scaling);
     ("parallel", parallel);
     ("micro", micro);

@@ -96,6 +96,44 @@ let run_regression opts dims =
   print_endline ")";
   report stats
 
+let run_stream opts bits epoch_size =
+  let rng = Prio.Rng.of_string_seed opts.seed in
+  let afe = P.Afe_sum.sum ~bits in
+  let mode = if opts.mpc then P.Cluster.Robust_mpc else P.Cluster.Robust_snip in
+  let master = Prio.Rng.bytes rng 32 in
+  let cluster =
+    P.Cluster.create ~epoch_size ~rng ~mode ~circuit:afe.P.Afe.circuit
+      ~trunc_len:afe.P.Afe.trunc_len ~num_servers:opts.servers ~master ()
+  in
+  let peak = ref 0 and true_total = ref 0 in
+  for i = 0 to opts.clients - 1 do
+    let x = Prio.Rng.int_below rng (1 lsl bits) in
+    let pk =
+      P.Client.submit ~rng
+        ~mode:(P.Cluster.client_mode cluster)
+        ~num_servers:opts.servers ~client_id:i ~master
+        (afe.P.Afe.encode ~rng x)
+    in
+    if P.Cluster.submit cluster ~client_id:i pk then
+      true_total := !true_total + x;
+    peak := Stdlib.max !peak (P.Cluster.resident_entries cluster)
+  done;
+  let total =
+    afe.P.Afe.decode ~n:cluster.P.Cluster.accepted (P.Cluster.publish cluster)
+  in
+  Printf.printf
+    "streamed %d %d-bit values through %d servers (epoch size %d):\n\
+    \  epochs rotated: %d\n\
+    \  resident per-submission entries: %d now, %d peak (bound %d)\n\
+    \  private sum: %s (true: %d)\n\
+    \  accepted: %d   rejected: %d\n"
+    opts.clients bits opts.servers epoch_size cluster.P.Cluster.epoch
+    (P.Cluster.resident_entries cluster)
+    !peak
+    (if epoch_size = 0 then !peak else opts.servers * epoch_size)
+    (Prio.Bigint.to_string total) !true_total cluster.P.Cluster.accepted
+    cluster.P.Cluster.rejected
+
 (* --------------------------- observability --------------------------- *)
 
 (* A small end-to-end run (sum of 4-bit values) that exercises every
@@ -174,6 +212,27 @@ let regression_cmd =
   Cmd.v (Cmd.info "regression" ~doc:"Privately train a least-squares model.")
     Term.(const run_regression $ opts_term $ dims)
 
+let stream_cmd =
+  let bits =
+    Arg.(value & opt int 8 & info [ "bits" ] ~doc:"Bit width of values.")
+  in
+  let epoch_size =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "epoch-size" ]
+          ~doc:
+            "Submissions per replay/idempotency epoch; per-submission \
+             server state is dropped at each boundary. 0 disables rotation.")
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Privately sum a stream of b-bit integers with per-epoch table \
+          rotation, reporting epochs rotated and peak resident state \
+          (constant-memory streaming aggregation).")
+    Term.(const run_stream $ opts_term $ bits $ epoch_size)
+
 let metrics_cmd =
   let format =
     Arg.(
@@ -215,6 +274,7 @@ let () =
             sum_cmd;
             histogram_cmd;
             regression_cmd;
+            stream_cmd;
             metrics_cmd;
             trace_cmd;
           ]))

@@ -1,8 +1,10 @@
 (* A fault-tolerant multi-process deployment: five Prio server processes
    on loopback TCP sockets, clients uploading sealed packets through a
    deliberately lossy wire (seeded fault injection + retry with backoff),
-   a follower SIGKILLed mid-run with the leader degrading gracefully, and
-   the supervisor detecting and restarting the dead process.
+   a follower SIGKILLed mid-run with the leader degrading gracefully, the
+   supervisor detecting and restarting the dead process, and a durability
+   drill where a checkpointing deployment survives the same crash with no
+   accepted contribution lost.
 
    The whole run executes under an installed Obs trace recorder: the
    crash-drill report below is read back out of the recorder (the same
@@ -119,9 +121,11 @@ let () =
   let leader_alive =
     match (Net.poll_servers d).(0) with Net.Running -> true | Net.Exited _ -> false
   in
-  (* revive it on the original port; new traffic flows again (the dead
-     process's accumulator shares are lost, so a real deployment would
-     close out the damaged batch and open a fresh one) *)
+  (* revive it on the original port; new traffic flows again. Without
+     checkpointing the revived process starts from empty state, so the
+     dead server's accumulator shares are gone and the damaged collection
+     window must be discarded — the durability drill below runs the same
+     crash with snapshots on and keeps every accepted contribution *)
   Net.restart_server d 3;
   let post_restart_ok = Net.submit d ~rng ~client_id:101 (afe.P.Afe.encode ~rng 42) in
 
@@ -150,6 +154,61 @@ let () =
 
   Net.shutdown d;
   print_endline "servers shut down cleanly";
+
+  (* --- durability drill: the same SIGKILL, but against a deployment
+     that persists an HMAC-authenticated snapshot after every decision.
+     The restarted follower resumes from its snapshot, so the aggregate
+     collected at the end still covers every value accepted before the
+     crash — nothing lost, nothing double-counted --- *)
+  let ckpt_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "prio-example-ckpt-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir ckpt_dir 0o700 with Unix.Unix_error (EEXIST, _, _) -> ());
+  let d2 =
+    Net.launch
+      ~tuning:T.{ tuning with checkpoint_dir = Some ckpt_dir }
+      Net.{ cfg with num_servers = 3 }
+  in
+  let pre_crash = [ 11; 22; 33; 44 ] and post_crash = [ 55; 66 ] in
+  List.iteri
+    (fun i x -> assert (Net.submit d2 ~rng ~client_id:i (afe.P.Afe.encode ~rng x)))
+    pre_crash;
+  Unix.kill d2.Net.pids.(1) Sys.sigkill;
+  let rec wait_dead () =
+    match (Net.poll_servers d2).(1) with
+    | Net.Exited _ -> ()
+    | Net.Running ->
+      Unix.sleepf 0.01;
+      wait_dead ()
+  in
+  wait_dead ();
+  Net.restart_server d2 1;
+  List.iteri
+    (fun i x ->
+      assert (Net.submit d2 ~rng ~client_id:(100 + i) (afe.P.Afe.encode ~rng x)))
+    post_crash;
+  let survived =
+    match Net.collect_aggregate d2 with
+    | Ok sigma ->
+      afe.P.Afe.decode ~n:(List.length pre_crash + List.length post_crash) sigma
+    | Error (i, e) ->
+      Printf.eprintf "server %d unreachable: %s\n" i
+        (T.string_of_protocol_error e);
+      exit 1
+  in
+  let want = List.fold_left ( + ) 0 (pre_crash @ post_crash) in
+  Printf.printf
+    "durability drill: follower killed and restored from snapshot; aggregate %s \
+     (expected %d) — pre-crash shares survived\n"
+    (Prio.Bigint.to_string survived) want;
+  assert (Prio.Bigint.to_string survived = string_of_int want);
+  Net.shutdown d2;
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat ckpt_dir f) with Sys_error _ -> ())
+    (Sys.readdir ckpt_dir);
+  (try Unix.rmdir ckpt_dir with Unix.Unix_error _ -> ());
 
   (* --- the recorder self-check: the run above must have produced spans
      for every client-side protocol phase, plus at least one retry and

@@ -41,6 +41,7 @@ module Registry = Prio_proto.Registry
 module Retry = Prio_proto.Retry
 module Faults = Prio_proto.Faults
 module Transport = Prio_proto.Net
+module Snapshot = Prio_proto.Checkpoint
 module Pool = Prio_proto.Pool
 module Schnorr = Prio_nizk.Schnorr
 module Nizk_group = Prio_nizk.Group
@@ -74,6 +75,7 @@ module Make (F : Field_intf.S) = struct
   module Client = Prio_proto.Client.Make (F)
   module Server = Prio_proto.Server.Make (F)
   module Cluster = Prio_proto.Cluster.Make (F)
+  module Checkpoint = Prio_proto.Checkpoint.Make (F)
   module Pipeline = Prio_proto.Pipeline.Make (F)
   module Threshold = Prio_proto.Threshold.Make (F)
   module Net = Prio_proto.Net.Make (F)

@@ -10,7 +10,14 @@
 
     Like {!Metrics}, the recorder reads time only through {!Clock}, so a
     fixed clock plus seeded fault injection yields byte-identical trace
-    output across runs. *)
+    output across runs.
+
+    Domain safety: the ring, counters and span mutations are guarded by
+    one mutex, while the open-span stack — which follows each domain's
+    call stack and never crosses domains — lives in domain-local storage
+    keyed to the installed recorder. Spans recorded concurrently from
+    several domains interleave in the ring in lock order, each nested
+    under its own domain's innermost open span. *)
 
 type kind = Span | Event
 
@@ -29,78 +36,109 @@ type recorder = {
   capacity : int;
   ring : span option array;
   mutable total : int;  (** spans ever started, including evicted ones *)
-  mutable stack : span list;  (** open spans, innermost first *)
   mutable next_id : int;
+  lock : Mutex.t;  (** guards ring, total, next_id and span mutations *)
 }
 
 let create ?(clock = Clock.system) ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Obs.Trace.create: capacity must be positive";
-  { clock; capacity; ring = Array.make capacity None; total = 0; stack = [];
-    next_id = 0 }
+  { clock; capacity; ring = Array.make capacity None; total = 0;
+    next_id = 0; lock = Mutex.create () }
 
 let current : recorder option ref = ref None
 let install r = current := Some r
 let uninstall () = current := None
 let installed () = !current
 
-let recorded r = min r.total r.capacity
-let total r = r.total
+(* Each domain keeps its own open-span stack: span nesting follows the
+   call stack, which never crosses a domain boundary. The cell is keyed
+   (physically) to the recorder it was built against, so installing a
+   fresh recorder can't leak another run's parents into new spans. *)
+let stack_key : (recorder option * span list) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (None, []))
 
-let push r sp =
-  r.ring.(r.total mod r.capacity) <- Some sp;
-  r.total <- r.total + 1
+let my_stack r =
+  let cell = Domain.DLS.get stack_key in
+  (match !cell with
+  | Some r', _ when r' == r -> ()
+  | _ -> cell := (Some r, []));
+  cell
 
-let fresh r ~kind ?(attrs = []) name =
-  let parent = match r.stack with [] -> None | sp :: _ -> Some sp.id in
-  let id = r.next_id in
-  r.next_id <- id + 1;
-  let sp =
-    { id; parent; name; kind; start = Clock.now r.clock; duration = 0.; attrs }
-  in
-  push r sp;
-  sp
+let locked r f =
+  Mutex.lock r.lock;
+  match f () with
+  | v ->
+    Mutex.unlock r.lock;
+    v
+  | exception e ->
+    Mutex.unlock r.lock;
+    raise e
+
+let recorded r = locked r (fun () -> min r.total r.capacity)
+let total r = locked r (fun () -> r.total)
+
+let fresh r ~kind ~parent ?(attrs = []) name =
+  locked r (fun () ->
+      let id = r.next_id in
+      r.next_id <- id + 1;
+      let sp =
+        { id; parent; name; kind; start = Clock.now r.clock; duration = 0.;
+          attrs }
+      in
+      r.ring.(r.total mod r.capacity) <- Some sp;
+      r.total <- r.total + 1;
+      sp)
+
+let parent_of stack =
+  match snd !stack with [] -> None | sp :: _ -> Some sp.id
 
 let with_span ?attrs name f =
   match !current with
   | None -> f ()
   | Some r ->
-    let sp = fresh r ~kind:Span ?attrs name in
-    r.stack <- sp :: r.stack;
+    let stack = my_stack r in
+    let sp = fresh r ~kind:Span ~parent:(parent_of stack) ?attrs name in
+    stack := (Some r, sp :: snd !stack);
     Fun.protect
       ~finally:(fun () ->
-        sp.duration <- Clock.now r.clock -. sp.start;
+        locked r (fun () -> sp.duration <- Clock.now r.clock -. sp.start);
         (* tolerate a child left open by an exception: drop down to sp *)
         let rec unwind = function
           | top :: rest when top == sp -> rest
           | _ :: rest -> unwind rest
           | [] -> []
         in
-        r.stack <- unwind r.stack)
+        stack := (Some r, unwind (snd !stack)))
       f
 
 let event ?attrs name =
   match !current with
   | None -> ()
-  | Some r -> ignore (fresh r ~kind:Event ?attrs name)
+  | Some r ->
+    let stack = my_stack r in
+    ignore (fresh r ~kind:Event ~parent:(parent_of stack) ?attrs name)
 
 let add_attr k v =
   match !current with
   | None -> ()
   | Some r -> (
-    match r.stack with
+    match snd !(my_stack r) with
     | [] -> ()
-    | sp :: _ -> sp.attrs <- sp.attrs @ [ (k, v) ])
+    | sp :: _ -> locked r (fun () -> sp.attrs <- sp.attrs @ [ (k, v) ]))
 
 (* ------------------------------- exporters ----------------------------- *)
 
-(** Recorded spans, oldest first (evicted entries are gone). *)
+(** Recorded spans, oldest first (evicted entries are gone); the list is
+    snapshotted under the recorder lock, so exporting while other domains
+    record sees a consistent ring. *)
 let spans r =
-  let n = recorded r in
-  let first = r.total - n in
-  List.init n (fun i ->
-      match r.ring.((first + i) mod r.capacity) with
-      | Some sp -> sp
-      | None -> assert false (* slots below [total] are always filled *))
+  locked r (fun () ->
+      let n = min r.total r.capacity in
+      let first = r.total - n in
+      List.init n (fun i ->
+          match r.ring.((first + i) mod r.capacity) with
+          | Some sp -> sp
+          | None -> assert false (* slots below [total] are always filled *)))
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 2) in

@@ -3,7 +3,12 @@
     Usage: create and {!install} a {!recorder}, wrap protocol phases in
     {!with_span}, mark instants with {!event}, then export with
     {!to_jsonl} or {!tree}. With no recorder installed every call is a
-    near-free no-op, so library code can be instrumented unconditionally. *)
+    near-free no-op, so library code can be instrumented unconditionally.
+
+    Domain-safe: spans may be recorded from any number of domains
+    concurrently (ring updates are lock-guarded); each domain nests spans
+    under its own innermost open span, since the open-span stack is
+    domain-local state that follows the call stack. *)
 
 type kind = Span | Event
 

@@ -1,0 +1,68 @@
+(** Versioned, HMAC-authenticated, atomically-written server snapshots.
+
+    The durability half of the streaming deployment: a server's entire
+    resumable state is constant-size (accumulator, accepted count, epoch
+    counters, replay-table digest), so it can be checkpointed after every
+    decision and restored after a crash without replaying the stream.
+    Snapshots are keyed from the deployment master secret per server
+    ({!derive_key}); the decoder authenticates before parsing, and
+    corrupted, truncated, stale-epoch, or wrong-key snapshots come back
+    as typed {!error}s so the caller can fall back to a clean epoch
+    restart. See docs/PROTOCOL.md §9 for the byte layout. *)
+
+type error =
+  | Truncated  (** shorter than the fixed header + tag *)
+  | Bad_magic
+  | Bad_version of int
+  | Bad_hmac  (** forged, corrupted, wrong server, or wrong master *)
+  | Stale_epoch of { snapshot : int; floor : int }
+      (** authentic but from an epoch the deployment already closed *)
+  | Malformed of string  (** authenticated but internally inconsistent *)
+  | Io of string  (** filesystem-level failure (includes a missing file) *)
+
+val string_of_error : error -> string
+
+val derive_key : master:Bytes.t -> server_id:int -> Bytes.t
+(** Per-server snapshot MAC key, domain-separated from packet keys. *)
+
+val path : dir:string -> server_id:int -> string
+(** Where a server's snapshot lives under [dir]. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module Server : module type of Server.Make (F)
+
+  type snapshot = {
+    server_id : int;
+    epoch : int;
+    accepted : int;
+    decided_in_epoch : int;
+    replay_digest : Bytes.t;  (** 32 bytes *)
+    accumulator : F.t array;
+  }
+
+  val of_server : Server.t -> snapshot
+  (** Capture a server's resumable state (deep-copied). *)
+
+  val apply : snapshot -> Server.t -> unit
+  (** Overwrite a server's state from a snapshot ({!Server.restore});
+      replay/idempotency tables restart empty.
+      @raise Invalid_argument on accumulator width mismatch. *)
+
+  val to_bytes : key:Bytes.t -> snapshot -> Bytes.t
+  (** Serialize and append the HMAC-SHA256 trailer. *)
+
+  val of_bytes :
+    ?min_epoch:int -> key:Bytes.t -> Bytes.t -> (snapshot, error) result
+  (** Authenticate-then-parse. [min_epoch] (default 0) rejects authentic
+      snapshots from epochs below the floor as [Stale_epoch]. *)
+
+  val save : key:Bytes.t -> dir:string -> snapshot -> (unit, error) result
+  (** Write atomically (temp file + [rename]): a crash mid-write leaves
+      the previous snapshot intact, never a torn file. *)
+
+  val load :
+    ?min_epoch:int -> key:Bytes.t -> dir:string -> server_id:int -> unit ->
+    (snapshot, error) result
+  (** Read and validate [server_id]'s latest snapshot; a missing file is
+      [Io], a snapshot naming another server is [Malformed]. *)
+end

@@ -62,6 +62,11 @@ module Make (F : Prio_field.Field_intf.S) = struct
             (2M+1)·batch_size/|F| *)
     mutable processed_in_batch : int;
     mutable batches : int;
+    epoch_size : int;
+        (** submissions per replay/idempotency epoch; 0 disables rotation
+            (the pre-streaming behaviour: tables grow with the stream) *)
+    mutable epoch : int;
+    mutable submissions_in_epoch : int;
     links : int array array;  (** links.(i).(j): bytes sent i → j *)
     rng : Rng.t;  (** server-side randomness (batch secrets, MPC combos) *)
     mutable next_leader : int;
@@ -75,8 +80,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
     | Robust_mpc -> Client.Robust_mpc (C.num_mul_gates t.circuit)
     | No_robustness -> Client.No_robustness
 
-  let create ?(batch_size = 1024) ~rng ~mode ~(circuit : C.t) ~trunc_len
-      ~num_servers ~master () =
+  let create ?(batch_size = 1024) ?(epoch_size = 0) ~rng ~mode
+      ~(circuit : C.t) ~trunc_len ~num_servers ~master () =
     if num_servers < 1 then invalid_arg "Cluster.create: need a server";
     if (mode <> No_robustness) && num_servers < 2 then
       invalid_arg "Cluster.create: robustness needs at least two servers";
@@ -108,6 +113,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
       | _ -> None
     in
     if batch_size < 1 then invalid_arg "Cluster.create: batch_size < 1";
+    if epoch_size < 0 then invalid_arg "Cluster.create: epoch_size < 0";
     {
       mode;
       circuit;
@@ -121,6 +127,9 @@ module Make (F : Prio_field.Field_intf.S) = struct
       batch_size;
       processed_in_batch = 0;
       batches = 1;
+      epoch_size;
+      epoch = 0;
+      submissions_in_epoch = 0;
       links = Array.make_matrix num_servers num_servers 0;
       rng;
       next_leader = 0;
@@ -149,6 +158,31 @@ module Make (F : Prio_field.Field_intf.S) = struct
       t.processed_in_batch <- 0;
       t.batches <- t.batches + 1;
       resample_batch_secrets t
+    end
+
+  (** Per-submission state currently resident across all servers —
+      replay nonces plus recorded verdicts. With [epoch_size] set this is
+      bounded by [s * epoch_size] regardless of stream length. *)
+  let resident_entries t =
+    Array.fold_left (fun acc srv -> acc + Server.resident_entries srv) 0
+      t.servers
+
+  (** Close the replay/idempotency epoch on every server in lockstep.
+      Accumulators and counters are untouched — only the per-submission
+      tables (the memory that grows with the stream) are dropped. *)
+  let rotate_epoch t =
+    Array.iter Server.rotate_epoch t.servers;
+    t.epoch <- t.epoch + 1;
+    t.submissions_in_epoch <- 0;
+    Trace.event "cluster.epoch_rotated"
+      ~attrs:[ ("epoch", string_of_int t.epoch) ]
+
+  (* Streaming mode: rotate the per-submission tables every [epoch_size]
+     submissions so memory stays flat over an unbounded stream. *)
+  let maybe_rotate_epoch t =
+    if t.epoch_size > 0 then begin
+      t.submissions_in_epoch <- t.submissions_in_epoch + 1;
+      if t.submissions_in_epoch >= t.epoch_size then rotate_epoch t
     end
 
   let send t ~src ~dst nbytes =
@@ -294,6 +328,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
       Metrics.incr m_rejected
     end;
     maybe_rotate_batch t;
+    maybe_rotate_epoch t;
     ok
 
   (** Publish: every server reveals its accumulator (counted as a broadcast
@@ -321,6 +356,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
   let merge_into ~(dst : t) (src : t) =
     if dst.s <> src.s || dst.trunc_len <> src.trunc_len
        || dst.batch_size <> src.batch_size || dst.mode <> src.mode
+       || dst.epoch_size <> src.epoch_size
     then invalid_arg "Cluster.merge_into: mismatched deployments";
     Array.iteri
       (fun i srv ->
@@ -353,6 +389,30 @@ module Make (F : Prio_field.Field_intf.S) = struct
     dst.batches <- batches;
     dst.processed_in_batch <- total mod dst.batch_size;
     if crossed then resample_batch_secrets dst;
+    (* Epoch rotation follows the same total-derivation rule as batches:
+       the merged counters match what a sequential run over the union
+       would hold. Crossing an epoch boundary during the merge drops the
+       per-submission tables now — replicas' nonces from the closed epoch
+       must not outlive it. (Table contents are replica-local either way;
+       only the counters are sequential-equivalent.) *)
+    if dst.epoch_size > 0 then begin
+      let total_epoch_subs =
+        (((dst.epoch + src.epoch) * dst.epoch_size) + dst.submissions_in_epoch)
+        + src.submissions_in_epoch
+      in
+      let epoch = total_epoch_subs / dst.epoch_size in
+      let crossed = epoch > dst.epoch in
+      dst.epoch <- epoch;
+      dst.submissions_in_epoch <- total_epoch_subs mod dst.epoch_size;
+      if crossed then
+        Array.iter
+          (fun srv ->
+            Hashtbl.reset srv.Server.seen_nonces;
+            Hashtbl.reset srv.Server.decisions;
+            srv.Server.decided_in_epoch <- 0;
+            srv.Server.epoch <- epoch)
+          dst.servers
+    end;
     (* Leader rotation is per submission (Figure 5): the merged cluster
        continues the global round-robin exactly where a sequential run
        over the union would be. *)

@@ -37,6 +37,10 @@ module Make (F : Prio_field.Field_intf.S) : sig
     batch_size : int;
     mutable processed_in_batch : int;
     mutable batches : int;
+    epoch_size : int;
+        (** submissions per replay/idempotency epoch; 0 = never rotate *)
+    mutable epoch : int;
+    mutable submissions_in_epoch : int;
     links : int array array;  (** links.(i).(j): bytes sent i → j *)
     rng : Prio_crypto.Rng.t;
     mutable next_leader : int;
@@ -48,10 +52,23 @@ module Make (F : Prio_field.Field_intf.S) : sig
   (** The client-side mode matching this deployment. *)
 
   val create :
-    ?batch_size:int -> rng:Prio_crypto.Rng.t -> mode:mode -> circuit:C.t ->
-    trunc_len:int -> num_servers:int -> master:Bytes.t -> unit -> t
+    ?batch_size:int -> ?epoch_size:int -> rng:Prio_crypto.Rng.t ->
+    mode:mode -> circuit:C.t -> trunc_len:int -> num_servers:int ->
+    master:Bytes.t -> unit -> t
   (** [batch_size] (default 1024) bounds how many submissions share one
-      identity-test point r before resampling. *)
+      identity-test point r before resampling. [epoch_size] (default 0 =
+      off) bounds how many submissions' replay/idempotency entries stay
+      resident before {!rotate_epoch} drops them — the streaming-mode
+      flat-memory knob. *)
+
+  val resident_entries : t -> int
+  (** Per-submission state currently resident across all servers; with
+      [epoch_size] set, bounded by [s * epoch_size]. *)
+
+  val rotate_epoch : t -> unit
+  (** Close the replay/idempotency epoch on every server in lockstep;
+      accumulators and counters are untouched. Also available with
+      [epoch_size = 0] for callers that rotate on their own schedule. *)
 
   val submit : t -> client_id:int -> Client.packets -> bool
   (** Deliver one client's packets to every server, run verification, and

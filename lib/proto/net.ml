@@ -51,6 +51,7 @@ type error_code =
   | Unknown_client  (** no pending share / recorded verdict for this id *)
   | Unavailable  (** server degraded (e.g. a follower is down) *)
   | Rejected  (** submission definitively refused *)
+  | Busy  (** admission queue full; retry with backoff *)
 
 (** Everything that can go wrong on the wire, as a value — the structured
     replacement for the seed implementation's [assert]s and [Not_found]s. *)
@@ -69,6 +70,7 @@ let string_of_error_code = function
   | Unknown_client -> "unknown-client"
   | Unavailable -> "unavailable"
   | Rejected -> "rejected"
+  | Busy -> "busy"
 
 let string_of_protocol_error = function
   | Timeout what -> "timeout: " ^ what
@@ -99,6 +101,19 @@ type tuning = {
   verify_domains : int;
       (** worker domains per server process for SNIP preparation; 1 runs
           everything inline on the event-loop thread *)
+  max_pending : int;
+      (** admission cap: uploads beyond this many in-flight submissions
+          per server are shed with a retryable [Busy] error frame *)
+  epoch_size : int;
+      (** decisions per replay/idempotency epoch; 0 = never rotate
+          (memory then grows with the stream, the pre-streaming mode) *)
+  checkpoint_dir : string option;
+      (** where servers persist snapshots after decisions; [None]
+          disables durability (crash loses the server's state) *)
+  checkpoint_every : int;
+      (** decisions between snapshots; 1 (default) loses nothing across
+          a crash, larger amortizes the write at the cost of losing the
+          tail since the last snapshot *)
 }
 
 let default_tuning =
@@ -109,6 +124,10 @@ let default_tuning =
     select_tick = 0.25;
     backoff = Retry.default_backoff;
     verify_domains = 1;
+    max_pending = 1024;
+    epoch_size = 0;
+    checkpoint_dir = None;
+    checkpoint_every = 1;
   }
 
 (* ---------------------------- observability ---------------------------- *)
@@ -126,6 +145,16 @@ let m_rx_frames = Metrics.counter "prio_net_rx_frames_total"
 let m_timeouts = Metrics.counter "prio_net_timeouts_total"
 let h_frame_bytes = Metrics.histogram "prio_net_frame_bytes"
 let h_rpc = Metrics.histogram "prio_net_rpc_seconds"
+
+(* Admission control and durability channels (docs/OBSERVABILITY.md). *)
+let m_shed = Metrics.counter "prio_net_shed_total"
+let g_pending = Metrics.gauge "prio_net_pending_depth"
+let m_ckpt_writes = Metrics.counter "prio_ckpt_writes_total"
+let m_ckpt_errors = Metrics.counter "prio_ckpt_errors_total"
+let m_restores = Metrics.counter "prio_ckpt_restores_total"
+let m_restore_rejected = Metrics.counter "prio_ckpt_rejected_total"
+let h_ckpt_write = Metrics.histogram "prio_ckpt_write_seconds"
+let h_restore = Metrics.histogram "prio_ckpt_restore_seconds"
 
 (* ------------------------------- framing ------------------------------- *)
 
@@ -242,6 +271,7 @@ let error_code_byte = function
   | Unknown_client -> 'C'
   | Unavailable -> 'U'
   | Rejected -> 'J'
+  | Busy -> 'B'
 
 let error_code_of_byte = function
   | 'L' -> Some Too_large
@@ -250,6 +280,7 @@ let error_code_of_byte = function
   | 'C' -> Some Unknown_client
   | 'U' -> Some Unavailable
   | 'J' -> Some Rejected
+  | 'B' -> Some Busy
   | _ -> None
 
 let error_frame code detail =
@@ -377,6 +408,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
   module W = Wire.Make (F)
   module Server = Server.Make (F)
   module Client = Client.Make (F)
+  module Ckpt = Checkpoint.Make (F)
   module Rng = Prio_crypto.Rng
 
   type config = {
@@ -402,9 +434,15 @@ module Make (F : Prio_field.Field_intf.S) = struct
       must already be bound and listening (so the caller knows the port).
       The leader (id 0) additionally dials the followers — lazily
       redialing ones that died and came back. [faults], if given, sits on
-      this server's frame-receive path (and may [Crash] the process). *)
-  let serve ?(tuning = default_tuning) ?faults cfg ~id
-      ~(listen_fd : Unix.file_descr)
+      this server's frame-receive path (and may [Crash] the process).
+
+      With [tuning.checkpoint_dir] set, the server resumes from its
+      latest valid snapshot at startup (rejecting anything corrupted,
+      truncated, stale below [restore_min_epoch], or keyed to a different
+      master — those fall back to a clean epoch restart) and persists a
+      new snapshot every [checkpoint_every] decisions. *)
+  let serve ?(tuning = default_tuning) ?faults ?(restore_min_epoch = 0) cfg
+      ~id ~(listen_fd : Unix.file_descr)
       ~(follower_addrs : Unix.sockaddr array) =
     ignore_sigpipe ();
     let payload_elements =
@@ -414,12 +452,88 @@ module Make (F : Prio_field.Field_intf.S) = struct
       Server.create ~id ~num_servers:cfg.num_servers ~master:cfg.master
         ~trunc_len:cfg.trunc_len ~payload_elements
     in
+    let ckpt_key = Checkpoint.derive_key ~master:cfg.master ~server_id:id in
+    (* crash recovery: resume mid-collection from the latest snapshot *)
+    (match tuning.checkpoint_dir with
+    | None -> ()
+    | Some dir ->
+      if Sys.file_exists (Checkpoint.path ~dir ~server_id:id) then begin
+        match
+          Metrics.time h_restore (fun () ->
+              Ckpt.load ~min_epoch:restore_min_epoch ~key:ckpt_key ~dir
+                ~server_id:id ())
+        with
+        | Ok snap when Array.length snap.Ckpt.accumulator = cfg.trunc_len ->
+          Ckpt.apply snap state;
+          Metrics.incr m_restores;
+          Trace.event "server.restored"
+            ~attrs:
+              [ ("server", string_of_int id);
+                ("epoch", string_of_int snap.Ckpt.epoch);
+                ("accepted", string_of_int snap.Ckpt.accepted) ]
+        | Ok _ ->
+          Metrics.incr m_restore_rejected;
+          Trace.event "server.snapshot_rejected"
+            ~attrs:
+              [ ("server", string_of_int id);
+                ("error", "accumulator width mismatch") ]
+        | Error e ->
+          (* invalid snapshot: clean epoch restart, never a crash loop *)
+          Metrics.incr m_restore_rejected;
+          Trace.event "server.snapshot_rejected"
+            ~attrs:
+              [ ("server", string_of_int id);
+                ("error", Checkpoint.string_of_error e) ]
+      end);
+    let decisions_since_ckpt = ref 0 in
+    let write_checkpoint () =
+      match tuning.checkpoint_dir with
+      | None -> ()
+      | Some dir -> (
+        match
+          Metrics.time h_ckpt_write (fun () ->
+              Ckpt.save ~key:ckpt_key ~dir (Ckpt.of_server state))
+        with
+        | Ok () -> Metrics.incr m_ckpt_writes
+        | Error e ->
+          (* a failed write degrades durability, not availability *)
+          Metrics.incr m_ckpt_errors;
+          Trace.event "server.checkpoint_error"
+            ~attrs:
+              [ ("server", string_of_int id);
+                ("error", Checkpoint.string_of_error e) ])
+    in
+    (* Record a verdict, then run the durability/flat-memory schedule:
+       rotate the per-submission tables every [epoch_size] decisions and
+       snapshot every [checkpoint_every] decisions (a rotation always
+       snapshots, so restarting from it cannot resurrect a closed epoch). *)
+    let finish_decision ~client_id verdict =
+      Server.record_decision state ~client_id verdict;
+      if
+        tuning.epoch_size > 0
+        && state.Server.decided_in_epoch >= tuning.epoch_size
+      then begin
+        Server.rotate_epoch state;
+        decisions_since_ckpt := 0;
+        write_checkpoint ()
+      end
+      else begin
+        incr decisions_since_ckpt;
+        if !decisions_since_ckpt >= tuning.checkpoint_every then begin
+          decisions_since_ckpt := 0;
+          write_checkpoint ()
+        end
+      end
+    in
     let ctx =
       Snip.make_batch_ctx
         ~rng:(Rng.of_seed cfg.batch_seed)
         ~circuit:cfg.circuit ~num_servers:cfg.num_servers
     in
     let pending : (int, pending) Hashtbl.t = Hashtbl.create 64 in
+    let note_depth () =
+      Metrics.set g_pending (float_of_int (Hashtbl.length pending))
+    in
     (* Multicore verification: the heavy communication-free step
        (circuit walk + three polynomial evaluations) runs on this pool.
        With [verify_domains = 1] the pool is inline and preparation
@@ -605,12 +719,24 @@ module Make (F : Prio_field.Field_intf.S) = struct
                 (* duplicate of an in-flight upload (lost ack): re-ack
                    rather than replay-reject and corrupt the retry *)
                 reply fd (tagged 'K' Bytes.empty)
+              else if Hashtbl.length pending >= tuning.max_pending then begin
+                (* bounded admission queue: shed the upload with a
+                   retryable refusal instead of growing without limit —
+                   the client's backoff schedule absorbs the burst *)
+                Metrics.incr m_shed;
+                Trace.event "server.shed"
+                  ~attrs:
+                    [ ("server", string_of_int id);
+                      ("client", string_of_int client_id) ];
+                reply_error fd Busy "admission queue full"
+              end
               else (
                 match Server.receive state ~client_id sealed with
                 | None -> reply fd (tagged 'R' Bytes.empty)
                 | Some (_, share) ->
                   let p = { share; state = None; prep = None } in
                   Hashtbl.replace pending client_id p;
+                  note_depth ();
                   if eager then
                     p.prep <-
                       Some
@@ -635,14 +761,16 @@ module Make (F : Prio_field.Field_intf.S) = struct
                    match verify client_id p with
                    | Ok accepted ->
                      Hashtbl.remove pending client_id;
-                     Server.record_decision state ~client_id accepted;
+                     note_depth ();
+                     finish_decision ~client_id accepted;
                      reply fd
                        (tagged (if accepted then 'K' else 'R') Bytes.empty)
                    | Error (j, err) ->
                      (* graceful degradation: this submission is cleanly
                         rejected, the leader keeps serving *)
                      Hashtbl.remove pending client_id;
-                     Server.record_decision state ~client_id false;
+                     note_depth ();
+                     finish_decision ~client_id false;
                      reply_error fd Unavailable
                        (Printf.sprintf "follower %d: %s" (j + 1)
                           (string_of_protocol_error err)))));
@@ -677,16 +805,21 @@ module Make (F : Prio_field.Field_intf.S) = struct
             let client_id = get_u32 frame 1 in
             (match Hashtbl.find_opt pending client_id with
             | Some p ->
+              (* streaming aggregation: the share folds into the
+                 accumulator and drops with the pending entry — nothing
+                 per-submission outlives the decision *)
               Server.accumulate state p.share;
               Hashtbl.remove pending client_id;
-              Server.record_decision state ~client_id true
+              note_depth ();
+              finish_decision ~client_id true
             | None -> ());
             `Keep)
       | 'r' ->
         need 5 (fun () ->
             let client_id = get_u32 frame 1 in
             Hashtbl.remove pending client_id;
-            Server.record_decision state ~client_id false;
+            note_depth ();
+            finish_decision ~client_id false;
             `Keep)
       | 'Q' ->
         reply fd (tagged 'A' (W.vector_to_bytes (Server.publish state)));
@@ -785,15 +918,16 @@ module Make (F : Prio_field.Field_intf.S) = struct
     Unix.listen fd 32;
     fd
 
-  let fork_server ~tuning ~faults_for cfg ~id ~listen_fd ~follower_addrs =
+  let fork_server ?(restore_min_epoch = 0) ~tuning ~faults_for cfg ~id
+      ~listen_fd ~follower_addrs =
     (* don't let the child inherit (and later re-flush) buffered output *)
     flush stdout;
     flush stderr;
     match Unix.fork () with
     | 0 ->
       (try
-         serve ~tuning ?faults:(faults_for id) cfg ~id ~listen_fd
-           ~follower_addrs
+         serve ~tuning ?faults:(faults_for id) ~restore_min_epoch cfg ~id
+           ~listen_fd ~follower_addrs
          (* dying forked child: stderr is the only remaining channel *)
          (* prio-lint: allow no-debug-io *)
        with e -> prerr_endline ("prio net server: " ^ Printexc.to_string e));
@@ -872,19 +1006,23 @@ module Make (F : Prio_field.Field_intf.S) = struct
             Exited st))
       d.pids
 
-  (** Revive a dead server on its original port. The new process starts
-      with fresh (empty) per-batch state: already-verified submissions
-      whose shares lived only on the dead server are lost, which is the
-      price of a crash — the point is that *new* traffic flows again. *)
-  let restart_server d i =
+  (** Revive a dead server on its original port. With
+      [tuning.checkpoint_dir] set, the new process resumes from the dead
+      one's latest valid snapshot — mid-collection recovery: accepted
+      submissions up to the last checkpoint survive the crash. Without a
+      checkpoint dir (or when the snapshot is rejected) it starts with
+      fresh per-batch state: shares that lived only in the dead process
+      are lost, but new traffic flows again. [min_epoch] (default 0)
+      refuses authentic-but-stale snapshots from already-closed epochs. *)
+  let restart_server ?(min_epoch = 0) d i =
     (match (poll_servers d).(i) with
     | Running -> invalid_arg "Net.restart_server: server still running"
     | Exited _ -> ());
     let listen_fd = bind_listener d.addrs.(i) in
     let follower_addrs = Array.sub d.addrs 1 (d.cfg.num_servers - 1) in
     let pid =
-      fork_server ~tuning:d.tuning ~faults_for:d.faults_for d.cfg ~id:i
-        ~listen_fd ~follower_addrs
+      fork_server ~restore_min_epoch:min_epoch ~tuning:d.tuning
+        ~faults_for:d.faults_for d.cfg ~id:i ~listen_fd ~follower_addrs
     in
     Unix.close listen_fd;
     d.pids.(i) <- pid;
@@ -911,6 +1049,10 @@ module Make (F : Prio_field.Field_intf.S) = struct
         | Some ((Too_large | Malformed_frame | Unknown_tag) as c, detail) ->
           (* our frame was damaged in flight; resending is idempotent *)
           `Retry (Peer_error (c, detail))
+        | Some (Busy, detail) ->
+          (* shed by admission control: back off and resend — the server
+             stays healthy, it just wants the burst spread out *)
+          `Retry (Peer_error (Busy, detail))
         | Some ((Unknown_client | Unavailable | Rejected) as c, detail) ->
           `Done (`Nack (string_of_error_code c ^ ": " ^ detail)))
       | _ -> `Retry (Bad_frame "unparseable reply")
@@ -944,26 +1086,20 @@ module Make (F : Prio_field.Field_intf.S) = struct
                 | Error e -> `Retry e
                 | Ok reply -> classify_ack reply)))
 
-  (** Upload already-sealed packets over TCP and drive their verification
-      — the packet-level entry point, so callers that prepared
-      submissions up front (the bench harness, {!Pipeline.prepare}
-      output) can replay them against a TCP deployment and compare the
-      wire bytes against [packets.upload_bytes]. *)
-  let submit_packets_outcome ?faults d ~rng ~client_id
+  (* Shared submission driver: upload to every server through [rpc_to]
+     (followers first, so their shares are in place; leader last), then
+     trigger the leader's verify round. *)
+  let drive_submission ~num_servers ~client_id rpc_to
       (pk : Client.packets) : outcome =
-    ignore_sigpipe ();
-    if Array.length pk.Client.sealed <> d.cfg.num_servers then
+    if Array.length pk.Client.sealed <> num_servers then
       invalid_arg "Net.submit_packets: one packet per server required";
     Trace.with_span "net.submit" ~attrs:[ ("client", string_of_int client_id) ]
     @@ fun () ->
-    let tuning = d.tuning in
-    (* followers first, so their shares are in place; leader last *)
-    let order = List.init (d.cfg.num_servers - 1) (fun i -> i + 1) @ [ 0 ] in
+    let order = List.init (num_servers - 1) (fun i -> i + 1) @ [ 0 ] in
     let upload i =
       Trace.with_span "net.upload" ~attrs:[ ("server", string_of_int i) ]
       @@ fun () ->
-      rpc ?faults ~tuning ~rng d.addrs.(i)
-        (tagged 'P' (Bytes.cat (put_u32 client_id) pk.Client.sealed.(i)))
+      rpc_to i (tagged 'P' (Bytes.cat (put_u32 client_id) pk.Client.sealed.(i)))
     in
     let rec push = function
       | [] -> None
@@ -979,8 +1115,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
       | None -> (
         match
           Trace.with_span "net.verify" (fun () ->
-              rpc ?faults ~tuning ~rng d.addrs.(0)
-                (tagged 'V' (put_u32 client_id)))
+              rpc_to 0 (tagged 'V' (put_u32 client_id)))
         with
         | Ok `Ack -> Accepted
         | Ok (`Nack why) -> Rejected why
@@ -994,10 +1129,118 @@ module Make (F : Prio_field.Field_intf.S) = struct
         ~attrs:[ ("error", string_of_protocol_error e) ]);
     outcome
 
+  (** Upload already-sealed packets over TCP and drive their verification
+      — the packet-level entry point, so callers that prepared
+      submissions up front (the bench harness, {!Pipeline.prepare}
+      output) can replay them against a TCP deployment and compare the
+      wire bytes against [packets.upload_bytes]. *)
+  let submit_packets_outcome ?faults d ~rng ~client_id
+      (pk : Client.packets) : outcome =
+    ignore_sigpipe ();
+    drive_submission ~num_servers:d.cfg.num_servers ~client_id
+      (fun i payload -> rpc ?faults ~tuning:d.tuning ~rng d.addrs.(i) payload)
+      pk
+
   let submit_packets ?faults d ~rng ~client_id (pk : Client.packets) : bool =
     match submit_packets_outcome ?faults d ~rng ~client_id pk with
     | Accepted -> true
     | Rejected _ | Unreachable _ -> false
+
+  (* ----------------------------- sessions --------------------------- *)
+
+  (** A client's persistent connections to every server. {!rpc} dials a
+      fresh connection per attempt — right for occasional submissions,
+      but a streaming client at 100k+ submissions would pay the handshake
+      on every hot-path RPC and strand every closed connection in
+      TIME_WAIT until loopback's ephemeral ports run out. A session dials
+      each server once and reuses the connection for the whole stream;
+      any transport error drops the cached connection so the backoff
+      retry dials fresh (that heals restarted servers, whose old
+      connections are dead). Not domain-safe: one session per submitting
+      thread. *)
+  type session = {
+    sdep : deployment;
+    sfds : Unix.file_descr option array;  (** cached connection per server *)
+  }
+
+  let open_session d =
+    ignore_sigpipe ();
+    { sdep = d; sfds = Array.make (Array.length d.addrs) None }
+
+  let close_session s =
+    Array.iteri
+      (fun i fd ->
+        match fd with
+        | Some fd ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          s.sfds.(i) <- None
+        | None -> ())
+      s.sfds
+
+  (* {!rpc} over the session's cached connection: dial only when there is
+     none; drop the connection on any transport error so the next attempt
+     (and the backoff schedule) reconnects. A [Busy] shed keeps the
+     connection — the server is healthy, it just wants the burst spread
+     out. *)
+  let session_rpc ?faults (s : session) ~rng i payload =
+    Trace.with_span "net.rpc" @@ fun () ->
+    Metrics.time h_rpc @@ fun () ->
+    let tuning = s.sdep.tuning in
+    let drop () =
+      match s.sfds.(i) with
+      | Some fd ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        s.sfds.(i) <- None
+      | None -> ()
+    in
+    Retry.with_backoff ~rng tuning.backoff (fun ~attempt:_ ->
+        match
+          (match s.sfds.(i) with
+          | Some fd -> Ok fd
+          | None -> (
+            match
+              dial ~retry_refused:false
+                ~deadline:(Retry.after tuning.dial_timeout)
+                s.sdep.addrs.(i)
+            with
+            | Ok fd ->
+              s.sfds.(i) <- Some fd;
+              Ok fd
+            | Error _ as e -> e))
+        with
+        | Error e -> `Retry e
+        | Ok fd -> (
+          let deadline = Retry.after tuning.io_timeout in
+          match send_frame ?faults ~deadline fd payload with
+          | Error e ->
+            drop ();
+            `Retry e
+          | Ok () -> (
+            match
+              recv_frame ?faults ~deadline ~max_bytes:tuning.max_frame_bytes
+                fd
+            with
+            | Error e ->
+              drop ();
+              `Retry e
+            | Ok reply -> classify_ack reply)))
+
+  let submit_packets_session ?faults (s : session) ~rng ~client_id
+      (pk : Client.packets) : outcome =
+    drive_submission ~num_servers:s.sdep.cfg.num_servers ~client_id
+      (fun i payload -> session_rpc ?faults s ~rng i payload)
+      pk
+
+  let submit_session ?faults (s : session) ~rng ~client_id
+      (encoding : F.t array) : outcome =
+    let d = s.sdep in
+    let pk =
+      Client.submit ~rng
+        ~mode:(Client.Robust_snip d.cfg.circuit)
+        ~num_servers:d.cfg.num_servers ~client_id ~master:d.cfg.master
+        encoding
+    in
+    submit_packets_session ?faults s ~rng ~client_id pk
 
   (** Upload one client's submission over TCP and drive its verification,
       with per-frame deadlines and idempotent retry under [faults]. *)

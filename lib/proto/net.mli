@@ -22,6 +22,7 @@ type error_code =
   | Unknown_client  (** no pending share / recorded verdict for this id *)
   | Unavailable  (** server degraded (e.g. a follower is down) *)
   | Rejected  (** submission definitively refused *)
+  | Busy  (** admission queue full; retryable — clients back off *)
 
 (** Everything that can go wrong on the wire, as a value. *)
 type protocol_error =
@@ -53,6 +54,19 @@ type tuning = {
       (** worker domains per server process for SNIP preparation
           (default 1 = inline on the event loop); with more, preparation
           is queued eagerly at upload time and overlaps frame handling *)
+  max_pending : int;
+      (** admission cap (default 1024): uploads beyond this many
+          in-flight submissions are shed with a retryable [Busy] frame *)
+  epoch_size : int;
+      (** decisions per replay/idempotency epoch (default 0 = never
+          rotate); setting it keeps server memory flat over unbounded
+          streams *)
+  checkpoint_dir : string option;
+      (** snapshot directory (default [None] = durability off); with it
+          set, servers persist after decisions and
+          {!Make.restart_server} resumes mid-collection *)
+  checkpoint_every : int;
+      (** decisions between snapshots (default 1 = lose nothing) *)
 }
 
 val default_tuning : tuning
@@ -121,12 +135,17 @@ module Make (F : Prio_field.Field_intf.S) : sig
   }
 
   val serve :
-    ?tuning:tuning -> ?faults:Faults.t -> config -> id:int ->
-    listen_fd:Unix.file_descr -> follower_addrs:Unix.sockaddr array -> unit
+    ?tuning:tuning -> ?faults:Faults.t -> ?restore_min_epoch:int ->
+    config -> id:int -> listen_fd:Unix.file_descr ->
+    follower_addrs:Unix.sockaddr array -> unit
   (** Run one server's event loop until an [X] frame arrives; the leader
       (id 0) dials the followers, lazily redialing dead ones. The
       listener must already be bound. [faults] sits on this server's
-      frame-receive path and may [Crash] the process. *)
+      frame-receive path and may [Crash] the process. With
+      [tuning.checkpoint_dir] set the server restores its latest valid
+      snapshot at startup (rejecting corrupted / truncated / wrong-key
+      snapshots and epochs below [restore_min_epoch], falling back to a
+      clean start) and snapshots every [checkpoint_every] decisions. *)
 
   type deployment = {
     cfg : config;
@@ -152,10 +171,13 @@ module Make (F : Prio_field.Field_intf.S) : sig
   (** Non-blocking health check ([waitpid WNOHANG]); reaps and records
       any server process that died. *)
 
-  val restart_server : deployment -> int -> unit
-  (** Revive a dead server on its original port with fresh per-batch
-      state (shares held only by the dead process are lost; new traffic
-      flows again). @raise Invalid_argument if it is still running. *)
+  val restart_server : ?min_epoch:int -> deployment -> int -> unit
+  (** Revive a dead server on its original port. With
+      [tuning.checkpoint_dir] set it resumes from the latest valid
+      snapshot (accepted submissions up to the last checkpoint survive);
+      otherwise it restarts with fresh per-batch state. [min_epoch]
+      refuses authentic-but-stale snapshots.
+      @raise Invalid_argument if it is still running. *)
 
   (** {2 Clients} *)
 
@@ -178,6 +200,33 @@ module Make (F : Prio_field.Field_intf.S) : sig
     ?faults:Faults.t -> deployment -> rng:Prio_crypto.Rng.t ->
     client_id:int -> Client.packets -> bool
   (** [submit_packets_outcome] collapsed to "accepted?". *)
+
+  (** {2 Streaming sessions}
+
+      Persistent connections for high-volume clients: one dial per
+      server amortized over the stream, instead of a fresh connection
+      per RPC (which parks every closed connection in TIME_WAIT and
+      exhausts loopback's ephemeral ports around 100k submissions). *)
+
+  type session
+
+  val open_session : deployment -> session
+  (** Lazy: connections are dialed on first use and redialed after any
+      transport error (so a restarted server heals transparently). Not
+      domain-safe — one session per submitting thread. *)
+
+  val close_session : session -> unit
+
+  val submit_packets_session :
+    ?faults:Faults.t -> session -> rng:Prio_crypto.Rng.t ->
+    client_id:int -> Client.packets -> outcome
+  (** {!submit_packets_outcome} over the session's cached connections.
+      A [Busy] shed retries on the same connection after backoff. *)
+
+  val submit_session :
+    ?faults:Faults.t -> session -> rng:Prio_crypto.Rng.t ->
+    client_id:int -> F.t array -> outcome
+  (** Seal and upload one encoding over the session. *)
 
   val submit_outcome :
     ?faults:Faults.t -> deployment -> rng:Prio_crypto.Rng.t ->

@@ -9,10 +9,13 @@ module Make (F : Prio_field.Field_intf.S) = struct
   module W = Wire.Make (F)
   module Rng = Prio_crypto.Rng
   module Authbox = Prio_crypto.Authbox
+  module Sha256 = Prio_crypto.Sha256
   module Metrics = Prio_obs.Metrics
   module Trace = Prio_obs.Trace
 
   let m_dropped = Metrics.counter "prio_server_dropped_packets_total"
+  let m_rotations = Metrics.counter "prio_server_epoch_rotations_total"
+  let g_resident = Metrics.gauge "prio_server_resident_entries"
 
   type t = {
     id : int;
@@ -27,7 +30,22 @@ module Make (F : Prio_field.Field_intf.S) = struct
         (** client_id → final verdict, kept so a retried (duplicate)
             submission or verify request is re-acknowledged with the
             original answer instead of re-processed *)
+    mutable epoch : int;  (** completed {!rotate_epoch} calls *)
+    mutable decided_in_epoch : int;
+        (** distinct client verdicts recorded since the last rotation *)
+    mutable replay_digest : Bytes.t;
+        (** 32-byte running SHA-256 chain over every admitted nonce and
+            every epoch rotation — a constant-size commitment to the
+            replay table's history that a checkpoint can carry without
+            serializing the table itself *)
   }
+
+  (* Domain-separated chain head: every server starts from the same
+     well-known value, so the digest commits only to what was admitted. *)
+  let initial_replay_digest () = Sha256.digest_string "prio-replay-digest-v1"
+
+  let u32_be v =
+    Bytes.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
 
   let create ~id ~num_servers ~master ~trunc_len ~payload_elements =
     {
@@ -40,14 +58,65 @@ module Make (F : Prio_field.Field_intf.S) = struct
       accepted = 0;
       seen_nonces = Hashtbl.create 1024;
       decisions = Hashtbl.create 1024;
+      epoch = 0;
+      decided_in_epoch = 0;
+      replay_digest = initial_replay_digest ();
     }
 
   (** Record the cluster's final verdict on a client id, making later
       duplicate uploads / verify requests idempotent. *)
   let record_decision t ~client_id accepted =
+    if not (Hashtbl.mem t.decisions client_id) then
+      t.decided_in_epoch <- t.decided_in_epoch + 1;
     Hashtbl.replace t.decisions client_id accepted
 
   let decision t ~client_id = Hashtbl.find_opt t.decisions client_id
+
+  (** Per-submission state currently resident: replay nonces plus recorded
+      verdicts. Bounded by the epoch size when callers rotate epochs, which
+      is the streaming-mode flat-memory invariant the tests assert. *)
+  let resident_entries t =
+    Hashtbl.length t.seen_nonces + Hashtbl.length t.decisions
+
+  (** Close the current epoch: drop the replay and idempotency tables (the
+      memory that otherwise grows with every submission ever seen) and fold
+      the rotation into the replay digest chain. Duplicate-submission
+      re-acks only reach back to the current epoch afterwards — a retry
+      from a closed epoch is treated as a fresh (replayed) packet and
+      dropped by the nonce check's absence, or re-verified. *)
+  let rotate_epoch t =
+    Hashtbl.reset t.seen_nonces;
+    Hashtbl.reset t.decisions;
+    t.epoch <- t.epoch + 1;
+    t.decided_in_epoch <- 0;
+    let c = Sha256.init () in
+    Sha256.update_string c "prio-epoch-rotate";
+    Sha256.update c t.replay_digest;
+    Sha256.update c (u32_be t.epoch);
+    t.replay_digest <- Sha256.finalize c;
+    Metrics.incr m_rotations;
+    Metrics.set g_resident 0.;
+    Trace.event "server.epoch_rotated"
+      ~attrs:
+        [ ("server", string_of_int t.id); ("epoch", string_of_int t.epoch) ]
+
+  (** Overwrite this server's aggregate state from a checkpoint snapshot.
+      The replay/idempotency tables are reset — a snapshot carries only
+      their digest, so replay protection restarts scoped to the resumed
+      epoch. @raise Invalid_argument on a width or digest-size mismatch. *)
+  let restore t ~epoch ~accepted ~decided_in_epoch ~replay_digest
+      ~(accumulator : F.t array) =
+    if Array.length accumulator <> t.trunc_len then
+      invalid_arg "Server.restore: accumulator width mismatch";
+    if Bytes.length replay_digest <> 32 then
+      invalid_arg "Server.restore: replay digest must be 32 bytes";
+    Array.blit accumulator 0 t.accumulator 0 t.trunc_len;
+    t.accepted <- accepted;
+    t.epoch <- epoch;
+    t.decided_in_epoch <- decided_in_epoch;
+    t.replay_digest <- Bytes.copy replay_digest;
+    Hashtbl.reset t.seen_nonces;
+    Hashtbl.reset t.decisions
 
   (** Authenticate, decrypt, replay-check and expand one client packet into
       this server's flat share vector. [None] on forgery, replay, or
@@ -73,6 +142,10 @@ module Make (F : Prio_field.Field_intf.S) = struct
             | exception Invalid_argument _ -> None
             | share ->
               Hashtbl.replace t.seen_nonces nonce_key ();
+              (* chain the admitted nonce into the epoch's replay digest *)
+              t.replay_digest <-
+                Sha256.digest (Bytes.cat t.replay_digest nonce);
+              Metrics.set g_resident (float_of_int (resident_entries t));
               Some (nonce, share))
         end
       end

@@ -17,6 +17,12 @@ module Make (F : Prio_field.Field_intf.S) : sig
     decisions : (int, bool) Hashtbl.t;
         (** client_id → final verdict, for idempotent re-acks of
             retried submissions *)
+    mutable epoch : int;  (** completed {!rotate_epoch} calls *)
+    mutable decided_in_epoch : int;
+        (** distinct client verdicts recorded since the last rotation *)
+    mutable replay_digest : Bytes.t;
+        (** 32-byte SHA-256 chain over admitted nonces and rotations — the
+            constant-size replay-table commitment checkpoints carry *)
   }
 
   val create :
@@ -28,6 +34,23 @@ module Make (F : Prio_field.Field_intf.S) : sig
       duplicate uploads / verify requests idempotent. *)
 
   val decision : t -> client_id:int -> bool option
+
+  val resident_entries : t -> int
+  (** Per-submission state currently held (replay nonces + verdicts);
+      bounded by the epoch size once callers rotate epochs. *)
+
+  val rotate_epoch : t -> unit
+  (** Close the epoch: reset the replay/idempotency tables so memory stays
+      flat over unbounded streams, bump [epoch], and fold the rotation
+      into the replay digest chain. Idempotent re-acks afterwards reach
+      back only to the new epoch. *)
+
+  val restore :
+    t -> epoch:int -> accepted:int -> decided_in_epoch:int ->
+    replay_digest:Bytes.t -> accumulator:F.t array -> unit
+  (** Overwrite aggregate state from a checkpoint snapshot; the replay /
+      idempotency tables restart empty (the snapshot only commits to them
+      via the digest). @raise Invalid_argument on width mismatch. *)
 
   val receive : t -> client_id:int -> Bytes.t -> (Bytes.t * F.t array) option
   (** Authenticate, decrypt, replay-check and PRG-expand one packet into

@@ -50,7 +50,8 @@ let fast_tuning =
           };
     }
 
-let with_deployment ?(num_servers = 3) ?faults_for afe f =
+let with_deployment ?(num_servers = 3) ?(tuning = fast_tuning) ?faults_for afe
+    f =
   let cfg =
     Net.
       {
@@ -61,8 +62,23 @@ let with_deployment ?(num_servers = 3) ?faults_for afe f =
         batch_seed = Rng.bytes rng 32;
       }
   in
-  let d = Net.launch ~tuning:fast_tuning ?faults_for cfg in
+  let d = Net.launch ~tuning ?faults_for cfg in
   Fun.protect ~finally:(fun () -> Net.shutdown d) (fun () -> f d)
+
+let with_temp_dir name f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "prio-net-%s-%d" name (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (EEXIST, _, _) -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
 
 let ok_exn = function
   | Ok v -> v
@@ -370,6 +386,199 @@ let test_idempotent_retries () =
       Alcotest.(check string) "counted once" "11"
         (Prio_bigint.Bigint.to_string total))
 
+(* ------------------------- admission control ------------------------- *)
+
+let test_admission_busy_shed () =
+  let afe = Sum.sum ~bits:4 in
+  let tuning = NetT.{ fast_tuning with max_pending = 2 } in
+  with_deployment ~tuning afe (fun d ->
+      let exchange addr frame =
+        let fd = ok_exn (NetT.dial addr) in
+        ignore (NetT.write_frame fd frame);
+        let r = ok_exn (NetT.read_frame ~deadline:(Retry.after 5.0) fd) in
+        Unix.close fd;
+        r
+      in
+      (* fill every server's admission queue without triggering verify *)
+      List.iter
+        (fun cid ->
+          let pk =
+            Cl.submit ~rng
+              ~mode:(Cl.Robust_snip afe.A.circuit)
+              ~num_servers:3 ~client_id:cid ~master:d.Net.cfg.Net.master
+              (afe.A.encode ~rng (cid + 1))
+          in
+          List.iter
+            (fun srv ->
+              let p =
+                NetT.tagged 'P'
+                  (Bytes.cat (NetT.put_u32 cid) pk.Cl.sealed.(srv))
+              in
+              Alcotest.(check char) "queued" 'K'
+                (Bytes.get (exchange d.Net.addrs.(srv) p) 0))
+            [ 0; 1; 2 ])
+        [ 0; 1 ];
+      (* the queue is at max_pending: the next upload is shed with a
+         retryable refusal, not silently dropped or fatally nacked *)
+      let pk3 =
+        Cl.submit ~rng
+          ~mode:(Cl.Robust_snip afe.A.circuit)
+          ~num_servers:3 ~client_id:7 ~master:d.Net.cfg.Net.master
+          (afe.A.encode ~rng 5)
+      in
+      let reply =
+        exchange d.Net.addrs.(1)
+          (NetT.tagged 'P' (Bytes.cat (NetT.put_u32 7) pk3.Cl.sealed.(1)))
+      in
+      (match NetT.parse_error_frame reply with
+      | Some (NetT.Busy, _) -> ()
+      | Some (c, _) ->
+        Alcotest.failf "expected E/busy, got %s" (NetT.string_of_error_code c)
+      | None ->
+        Alcotest.failf "expected E/busy, got tag %C" (Bytes.get reply 0));
+      (* the high-level client treats Busy as retryable: against a queue
+         that never drains, it backs off and exhausts its schedule *)
+      (match Net.submit_outcome d ~rng ~client_id:8 (afe.A.encode ~rng 2) with
+      | Net.Unreachable (NetT.Peer_error (NetT.Busy, _)) -> ()
+      | Net.Unreachable e ->
+        Alcotest.failf "expected busy exhaustion, got %s"
+          (NetT.string_of_protocol_error e)
+      | Net.Accepted | Net.Rejected _ ->
+        Alcotest.fail "submission must not land while the queue is full");
+      (* a duplicate of an already-admitted upload is still re-acked even
+         at capacity — dedup happens before the shed check *)
+      Alcotest.(check char) "duplicate re-acked at capacity" 'K'
+        (Bytes.get
+           (exchange d.Net.addrs.(1)
+              (NetT.tagged 'P'
+                 (Bytes.cat (NetT.put_u32 0)
+                    (Cl.submit ~rng
+                       ~mode:(Cl.Robust_snip afe.A.circuit)
+                       ~num_servers:3 ~client_id:0
+                       ~master:d.Net.cfg.Net.master (afe.A.encode ~rng 1)).Cl
+                      .sealed.(1))))
+           0)
+      |> ignore;
+      (* drain the queue by deciding both pending submissions *)
+      List.iter
+        (fun cid ->
+          Alcotest.(check char) "drained" 'K'
+            (Bytes.get
+               (exchange d.Net.addrs.(0) (NetT.tagged 'V' (NetT.put_u32 cid)))
+               0))
+        [ 0; 1 ];
+      (* with room again, the shed client's retry goes through *)
+      Alcotest.(check bool) "recovers after shed" true
+        (Net.submit d ~rng ~client_id:9 (afe.A.encode ~rng 6));
+      let total = afe.A.decode ~n:3 (collect_exn d) in
+      Alcotest.(check string) "aggregate counts admitted only" "9"
+        (Prio_bigint.Bigint.to_string total))
+
+(* ----------------------- checkpoint / restore ------------------------ *)
+
+let restore_values = [ 3; 7; 15; 0; 9; 4; 12; 1 ]
+
+(* One serial run over [restore_values]; with [crash_at = Some i] the
+   follower is SIGKILLed and restored from its snapshot just before the
+   i-th submission. Returns the decoded aggregate. *)
+let run_with_restore ~crash_at dir =
+  let afe = Sum.sum ~bits:4 in
+  let tuning = NetT.{ fast_tuning with checkpoint_dir = Some dir } in
+  with_deployment ~tuning afe (fun d ->
+      List.iteri
+        (fun i x ->
+          if crash_at = Some i then begin
+            Unix.kill d.Net.pids.(1) Sys.sigkill;
+            let rec wait_dead n =
+              match (Net.poll_servers d).(1) with
+              | Net.Exited _ -> ()
+              | Net.Running ->
+                if n = 0 then Alcotest.fail "follower ignored SIGKILL";
+                Unix.sleepf 0.01;
+                wait_dead (n - 1)
+            in
+            wait_dead 200;
+            Net.restart_server d 1
+          end;
+          Alcotest.(check bool)
+            (Printf.sprintf "accepted %d" i)
+            true
+            (Net.submit d ~rng ~client_id:i (afe.A.encode ~rng x)))
+        restore_values;
+      afe.A.decode ~n:(List.length restore_values) (collect_exn d))
+
+let test_restore_equals_uninterrupted () =
+  let expected = string_of_int (List.fold_left ( + ) 0 restore_values) in
+  with_temp_dir "baseline" @@ fun dir_a ->
+  with_temp_dir "crashed" @@ fun dir_b ->
+  let a = run_with_restore ~crash_at:None dir_a in
+  Alcotest.(check string) "uninterrupted total" expected
+    (Prio_bigint.Bigint.to_string a);
+  (* same submissions, but the follower dies after 4 decisions and
+     resumes from its snapshot: nothing accepted before the crash may be
+     lost, nothing may be double-counted *)
+  let b = run_with_restore ~crash_at:(Some 4) dir_b in
+  Alcotest.(check string) "crash+restore equals uninterrupted" expected
+    (Prio_bigint.Bigint.to_string b)
+
+let test_restore_chaos_drill () =
+  (* seeded crash policy on a follower with checkpointing on: every time
+     the follower dies mid-stream the supervisor restores it from its
+     latest snapshot and the failed value is resubmitted under a fresh
+     client id. Consistency: the final aggregate must equal the sum of
+     exactly the accepted values — snapshots may lag (torn writes are
+     prevented by temp+rename), but nothing decided-and-checkpointed is
+     lost and nothing is double-counted. *)
+  let afe = Sum.sum ~bits:4 in
+  with_temp_dir "chaos" @@ fun dir ->
+  let tuning = NetT.{ fast_tuning with checkpoint_dir = Some dir } in
+  let faults_for id =
+    if id = 2 then
+      Some (Faults.create ~seed:"restore-drill" (Faults.crash 0.03))
+    else None
+  in
+  with_deployment ~tuning ~faults_for afe (fun d ->
+      let restarts = ref 0 in
+      let revive () =
+        Array.iteri
+          (fun i st ->
+            match st with
+            | Net.Exited _ ->
+              incr restarts;
+              Net.restart_server d i
+            | Net.Running -> ())
+          (Net.poll_servers d)
+      in
+      let landed = ref 0 and total = ref 0 in
+      List.iteri
+        (fun i x ->
+          let rec attempt tries cid =
+            match Net.submit_outcome d ~rng ~client_id:cid (afe.A.encode ~rng x) with
+            | Net.Accepted ->
+              incr landed;
+              total := !total + x
+            | (Net.Rejected _ | Net.Unreachable _) when tries < 5 ->
+              (* a crashed follower shows up as a degraded rejection or
+                 exhausted retries; restore it and resubmit fresh *)
+              revive ();
+              attempt (tries + 1) (cid + 1000)
+            | Net.Rejected why ->
+              Alcotest.failf "value %d never landed: rejected: %s" x why
+            | Net.Unreachable e ->
+              Alcotest.failf "value %d never landed: %s" x
+                (NetT.string_of_protocol_error e)
+          in
+          attempt 0 i)
+        (List.init 16 (fun i -> (i * 5) mod 16));
+      revive ();
+      Alcotest.(check bool) "the drill actually crashed a server" true
+        (!restarts > 0);
+      Alcotest.(check int) "every value eventually landed" 16 !landed;
+      let sigma = afe.A.decode ~n:!landed (collect_exn d) in
+      Alcotest.(check string) "aggregate = accepted sum across restores"
+        (string_of_int !total)
+        (Prio_bigint.Bigint.to_string sigma))
+
 let () =
   Alcotest.run "net"
     [
@@ -397,5 +606,14 @@ let () =
             test_fuzz_malformed_frames;
           Alcotest.test_case "idempotent retries" `Quick
             test_idempotent_retries;
+        ] );
+      ( "admission & durability",
+        [
+          Alcotest.test_case "busy shed and recovery" `Quick
+            test_admission_busy_shed;
+          Alcotest.test_case "restore equals uninterrupted" `Quick
+            test_restore_equals_uninterrupted;
+          Alcotest.test_case "seeded crash+restore drill" `Quick
+            test_restore_chaos_drill;
         ] );
     ]

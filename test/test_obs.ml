@@ -229,6 +229,48 @@ let test_metrics_domain_hammer () =
       (Array.for_all (fun (_, n) -> n = 0 || n = iters) hv.Metrics.hv_buckets)
   | _ -> Alcotest.fail "histogram missing from snapshot"
 
+(* The trace recorder's domain-safety contract: concurrent domains share
+   the ring (no span lost, ids unique) while each nests under its own
+   open-span stack — an inner span opened on domain d must be parented to
+   an outer span of d, never to a concurrent domain's span. *)
+let test_trace_domain_hammer () =
+  let domains = 4 and iters = 2_000 in
+  let r = Trace.create ~capacity:(domains * iters * 3) () in
+  Trace.install r;
+  Fun.protect ~finally:Trace.uninstall (fun () ->
+      let worker d () =
+        let tag = [ ("domain", string_of_int d) ] in
+        for _ = 1 to iters do
+          Trace.with_span "outer" ~attrs:tag (fun () ->
+              Trace.with_span "inner" ~attrs:tag (fun () -> ());
+              Trace.event "mark" ~attrs:tag)
+        done
+      in
+      let ds = Array.init domains (fun d -> Domain.spawn (worker d)) in
+      Array.iter Domain.join ds);
+  let spans = Trace.spans r in
+  let expected = domains * iters * 3 in
+  Alcotest.(check int) "no span lost" expected (Trace.total r);
+  Alcotest.(check int) "ring held everything" expected (List.length spans);
+  let ids = Hashtbl.create expected in
+  List.iter (fun sp -> Hashtbl.replace ids sp.Trace.id sp) spans;
+  Alcotest.(check int) "ids unique" expected (Hashtbl.length ids);
+  List.iter
+    (fun sp ->
+      let dom = List.assoc "domain" sp.Trace.attrs in
+      match (sp.Trace.name, sp.Trace.parent) with
+      | "outer", p ->
+        Alcotest.(check (option int)) "outer is a root" None p
+      | ("inner" | "mark"), Some p ->
+        let parent = Hashtbl.find ids p in
+        Alcotest.(check string) "nested under own domain's outer" "outer"
+          parent.Trace.name;
+        Alcotest.(check string) "parent on same domain" dom
+          (List.assoc "domain" parent.Trace.attrs)
+      | name, None -> Alcotest.failf "%s has no parent" name
+      | name, _ -> Alcotest.failf "unexpected span %s" name)
+    spans
+
 (* ------------------------- deterministic traces ---------------------- *)
 
 (* One chaos round: seeded faults rolled over a fixed frame sequence
@@ -326,6 +368,8 @@ let () =
           Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
           Alcotest.test_case "deterministic under seeded chaos" `Quick
             test_deterministic_trace;
+          Alcotest.test_case "multi-domain nesting stays domain-local" `Quick
+            test_trace_domain_hammer;
         ] );
       ( "metrics",
         [
