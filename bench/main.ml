@@ -60,7 +60,7 @@ let measure ?min_time ?min_reps f = (measure_stats ?min_time ?min_reps f).mean
 (* docs/OBSERVABILITY.md for the schema.                                  *)
 (* ---------------------------------------------------------------------- *)
 
-type jfield = I of int | Fl of float | S of string
+type jfield = I of int | Fl of float | S of string | B of bool
 
 let json_records : (string * jfield) list list ref = ref []
 
@@ -72,6 +72,13 @@ let record ~experiment ~name fields =
   let fields =
     if List.mem_assoc "cores" fields then fields
     else ("cores", I (Domain.recommended_domain_count ())) :: fields
+  in
+  let fields =
+    (* a single-core box cannot show parallel speedups: stamp the rows
+       so plot scripts and CI checks can exclude or annotate them *)
+    if Domain.recommended_domain_count () = 1 then
+      ("single_core", B true) :: fields
+    else fields
   in
   json_records :=
     (("experiment", S experiment) :: ("name", S name) :: fields)
@@ -95,6 +102,7 @@ let jfield_string = function
   | I n -> string_of_int n
   | Fl f -> if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
   | S s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | B b -> string_of_bool b
 
 let write_json path =
   let oc = open_out path in
@@ -1007,6 +1015,10 @@ let net_scaling () =
     (Printf.sprintf
        "TCP runtime: batch throughput vs domains (%d cores on this machine)"
        cores);
+  if cores = 1 then
+    Printf.printf
+      "WARNING: only 1 core detected; scaling numbers below measure\n\
+       overhead, not speedup (rows are stamped \"single_core\": true).\n";
   Printf.printf "%-10s %14s %14s %10s\n" "domains" "batch time"
     "submissions/s" "speedup";
   let module Wk = W87 in
@@ -1087,6 +1099,10 @@ let parallel () =
     (Printf.sprintf
        "Multicore batch verification (%d cores available on this machine)"
        (Domain.recommended_domain_count ()));
+  if Domain.recommended_domain_count () = 1 then
+    Printf.printf
+      "WARNING: only 1 core detected; scaling numbers below measure\n\
+       overhead, not speedup (rows are stamped \"single_core\": true).\n";
   Printf.printf "%-10s %14s %14s\n" "domains" "batch time" "submissions/s";
   let module W = W87 in
   let module Par = Prio_proto.Parallel.Make (Prio.F87) in

@@ -1,16 +1,21 @@
 (* prio_lint: static analysis enforcing the repo's constant-time,
-   determinism, and error-discipline invariants. See docs/ANALYSIS.md.
+   determinism, error-discipline, and domain-safety invariants. See
+   docs/ANALYSIS.md.
 
-   Usage: prio_lint [--root DIR] [--baseline FILE] DIR...
+   Usage: prio_lint [--root DIR] [--baseline FILE] [--rule ID]
+                    [--format text|json] DIR...
 
-   Emits "file:line:col: [rule-id] message" per finding and exits non-zero
-   if any Error-severity finding survives suppressions and the baseline. *)
+   Emits "file:line:col: [rule-id] message" per finding (or one JSON
+   array with --format json) and exits non-zero if any Error-severity
+   finding survives suppressions and the baseline. *)
 
 module D = Prio_analysis.Diagnostic
 
 let () =
   let root = ref "." in
   let baseline = ref "" in
+  let format = ref "text" in
+  let rules = ref [] in
   let dirs = ref [] in
   let spec =
     [
@@ -18,11 +23,18 @@ let () =
       ( "--baseline",
         Arg.Set_string baseline,
         "FILE baseline of waived diagnostics" );
+      ( "--rule",
+        Arg.String (fun r -> rules := r :: !rules),
+        "ID only report findings of this rule (repeatable)" );
+      ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun f -> format := f),
+        " output format (default: text)" );
     ]
   in
   Arg.parse spec
     (fun d -> dirs := d :: !dirs)
-    "prio_lint [--root DIR] [--baseline FILE] DIR...";
+    "prio_lint [--root DIR] [--baseline FILE] [--rule ID] [--format \
+     text|json] DIR...";
   let dirs =
     match List.rev !dirs with
     | [] -> [ "lib"; "bin"; "bench"; "examples" ]
@@ -35,7 +47,23 @@ let () =
   let diags =
     Prio_analysis.Driver.lint_tree ~baseline ~root:!root ~dirs ()
   in
-  List.iter (fun d -> print_endline (D.to_string d)) diags;
+  let diags =
+    match !rules with
+    | [] -> diags
+    | only -> List.filter (fun d -> List.mem d.D.rule only) diags
+  in
+  (match !format with
+  | "json" ->
+    print_string "[";
+    List.iteri
+      (fun i d ->
+        if i > 0 then print_string ",";
+        print_string "\n  ";
+        print_string (D.to_json d))
+      diags;
+    if diags <> [] then print_string "\n";
+    print_endline "]"
+  | _ -> List.iter (fun d -> print_endline (D.to_string d)) diags);
   let errors = List.length (List.filter D.is_error diags) in
   let warnings = List.length diags - errors in
   if diags <> [] then

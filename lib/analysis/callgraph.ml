@@ -1,0 +1,373 @@
+(* Whole-repo module and call graph.
+
+   Every .ml under the linted directories is parsed once; this module
+   turns the parsed structures into (a) a table of structure-level
+   functions with resolved intra-repo call edges, (b) a list of
+   structure-level value bindings (the raw material for the mutable-state
+   inventory), and (c) a module-path resolver that understands the
+   repo's layout conventions:
+
+   - a file lib/<d>/<m>.ml defines module <Lib>.<M> where <Lib> is the
+     dune library module for <d> ("Prio_" ^ d, except lib/core which is
+     the unprefixed library [Core] exposing [Core.Prio]);
+   - bin/, bench/ and examples/ files are single-module executables;
+   - [module X = Path] aliases (including functor applications, whose
+     arguments are dropped: [module Sh = Share.Make (F)] resolves to the
+     functor itself) are chased, so the Prio.* re-export facade in
+     lib/core resolves through to the defining library;
+   - [open M] at structure level brings M's members into scope for the
+     items after it.
+
+   Resolution is purely syntactic and conservative: a reference that
+   does not resolve to a known intra-repo function simply produces no
+   edge. Shadowing by local let-bound functions, first-class modules,
+   and [let open] are not modelled (documented in docs/ANALYSIS.md). *)
+
+open Parsetree
+
+type scope = {
+  sc_bases : string list;
+      (* candidate module-path prefixes, innermost first, "" last *)
+  sc_opens : string list;  (* opened module paths, in open order *)
+}
+
+type func = {
+  fn_id : string;  (* canonical dotted id, e.g. "Prio_obs.Trace.event" *)
+  fn_file : string;  (* repo-relative path *)
+  fn_name : string;  (* last component of fn_id *)
+  fn_loc : Location.t;
+  fn_params : string list;  (* named parameters, outermost first *)
+  fn_body : expression;  (* the whole right-hand side, fun wrappers included *)
+  fn_scope : scope;
+  mutable fn_calls : string list;  (* resolved intra-repo references *)
+}
+
+type binding = {
+  b_id : string;
+  b_file : string;
+  b_loc : Location.t;
+  b_expr : expression;
+}
+
+type t = {
+  cg_funcs : (string, func) Hashtbl.t;
+  cg_inits : func list;  (* anonymous top-level code ([let () = ...]) *)
+  cg_bindings : binding list;  (* every structure-level simple binding *)
+  cg_modules : (string, unit) Hashtbl.t;  (* structure-defined module paths *)
+  cg_aliases : (string, string) Hashtbl.t;  (* alias path -> target path *)
+  cg_sources : (string, string) Hashtbl.t;  (* file -> raw source text *)
+}
+
+(* ------------------------- path helpers ------------------------------- *)
+
+(* Longident.flatten raises on functor applications; drop the argument. *)
+let rec flat = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flat l @ [ s ]
+  | Longident.Lapply (l, _) -> flat l
+
+let join base path =
+  if base = "" then path else if path = "" then base else base ^ "." ^ path
+
+(* The dune library module owning lib/<d>/: "Prio_" ^ d capitalized,
+   except the facade library in lib/core which is named plain [Core]. *)
+let library_module dir = if dir = "core" then "Core" else "Prio_" ^ dir
+
+let module_name_of_file path =
+  String.capitalize_ascii Filename.(remove_extension (basename path))
+
+(* Canonical module path a file's top level lives at. *)
+let file_root path =
+  match String.split_on_char '/' path with
+  | "lib" :: dir :: _ :: _ ->
+    join (library_module dir) (module_name_of_file path)
+  | _ -> module_name_of_file path
+
+(* "A.B.C" -> ["A.B.C"; "A.B"; "A"; ""], innermost first. *)
+let bases_of prefix =
+  let rec go acc p =
+    match String.rindex_opt p '.' with
+    | None -> List.rev ("" :: p :: acc)
+    | Some i -> go (p :: acc) (String.sub p 0 i)
+  in
+  if prefix = "" then [ "" ] else go [] prefix
+
+(* ---------------------------- resolution ------------------------------ *)
+
+let canon t path =
+  let strip_prefix p =
+    (* longest registered alias that is p or a dotted prefix of p *)
+    let rec go q =
+      if Hashtbl.mem t.cg_aliases q then Some q
+      else
+        match String.rindex_opt q '.' with
+        | None -> None
+        | Some i -> go (String.sub q 0 i)
+    in
+    go p
+  in
+  let rec go path fuel =
+    if fuel = 0 then path
+    else
+      match strip_prefix path with
+      | None -> path
+      | Some k ->
+        let target = Hashtbl.find t.cg_aliases k in
+        let rest =
+          String.sub path (String.length k)
+            (String.length path - String.length k)
+        in
+        go (target ^ rest) (fuel - 1)
+  in
+  go path 16
+
+let module_exists t p = Hashtbl.mem t.cg_modules p
+
+(* Resolve a raw module path in a scope to a known module, trying the
+   enclosing prefixes innermost-out, then the opens. *)
+let resolve_module t scope raw =
+  let try_base base =
+    let cand = canon t (join base raw) in
+    if module_exists t cand then Some cand else None
+  in
+  let opens = List.map (canon t) scope.sc_opens in
+  List.find_map try_base (scope.sc_bases @ opens)
+
+(* Candidate canonical ids for a value reference, innermost scope first.
+   Callers probe these against whichever table they own. *)
+let candidates t scope lid =
+  match List.rev (flat lid) with
+  | [] -> []
+  | name :: rev_mods ->
+    let mpath = String.concat "." (List.rev rev_mods) in
+    let opens = List.map (canon t) scope.sc_opens in
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun base ->
+        let m = canon t (join base mpath) in
+        let id = if m = "" then name else m ^ "." ^ name in
+        if Hashtbl.mem seen id then None
+        else begin
+          Hashtbl.replace seen id ();
+          Some id
+        end)
+      (scope.sc_bases @ opens)
+
+let resolve_fn t scope lid =
+  List.find_opt (fun id -> Hashtbl.mem t.cg_funcs id) (candidates t scope lid)
+
+(* --------------------- structure walk (pass A) ------------------------ *)
+
+let rec collect_params e =
+  match e.pexp_desc with
+  | Pexp_fun (label, _, pat, body) ->
+    let name =
+      match pat.ppat_desc with
+      | Ppat_var v -> Some v.txt
+      | Ppat_constraint ({ ppat_desc = Ppat_var v; _ }, _) -> Some v.txt
+      | _ -> (
+        match label with
+        | Asttypes.Labelled l | Asttypes.Optional l -> Some l
+        | Asttypes.Nolabel -> None)
+    in
+    let rest = collect_params body in
+    (match name with Some n -> n :: rest | None -> rest)
+  | Pexp_newtype (_, body) -> collect_params body
+  | _ -> []
+
+let rec is_function e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_newtype (_, body) -> is_function body
+  | Pexp_constraint (body, _) -> is_function body
+  | _ -> false
+
+let rec binding_name pat =
+  match pat.ppat_desc with
+  | Ppat_var v -> Some v.txt
+  | Ppat_constraint (p, _) -> binding_name p
+  | _ -> None
+
+let rec functor_body me =
+  match me.pmod_desc with
+  | Pmod_functor (_, body) -> functor_body body
+  | Pmod_constraint (body, _) -> functor_body body
+  | _ -> me
+
+(* The module path a module expression aliases, arguments dropped; [None]
+   when the expression is a structure (a definition, not an alias). *)
+let rec alias_target me =
+  match me.pmod_desc with
+  | Pmod_ident lid -> Some (String.concat "." (flat lid.txt))
+  | Pmod_apply (f, _) -> alias_target f
+  | Pmod_constraint (body, _) -> alias_target body
+  | _ -> None
+
+type pending_alias = { pa_key : string; pa_raw : string; pa_scope : scope }
+
+type builder = {
+  funcs : (string, func) Hashtbl.t;
+  mutable inits : func list;
+  mutable bindings : binding list;
+  modules : (string, unit) Hashtbl.t;
+  mutable pending : pending_alias list;
+  sources : (string, string) Hashtbl.t;
+}
+
+let walk_file b ~file str =
+  let root = file_root file in
+  (* register every dotted prefix of the root as a known module *)
+  List.iter
+    (fun p -> if p <> "" then Hashtbl.replace b.modules p ())
+    (bases_of root);
+  let init_count = ref 0 in
+  let rec go prefix opens str =
+    ignore
+      (List.fold_left
+         (fun opens item ->
+           let scope =
+             { sc_bases = bases_of prefix; sc_opens = List.rev opens }
+           in
+           (match item.pstr_desc with
+           | Pstr_value (_, vbs) ->
+             List.iter
+               (fun vb ->
+                 match binding_name vb.pvb_pat with
+                 | Some name ->
+                   let id = join prefix name in
+                   b.bindings <-
+                     { b_id = id; b_file = file; b_loc = vb.pvb_loc;
+                       b_expr = vb.pvb_expr }
+                     :: b.bindings;
+                   if is_function vb.pvb_expr then
+                     Hashtbl.replace b.funcs id
+                       { fn_id = id; fn_file = file; fn_name = name;
+                         fn_loc = vb.pvb_loc;
+                         fn_params = collect_params vb.pvb_expr;
+                         fn_body = vb.pvb_expr; fn_scope = scope;
+                         fn_calls = [] }
+                 | None ->
+                   (* [let () = ...] and friends: top-level init code *)
+                   incr init_count;
+                   let id = Printf.sprintf "%s.__init_%d" root !init_count in
+                   b.inits <-
+                     { fn_id = id; fn_file = file; fn_name = id;
+                       fn_loc = vb.pvb_loc; fn_params = [];
+                       fn_body = vb.pvb_expr; fn_scope = scope;
+                       fn_calls = [] }
+                     :: b.inits)
+               vbs
+           | Pstr_module mb -> (
+             let name =
+               match mb.pmb_name.txt with Some n -> n | None -> "_"
+             in
+             let path = join prefix name in
+             match functor_body mb.pmb_expr with
+             | { pmod_desc = Pmod_structure s; _ } ->
+               Hashtbl.replace b.modules path ();
+               go path opens s
+             | me -> (
+               match alias_target me with
+               | Some raw ->
+                 b.pending <-
+                   { pa_key = path; pa_raw = raw; pa_scope = scope }
+                   :: b.pending
+               | None -> ()))
+           | Pstr_recmodule mbs ->
+             List.iter
+               (fun mb ->
+                 let name =
+                   match mb.pmb_name.txt with Some n -> n | None -> "_"
+                 in
+                 let path = join prefix name in
+                 match functor_body mb.pmb_expr with
+                 | { pmod_desc = Pmod_structure s; _ } ->
+                   Hashtbl.replace b.modules path ();
+                   go path opens s
+                 | _ -> ())
+               mbs
+           | Pstr_include { pincl_mod = me; _ } -> (
+             match functor_body me with
+             | { pmod_desc = Pmod_structure s; _ } -> go prefix opens s
+             | _ -> ())
+           | _ -> ());
+           (* [open M]: in scope for the items after this one *)
+           match item.pstr_desc with
+           | Pstr_open { popen_expr = { pmod_desc = Pmod_ident lid; _ }; _ }
+             ->
+             String.concat "." (flat lid.txt) :: opens
+           | _ -> opens)
+         opens str)
+  in
+  go root [] str
+
+(* ------------------- alias fixpoint and call edges -------------------- *)
+
+let resolve_aliases pending t =
+  let pending = ref pending in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    pending :=
+      List.filter
+        (fun pa ->
+          match resolve_module t pa.pa_scope pa.pa_raw with
+          | Some target ->
+            Hashtbl.replace t.cg_aliases pa.pa_key target;
+            changed := true;
+            false
+          | None -> true)
+        !pending
+  done
+
+let record_edges t fn =
+  let acc = Hashtbl.create 16 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+            match resolve_fn t fn.fn_scope txt with
+            | Some id -> Hashtbl.replace acc id ()
+            | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it fn.fn_body;
+  fn.fn_calls <-
+    List.sort String.compare (Hashtbl.fold (fun k () l -> k :: l) acc [])
+
+let build files =
+  let b =
+    { funcs = Hashtbl.create 256; inits = []; bindings = [];
+      modules = Hashtbl.create 64; pending = []; sources = Hashtbl.create 64 }
+  in
+  List.iter
+    (fun (path, src, str) ->
+      Hashtbl.replace b.sources path src;
+      walk_file b ~file:path str)
+    files;
+  let t =
+    { cg_funcs = b.funcs; cg_inits = List.rev b.inits;
+      cg_bindings = List.rev b.bindings; cg_modules = b.modules;
+      cg_aliases = Hashtbl.create 64; cg_sources = b.sources }
+  in
+  resolve_aliases b.pending t;
+  Hashtbl.iter (fun _ fn -> record_edges t fn) t.cg_funcs;
+  List.iter (record_edges t) t.cg_inits;
+  t
+
+(* ----------------------------- accessors ------------------------------ *)
+
+let functions t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.cg_funcs []
+  |> List.sort (fun a b -> String.compare a.fn_id b.fn_id)
+
+let inits t = t.cg_inits
+let bindings t = t.cg_bindings
+let find t id = Hashtbl.find_opt t.cg_funcs id
+let source_of t file = Hashtbl.find_opt t.cg_sources file
+let alias_of t path = Hashtbl.find_opt t.cg_aliases path

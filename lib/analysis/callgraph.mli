@@ -1,0 +1,74 @@
+(** Whole-repo module and call graph for the cross-file lint passes.
+
+    Built once per lint run from every parsed [.ml]: structure-level
+    functions with resolved intra-repo call edges, the raw
+    structure-level bindings (input to {!Mutstate}), and a module-path
+    resolver that chases [module X = Path] aliases (functor arguments
+    dropped), the [Prio.*] re-export facade, and structure-level
+    [open]s. Resolution is syntactic and conservative: unresolved
+    references produce no edge. *)
+
+(** Resolution context captured where a function was defined. *)
+type scope = {
+  sc_bases : string list;
+      (** candidate module-path prefixes, innermost first, [""] last *)
+  sc_opens : string list;  (** opened module paths, in open order *)
+}
+
+type func = {
+  fn_id : string;  (** canonical dotted id, e.g. ["Prio_obs.Trace.event"] *)
+  fn_file : string;  (** repo-relative path *)
+  fn_name : string;  (** last component of [fn_id] *)
+  fn_loc : Location.t;
+  fn_params : string list;  (** named parameters, outermost first *)
+  fn_body : Parsetree.expression;
+      (** the whole right-hand side, [fun] wrappers included *)
+  fn_scope : scope;
+  mutable fn_calls : string list;
+      (** resolved intra-repo references (any ident occurrence, so
+          closures passed as values count as edges) *)
+}
+
+(** A structure-level [let name = expr] binding, function or not. *)
+type binding = {
+  b_id : string;
+  b_file : string;
+  b_loc : Location.t;
+  b_expr : Parsetree.expression;
+}
+
+type t
+
+(** [build [(path, src, structure); ...]] walks every file, resolves
+    module aliases to a fixpoint, and records call edges. [path] must be
+    repo-relative with forward slashes. *)
+val build : (string * string * Parsetree.structure) list -> t
+
+val functions : t -> func list
+(** Every structure-level function, sorted by id. *)
+
+val inits : t -> func list
+(** Anonymous top-level code ([let () = ...]), in file order; ids are
+    synthesized (["Main.__init_1"]) and never the target of an edge. *)
+
+val bindings : t -> binding list
+val find : t -> string -> func option
+val source_of : t -> string -> string option
+
+val candidates : t -> scope -> Longident.t -> string list
+(** Candidate canonical ids for a value reference, innermost scope
+    first, for probing against a caller-owned table. *)
+
+val resolve_fn : t -> scope -> Longident.t -> string option
+(** First candidate that names a known function. *)
+
+val alias_of : t -> string -> string option
+(** The resolved target of a [module X = Path] alias, by canonical alias
+    path — exposed for the call-graph resolution tests. *)
+
+val file_root : string -> string
+(** Canonical module path of a file's top level
+    (["lib/obs/trace.ml"] -> ["Prio_obs.Trace"]). *)
+
+val flat : Longident.t -> string list
+(** [Longident] flattened; functor-application arguments dropped. *)

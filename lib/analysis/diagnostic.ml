@@ -26,6 +26,32 @@ let severity_label = function Error -> "error" | Warning -> "warning"
 let to_string d =
   Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
 
+(* Minimal JSON string escaping: backslash, quote, control chars. *)
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf
+    "{\"file\":%s,\"line\":%d,\"col\":%d,\"rule\":%s,\"severity\":%s,\"message\":%s}"
+    (json_string d.file) d.line d.col (json_string d.rule)
+    (json_string (severity_label d.severity))
+    (json_string d.message)
+
 let order a b =
   let c = String.compare a.file b.file in
   if c <> 0 then c

@@ -30,6 +30,10 @@ val severity_label : severity -> string
 (** ["file:line:col: \[rule-id\] message"] *)
 val to_string : t -> string
 
+(** One flat JSON object per finding, keys [file]/[line]/[col]/[rule]/
+    [severity]/[message]. *)
+val to_json : t -> string
+
 (** Total order by file, then line, col, rule — for stable output. *)
 val order : t -> t -> int
 

@@ -57,6 +57,65 @@ let lint_source ~rules ~path src =
       rules
     |> List.sort Diagnostic.order
 
+(* --- cross-file passes ------------------------------------------------ *)
+
+let cross_checkers =
+  [
+    (Rules.domain_unsafe_state, Concurrency.run);
+    (Rules.secret_flow, Taint.run);
+  ]
+
+(* Build the call graph from every .ml that parses and run the cross-file
+   checkers. [severity_for] decides per finding file whether (and how) a
+   finding is kept; suppressions are per owning file. *)
+let cross_findings ~severity_for sources =
+  let parsed =
+    List.filter_map
+      (fun (path, src) ->
+        match parse_implementation ~path src with
+        | Ok str -> Some (path, src, str)
+        | Error _ -> None)
+      sources
+  in
+  let cg = Callgraph.build parsed in
+  let sups = Hashtbl.create 16 in
+  List.iter
+    (fun (path, src, _) -> Hashtbl.replace sups path (Suppress.of_source src))
+    parsed;
+  List.concat_map
+    (fun (rule, run) ->
+      List.filter_map
+        (fun { Rules.loc; message } ->
+          let d = Diagnostic.of_location ~rule ~message loc in
+          match severity_for d.Diagnostic.file rule with
+          | None -> None
+          | Some severity ->
+            let d = { d with Diagnostic.severity } in
+            let suppressed =
+              match Hashtbl.find_opt sups d.Diagnostic.file with
+              | Some sup -> Suppress.active sup ~line:d.Diagnostic.line ~rule
+              | None -> false
+            in
+            if suppressed then None else Some d)
+        (run cg))
+    cross_checkers
+
+(* Corpus-test entry point for the cross-file rules: lint a set of
+   in-memory .ml files as one program. Per-file AST rules in [rules] run
+   on each file; cross rules in [rules] run once over the set. Everything
+   is Error severity, like [lint_source]. *)
+let lint_sources ~rules ~files =
+  let ast_rules = List.filter (fun r -> Rules.ast_rule r <> None) rules in
+  let per_file =
+    List.concat_map
+      (fun (path, src) -> lint_source ~rules:ast_rules ~path src)
+      files
+  in
+  let severity_for _file rule =
+    if List.mem rule rules then Some Diagnostic.Error else None
+  in
+  per_file @ cross_findings ~severity_for files |> List.sort Diagnostic.order
+
 (* --- tree walk -------------------------------------------------------- *)
 
 let is_source f =
@@ -94,10 +153,12 @@ let apply_severity path d =
    Diagnostic paths come out relative to [root]. *)
 let lint_tree ?(baseline = Baseline.empty) ~root ~dirs () =
   let files = source_files ~root dirs in
+  let srcs =
+    List.map (fun p -> (p, read_file (Filename.concat root p))) files
+  in
   let per_file =
     List.concat_map
-      (fun path ->
-        let src = read_file (Filename.concat root path) in
+      (fun (path, src) ->
         if Filename.check_suffix path ".mli" then
           match parse_interface ~path src with
           | Ok _ -> []
@@ -106,7 +167,11 @@ let lint_tree ?(baseline = Baseline.empty) ~root ~dirs () =
           let rules = Policy.ast_rules_for path in
           List.filter_map (apply_severity path)
             (lint_source ~rules ~path src))
-      files
+      srcs
+  in
+  let cross =
+    cross_findings ~severity_for:Policy.severity_of
+      (List.filter (fun (p, _) -> Filename.check_suffix p ".ml") srcs)
   in
   let mli =
     List.filter_map
@@ -124,5 +189,5 @@ let lint_tree ?(baseline = Baseline.empty) ~root ~dirs () =
       not
         (Baseline.waived baseline ~file:d.Diagnostic.file
            ~rule:d.Diagnostic.rule))
-    (per_file @ mli)
+    (per_file @ mli @ cross)
   |> List.sort Diagnostic.order

@@ -1,12 +1,27 @@
 (** Linter orchestration: parse, run rules, filter through suppressions
     and the baseline. *)
 
+(** Parse an [.ml] body with the compiler's parser; [path] labels
+    locations ([pos_fname]). Exposed for the call-graph tests. *)
+val parse_implementation :
+  path:string -> string -> (Parsetree.structure, Diagnostic.t) result
+
 (** [lint_source ~rules ~path src] parses [src] (an [.ml] body) and runs
     exactly the given AST rules at Error severity, honouring inline
     [(* prio-lint: allow ... *)] waivers. [path] only labels diagnostics.
     A file that does not parse yields one [parse-error] diagnostic. *)
 val lint_source :
   rules:string list -> path:string -> string -> Diagnostic.t list
+
+(** [lint_sources ~rules ~files] lints a set of in-memory [.ml] files as
+    one program: per-file AST rules in [rules] run on each file, and any
+    cross-file rules in [rules] ([domain-unsafe-state], [secret-flow])
+    run once over the whole set's call graph. Paths label diagnostics
+    and drive module resolution ([lib/<d>/m.ml] -> [Prio_<d>.M]); all
+    findings are Error severity. This is the corpus-test entry point for
+    the cross-file passes. *)
+val lint_sources :
+  rules:string list -> files:(string * string) list -> Diagnostic.t list
 
 (** [lint_tree ~root ~dirs ()] recursively lints every [.ml]/[.mli] under
     [root]/[dirs] (skipping [_build]-style and hidden directories), with

@@ -1,0 +1,94 @@
+(* Inventory of module-level mutable state.
+
+   Only structure-level bindings are inventoried: a [ref]/[Hashtbl]/...
+   local to a function (or carried inside a per-call record value) is
+   private to whichever domain holds it and is exactly the pattern
+   [Parallel] uses for replica state, so flagging it would bury the
+   real findings. The classification is by the syntactic constructor on
+   the right-hand side of the binding:
+
+   - unsafe when shared across domains unguarded: [ref], [Hashtbl.create],
+     [Queue.create], [Buffer.create], [Stack.create], [Array.make]/
+     [Array.init]/[Array.create_float]/[Bytes.create]/[Bytes.make];
+   - safe by construction: [Atomic.make], [Domain.DLS.new_key],
+     [Mutex.create], [Condition.create] (the guards themselves). *)
+
+type kind =
+  | Ref
+  | Hashtable
+  | Queue
+  | Buffer
+  | Stack
+  | Array_state
+  | Bytes_state
+  | Atomic
+  | Dls_key
+  | Mutex
+  | Condition
+
+type entry = {
+  ms_id : string;  (* canonical dotted id of the binding *)
+  ms_file : string;
+  ms_line : int;
+  ms_kind : kind;
+}
+
+let kind_name = function
+  | Ref -> "ref cell"
+  | Hashtable -> "hash table"
+  | Queue -> "queue"
+  | Buffer -> "buffer"
+  | Stack -> "stack"
+  | Array_state -> "array"
+  | Bytes_state -> "bytes"
+  | Atomic -> "atomic"
+  | Dls_key -> "domain-local key"
+  | Mutex -> "mutex"
+  | Condition -> "condition"
+
+let is_unsafe = function
+  | Ref | Hashtable | Queue | Buffer | Stack | Array_state | Bytes_state ->
+    true
+  | Atomic | Dls_key | Mutex | Condition -> false
+
+(* Strip Stdlib. so Stdlib.ref and ref are one case (mirrors Rules). *)
+let path_of lid =
+  match Callgraph.flat lid with "Stdlib" :: rest -> rest | l -> l
+
+let rec classify (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Pexp_constraint (e, _) -> classify e
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+    match path_of txt with
+    | [ "ref" ] -> Some Ref
+    | [ "Hashtbl"; "create" ] -> Some Hashtable
+    | [ "Queue"; "create" ] -> Some Queue
+    | [ "Buffer"; "create" ] -> Some Buffer
+    | [ "Stack"; "create" ] -> Some Stack
+    | [ "Array"; ("make" | "init" | "create_float" | "make_matrix") ] ->
+      Some Array_state
+    | [ "Bytes"; ("create" | "make") ] -> Some Bytes_state
+    | [ "Atomic"; "make" ] -> Some Atomic
+    | [ "Domain"; "DLS"; "new_key" ] -> Some Dls_key
+    | [ "Mutex"; "create" ] -> Some Mutex
+    | [ "Condition"; "create" ] -> Some Condition
+    | _ -> None)
+  | _ -> None
+
+(* id -> entry, over every structure-level binding in the graph. *)
+let inventory cg =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Callgraph.binding) ->
+      match classify b.b_expr with
+      | Some ms_kind ->
+        Hashtbl.replace tbl b.b_id
+          { ms_id = b.b_id; ms_file = b.b_file;
+            ms_line = b.b_loc.Location.loc_start.pos_lnum; ms_kind }
+      | None -> ())
+    (Callgraph.bindings cg);
+  tbl
+
+(* Resolve a value reference against the inventory. *)
+let resolve cg (tbl : (string, entry) Hashtbl.t) scope lid =
+  List.find_map (Hashtbl.find_opt tbl) (Callgraph.candidates cg scope lid)

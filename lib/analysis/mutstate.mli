@@ -1,0 +1,45 @@
+(** Inventory of module-level mutable state, classified by the syntactic
+    constructor on the binding's right-hand side. Function-local state is
+    deliberately not inventoried: it is domain-private (the [Parallel]
+    replica pattern) unless it escapes through a spawn, which the
+    {!Concurrency} pass tracks separately. *)
+
+type kind =
+  | Ref
+  | Hashtable
+  | Queue
+  | Buffer
+  | Stack
+  | Array_state
+  | Bytes_state
+  | Atomic  (** safe by construction *)
+  | Dls_key  (** safe: domain-local *)
+  | Mutex  (** the guard itself *)
+  | Condition
+
+type entry = {
+  ms_id : string;  (** canonical dotted id of the binding *)
+  ms_file : string;
+  ms_line : int;
+  ms_kind : kind;
+}
+
+val kind_name : kind -> string
+
+val is_unsafe : kind -> bool
+(** True for state that is racy when reached from several domains
+    without a guard; false for [Atomic]/[Domain.DLS]/[Mutex]/[Condition]. *)
+
+val classify : Parsetree.expression -> kind option
+
+val inventory : Callgraph.t -> (string, entry) Hashtbl.t
+(** Every structure-level binding whose right-hand side is a recognized
+    state constructor, keyed by canonical id. *)
+
+val resolve :
+  Callgraph.t ->
+  (string, entry) Hashtbl.t ->
+  Callgraph.scope ->
+  Longident.t ->
+  entry option
+(** Resolve a value reference against the inventory in a scope. *)

@@ -41,7 +41,12 @@ let all_rules =
     Rules.no_debug_io;
     Rules.no_partial_stdlib;
     Rules.mli_coverage;
+    Rules.domain_unsafe_state;
+    Rules.secret_flow;
   ]
+
+(* Rules evaluated over the whole-repo call graph, not per file. *)
+let cross_rules = [ Rules.domain_unsafe_state; Rules.secret_flow ]
 
 let verdicts_for path : verdict list =
   let err rule = Some { rule; severity = Diagnostic.Error } in
@@ -73,6 +78,16 @@ let verdicts_for path : verdict list =
            library lib/core is the one sanctioned .mli-less module. *)
         if under "lib" path && not (under "lib/core" path) then err r
         else None
+      | r when r = Rules.domain_unsafe_state ->
+        (* A race is a race wherever it lives: errors everywhere. *)
+        if under_any [ "lib"; "bin"; "bench"; "examples" ] path then err r
+        else None
+      | r when r = Rules.secret_flow ->
+        (* bench prints synthetic data on purpose; keep it advisory
+           there. Everywhere else a leak fails the build. *)
+        if under_any [ "lib"; "bin"; "examples" ] path then err r
+        else if under "bench" path then warn r
+        else None
       | _ -> None)
     all_rules
 
@@ -83,5 +98,7 @@ let severity_of path rule =
 
 let ast_rules_for path =
   List.filter_map
-    (fun v -> if v.rule = Rules.mli_coverage then None else Some v.rule)
+    (fun v ->
+      if v.rule = Rules.mli_coverage || List.mem v.rule cross_rules then None
+      else Some v.rule)
     (verdicts_for path)

@@ -11,8 +11,14 @@ val verdicts_for : string -> verdict list
     there. *)
 val severity_of : string -> string -> Diagnostic.severity option
 
-(** The AST rules (everything but mli-coverage) enabled at [path]. *)
+(** The per-file AST rules (everything but mli-coverage and the
+    cross-file rules) enabled at [path]. *)
 val ast_rules_for : string -> string list
+
+(** Rules evaluated over the whole-repo call graph
+    ([domain-unsafe-state], [secret-flow]); their per-path severity
+    still comes from {!severity_of}. *)
+val cross_rules : string list
 
 (** Files where ambient randomness is sanctioned: the entropy seam
     ([lib/crypto/rng.ml]). *)

@@ -20,6 +20,13 @@ let no_partial_stdlib = "no-partial-stdlib"
 let mli_coverage = "mli-coverage"
 let parse_error = "parse-error"
 
+(* Cross-file rules: run over the whole-repo call graph ([Callgraph]),
+   not per file. Their checkers live in [Concurrency] and [Taint]; the
+   ids are declared here so suppressions, the baseline, and [Policy]
+   treat them like any other rule. *)
+let domain_unsafe_state = "domain-unsafe-state"
+let secret_flow = "secret-flow"
+
 type finding = { loc : Location.t; message : string }
 
 let lid_name lid = String.concat "." (Longident.flatten lid)

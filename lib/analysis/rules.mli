@@ -16,6 +16,12 @@ val mli_coverage : string
 (** Pseudo-rule for files that fail to parse. *)
 val parse_error : string
 
+(** Cross-file rules, checked over the whole-repo call graph by
+    {!Concurrency} and {!Taint} rather than per file. *)
+val domain_unsafe_state : string
+
+val secret_flow : string
+
 type finding = { loc : Location.t; message : string }
 
 (** Resolve a rule id to its structure checker; [None] for non-AST rules

@@ -1,0 +1,461 @@
+(* The secret-flow pass.
+
+   Sources (key material, not rng handles — sampling an rng handle or
+   printing synthetic sampled data is fine):
+   - [Rng.bytes], [Rng.fresh_seed] (raw secret bytes / seeds);
+   - [Share.split]/[split_vector]/[split_compressed], [Dpf.gen]
+     (secret-shared values and DPF keys);
+   - any binding carrying a [(* prio-lint: secret *)] annotation on its
+     own line or the line above.
+
+   Sinks: [Printf]/[Format] printing to out-channels, the [print_*]/
+   [prerr_*] stdlib helpers, [failwith]/[invalid_arg] and exception
+   payloads under [raise], and [Trace]/[Report] payloads.
+
+   Propagation is structural and deliberately laundering: taint flows
+   through tuples/records/constructors/fields, [let]/[match] bindings,
+   and a whitelist of string-shuffling propagators ([sprintf],
+   [String.concat], [Bytes.to_string], [^], ...). A call to an unknown
+   function drops taint — an under-approximation that keeps
+   aggregate-statistics output (which is derived from shares but
+   blinded) from drowning the report in false positives; see
+   docs/ANALYSIS.md. One level of interprocedural flow rides on the
+   call graph: round one finds producer functions (result is a source)
+   and sink wrappers (a parameter flows into a sink); round two treats
+   producer calls as sources and tainted arguments to wrappers as
+   leaks. *)
+
+open Parsetree
+
+let path_of lid =
+  match Callgraph.flat lid with "Stdlib" :: rest -> rest | l -> l
+
+let rec last2 = function
+  | [ a; b ] -> Some (a, b)
+  | _ :: tl -> last2 tl
+  | [] -> None
+
+let dotted l = String.concat "." l
+
+(* --------------------------- sources ---------------------------------- *)
+
+let source_name lid =
+  match last2 (path_of lid) with
+  | Some ("Rng", (("bytes" | "fresh_seed") as f)) -> Some ("Rng." ^ f)
+  | Some
+      ("Share", (("split" | "split_vector" | "split_compressed") as f)) ->
+    Some ("Share." ^ f)
+  | Some ("Dpf", "gen") -> Some "Dpf.gen"
+  | _ -> None
+
+let annotation = "prio-lint: secret"
+
+let contains_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let ann_lines src =
+  let tbl = Hashtbl.create 4 in
+  List.iteri
+    (fun i line ->
+      if contains_sub line annotation then Hashtbl.replace tbl (i + 1) ())
+    (String.split_on_char '\n' src);
+  tbl
+
+let annotated ann (loc : Location.t) =
+  let l = loc.loc_start.pos_lnum in
+  Hashtbl.mem ann l || Hashtbl.mem ann (l - 1)
+
+(* ------------------------- propagators -------------------------------- *)
+
+let is_propagator lid =
+  match path_of lid with
+  | [ "Printf"; "sprintf" ]
+  | [ "Format"; ("sprintf" | "asprintf") ]
+  | [ "String";
+      ( "concat" | "sub" | "cat" | "trim" | "escaped" | "map"
+      | "uppercase_ascii" | "lowercase_ascii" ) ]
+  | [ "Bytes";
+      ( "to_string" | "of_string" | "sub" | "sub_string" | "copy" | "cat"
+      | "concat" | "escaped" | "unsafe_to_string" | "unsafe_of_string" ) ]
+  | [ "^" ] | [ "fst" ] | [ "snd" ]
+  | [ "Option"; ("get" | "value") ]
+  | [ "Result"; "get_ok" ]
+  | [ "Array"; "get" ]
+  | [ "List"; ("hd" | "nth") ] ->
+    true
+  | _ -> false
+
+(* ---------------------------- sinks ----------------------------------- *)
+
+(* [Some name] when a call headed by [lid] writes its arguments out. *)
+let sink_name cg scope lid =
+  let p = path_of lid in
+  match p with
+  | [ "Printf"; (("printf" | "eprintf" | "fprintf") as f) ] ->
+    Some ("Printf." ^ f)
+  | [ "Format"; (("printf" | "eprintf" | "fprintf") as f) ] ->
+    Some ("Format." ^ f)
+  | [ (("print_string" | "print_endline" | "prerr_string" | "prerr_endline")
+      as f) ] ->
+    Some f
+  | [ (("failwith" | "invalid_arg") as f) ] -> Some f
+  | _ -> (
+    let resolved =
+      List.exists
+        (fun id ->
+          let pref p = String.length id > String.length p
+                       && String.sub id 0 (String.length p) = p in
+          pref "Prio_obs.Trace." || pref "Prio_obs.Report.")
+        (Callgraph.candidates cg scope lid)
+    in
+    match last2 p with
+    | Some ((("Trace" | "Report") as m), f) -> Some (m ^ "." ^ f)
+    | _ when resolved -> Some (dotted p)
+    | _ -> None)
+
+let is_raise lid =
+  match path_of lid with
+  | [ ("raise" | "raise_notrace") ] -> true
+  | _ -> false
+
+(* ------------------------- taint tracking ----------------------------- *)
+
+type ctx = {
+  producers : (string, string) Hashtbl.t;  (* fn id -> source reason *)
+  wrappers : (string, string * string list * int) Hashtbl.t;
+      (* fn id -> (sink it feeds, leaked param names, param count) *)
+}
+
+let empty_ctx () = { producers = Hashtbl.create 8; wrappers = Hashtbl.create 8 }
+
+(* Reason a value is secret, or None. [taints] maps local names;
+   [secrets] canonical ids of secret structure-level bindings. *)
+let rec taint_of cg ctx secrets taints scope e =
+  let self = taint_of cg ctx secrets taints scope in
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+    match txt with
+    | Longident.Lident x when Hashtbl.mem taints x ->
+      Some (Hashtbl.find taints x)
+    | _ ->
+      List.find_map (Hashtbl.find_opt secrets)
+        (Callgraph.candidates cg scope txt))
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+    match source_name txt with
+    | Some s -> Some s
+    | None -> (
+      let producer =
+        match Callgraph.resolve_fn cg scope txt with
+        | Some id -> Hashtbl.find_opt ctx.producers id
+        | None -> None
+      in
+      match producer with
+      | Some reason -> Some reason
+      | None ->
+        if is_propagator txt then List.find_map (fun (_, a) -> self a) args
+        else None))
+  | Pexp_tuple es | Pexp_array es -> List.find_map self es
+  | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) -> self e
+  | Pexp_record (fields, base) ->
+    let base_t = Option.fold ~none:None ~some:self base in
+    if base_t <> None then base_t
+    else List.find_map (fun (_, e) -> self e) fields
+  (* No propagation through field access: a config/cluster record holds
+     the master secret next to harmless counters, and [cfg.num_servers]
+     leaking nothing must not inherit the record's taint. Projecting the
+     secret field itself is missed — documented under-approximation. *)
+  | Pexp_constraint (e, _) | Pexp_open (_, e) -> self e
+  | Pexp_sequence (_, e) | Pexp_let (_, _, e) -> self e
+  | Pexp_ifthenelse (_, th, el) -> (
+    match self th with Some r -> Some r | None -> Option.bind el self)
+  | _ -> None
+
+let pattern_vars pat =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var v -> acc := v.txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  it.pat it pat;
+  !acc
+
+let iter_exprs f e =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          f e;
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e
+
+(* Local taint environment for one function body. *)
+let local_taints cg ctx secrets ann (fn : Callgraph.func) =
+  let taints = Hashtbl.create 8 in
+  let scan () =
+    iter_exprs
+      (fun e ->
+        match e.pexp_desc with
+        | Pexp_let (_, vbs, _) ->
+          List.iter
+            (fun vb ->
+              let reason =
+                if annotated ann vb.pvb_loc then
+                  Some (Printf.sprintf "a '(* %s *)' annotation" annotation)
+                else
+                  taint_of cg ctx secrets taints fn.fn_scope vb.pvb_expr
+              in
+              match reason with
+              | Some r ->
+                List.iter
+                  (fun x -> Hashtbl.replace taints x r)
+                  (pattern_vars vb.pvb_pat)
+              | None -> ())
+            vbs
+        | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) -> (
+          match taint_of cg ctx secrets taints fn.fn_scope scrut with
+          | Some r ->
+            List.iter
+              (fun c ->
+                List.iter
+                  (fun x -> Hashtbl.replace taints x r)
+                  (pattern_vars c.pc_lhs))
+              cases
+          | None -> ())
+        | _ -> ())
+      fn.fn_body
+  in
+  scan ();
+  scan ();
+  taints
+
+(* Tail-position result expressions of a body, [fun] wrappers stripped. *)
+let result_exprs body =
+  let rec strip e =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, _, e) | Pexp_newtype (_, e) | Pexp_constraint (e, _)
+      ->
+      strip e
+    | Pexp_function _ -> e (* cases are the results; handled below *)
+    | _ -> e
+  in
+  let rec tails e acc =
+    match e.pexp_desc with
+    | Pexp_let (_, _, e) | Pexp_sequence (_, e) | Pexp_open (_, e) ->
+      tails e acc
+    | Pexp_ifthenelse (_, th, el) ->
+      let acc = tails th acc in
+      (match el with Some e -> tails e acc | None -> acc)
+    | Pexp_match (_, cases) | Pexp_try (_, cases) | Pexp_function cases ->
+      List.fold_left (fun acc c -> tails c.pc_rhs acc) acc cases
+    | _ -> e :: acc
+  in
+  tails (strip body) []
+
+(* A result is secret only when it *is* a source/tainted value, not when
+   it merely mentions one — keeps constructors that consume secrets
+   (deploy, create) from becoming producers. *)
+let producer_reason cg ctx secrets taints (fn : Callgraph.func) =
+  List.find_map
+    (fun e -> taint_of cg ctx secrets taints fn.fn_scope e)
+    (result_exprs fn.fn_body)
+
+let expr_mentions_param params e =
+  let found = ref false in
+  iter_exprs
+    (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt = Longident.Lident x; _ } when List.mem x params ->
+        found := true
+      | _ -> ())
+    e;
+  !found
+
+(* [Some (sink, leaked)]: the names of [fn]'s parameters that flow into
+   a sink call inside its body. *)
+let wrapper_sink cg (fn : Callgraph.func) =
+  if fn.fn_params = [] then None
+  else begin
+    let sink = ref None in
+    let leaked = ref [] in
+    iter_exprs
+      (fun e ->
+        match e.pexp_desc with
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+          match sink_name cg fn.fn_scope txt with
+          | Some s ->
+            List.iter
+              (fun p ->
+                if
+                  (not (List.mem p !leaked))
+                  && List.exists
+                       (fun (_, a) -> expr_mentions_param [ p ] a)
+                       args
+                then begin
+                  leaked := p :: !leaked;
+                  if !sink = None then sink := Some s
+                end)
+              fn.fn_params
+          | None -> ())
+        | _ -> ())
+      fn.fn_body;
+    match !sink with Some s -> Some (s, !leaked) | None -> None
+  end
+
+(* ------------------------------ run ----------------------------------- *)
+
+let run cg =
+  let funcs = Callgraph.functions cg in
+  let inits = Callgraph.inits cg in
+  let all = funcs @ inits in
+  let ann_of =
+    let cache = Hashtbl.create 8 in
+    fun file ->
+      match Hashtbl.find_opt cache file with
+      | Some t -> t
+      | None ->
+        let t =
+          match Callgraph.source_of cg file with
+          | Some src -> ann_lines src
+          | None -> Hashtbl.create 1
+        in
+        Hashtbl.replace cache file t;
+        t
+  in
+  (* secret structure-level bindings: annotated, or a direct source call *)
+  let secrets = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Callgraph.binding) ->
+      let ann = ann_of b.b_file in
+      if annotated ann b.b_loc then
+        Hashtbl.replace secrets b.b_id
+          (Printf.sprintf "a '(* %s *)' annotation on %s" annotation b.b_id)
+      else
+        match b.b_expr.pexp_desc with
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+          match source_name txt with
+          | Some s ->
+            Hashtbl.replace secrets b.b_id
+              (Printf.sprintf "%s (bound as %s)" s b.b_id)
+          | None -> ())
+        | _ -> ())
+    (Callgraph.bindings cg);
+  (* round one: local taints with no interprocedural context *)
+  let ctx0 = empty_ctx () in
+  let ctx = empty_ctx () in
+  List.iter
+    (fun (fn : Callgraph.func) ->
+      let taints = local_taints cg ctx0 secrets (ann_of fn.fn_file) fn in
+      (match producer_reason cg ctx0 secrets taints fn with
+      | Some reason ->
+        Hashtbl.replace ctx.producers fn.fn_id
+          (Printf.sprintf "%s via %s" reason fn.fn_id)
+      | None -> ());
+      match wrapper_sink cg fn with
+      | Some (sink, leaked) ->
+        Hashtbl.replace ctx.wrappers fn.fn_id
+          (sink, leaked, List.length fn.fn_params)
+      | None -> ())
+    funcs;
+  (* round two: recompute with producers/wrappers and check sinks *)
+  let findings = ref [] in
+  let add loc message = findings := { Rules.loc; message } :: !findings in
+  let check_fn (fn : Callgraph.func) =
+    let taints = local_taints cg ctx secrets (ann_of fn.fn_file) fn in
+    let taint_of_arg = taint_of cg ctx secrets taints fn.fn_scope in
+    iter_exprs
+      (fun e ->
+        match e.pexp_desc with
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+          (match sink_name cg fn.fn_scope txt with
+          | Some sink ->
+            List.iter
+              (fun (_, a) ->
+                match taint_of_arg a with
+                | Some reason ->
+                  add a.pexp_loc
+                    (Printf.sprintf
+                       "possible secret leak in %s: value derived from %s \
+                        flows into %s"
+                       fn.fn_id reason sink)
+                | None -> ())
+              args
+          | None -> ());
+          (if is_raise txt then
+             List.iter
+               (fun (_, a) ->
+                 match a.pexp_desc with
+                 | Pexp_construct (_, Some payload) -> (
+                   match taint_of_arg payload with
+                   | Some reason ->
+                     add payload.pexp_loc
+                       (Printf.sprintf
+                          "possible secret leak in %s: value derived from \
+                           %s flows into an exception payload"
+                          fn.fn_id reason)
+                   | None -> ())
+                 | _ -> ())
+               args);
+          match Callgraph.resolve_fn cg fn.fn_scope txt with
+          | Some id -> (
+            match Hashtbl.find_opt ctx.wrappers id with
+            | Some (sink, leaked, nparams) ->
+              (* Only arguments that actually feed the leaking parameter:
+                 labelled args match by name; unlabelled args only when
+                 the wrapper has a single parameter (positional matching
+                 through labels is not attempted). *)
+              List.iter
+                (fun (lbl, a) ->
+                  let feeds =
+                    match lbl with
+                    | Asttypes.Labelled l | Asttypes.Optional l ->
+                      List.mem l leaked
+                    | Asttypes.Nolabel -> nparams = 1
+                  in
+                  if feeds then
+                    match taint_of_arg a with
+                    | Some reason ->
+                      add a.pexp_loc
+                        (Printf.sprintf
+                           "possible secret leak in %s: value derived \
+                            from %s reaches %s via %s"
+                           fn.fn_id reason sink id)
+                    | None -> ())
+                args
+            | None -> ())
+          | None -> ())
+        | _ -> ())
+      fn.fn_body
+  in
+  List.iter check_fn all;
+  List.sort_uniq
+    (fun (a : Rules.finding) b ->
+      let c =
+        String.compare a.loc.Location.loc_start.pos_fname
+          b.loc.Location.loc_start.pos_fname
+      in
+      if c <> 0 then c
+      else
+        let c =
+          Int.compare a.loc.loc_start.pos_lnum b.loc.loc_start.pos_lnum
+        in
+        if c <> 0 then c
+        else
+          let c =
+            Int.compare
+              (a.loc.loc_start.pos_cnum - a.loc.loc_start.pos_bol)
+              (b.loc.loc_start.pos_cnum - b.loc.loc_start.pos_bol)
+          in
+          if c <> 0 then c else String.compare a.message b.message)
+    !findings

@@ -1,0 +1,18 @@
+(** The [secret-flow] pass: track key material from its producers to
+    output sinks across the call graph.
+
+    Sources: [Rng.bytes]/[Rng.fresh_seed], [Share.split]/[split_vector]/
+    [split_compressed], [Dpf.gen], and any binding annotated with
+    [(* prio-lint: secret *)] on its own line or the line above.
+    Sinks: [Printf]/[Format] out-channel printers, [print_*]/[prerr_*],
+    [failwith]/[invalid_arg], exception payloads under [raise], and
+    [Trace]/[Report] payloads. Propagation is structural with a
+    string-operation whitelist; unknown calls launder taint (documented
+    under-approximation). One round of interprocedural flow handles
+    producer functions and sink wrappers. *)
+
+val annotation : string
+(** The annotation text, ["prio-lint: secret"]. *)
+
+val run : Callgraph.t -> Rules.finding list
+(** All findings across the graph, sorted and deduplicated. *)

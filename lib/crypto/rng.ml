@@ -55,6 +55,10 @@ let create () =
   | None -> of_seed (fallback_entropy ())
 
 let refill t =
+  (* zero_nonce is written by no one — it is a constant that happens to
+     live in a Bytes because Chacha20.block wants one; sharing the
+     allocation across domains read-only is safe. *)
+  (* prio-lint: allow domain-unsafe-state *)
   t.block <- Chacha20.block ~key:t.key ~counter:t.counter ~nonce:zero_nonce;
   t.counter <- t.counter + 1;
   t.pos <- 0

@@ -155,14 +155,18 @@ let mean h =
 
 (* -------------------------------- timing ------------------------------- *)
 
-let clock = ref Clock.system
-let set_clock c = clock := c
+(* Atomic, not ref: [time] reads the clock from worker domains while
+   tests swap in manual clocks from the main domain (the PR 5 race). *)
+let clock = Atomic.make Clock.system
+let set_clock c = Atomic.set clock c
 
 let time h f =
   if not (Atomic.get enabled) then f ()
   else begin
-    let t0 = Clock.now !clock in
-    Fun.protect ~finally:(fun () -> observe h (Clock.now !clock -. t0)) f
+    let t0 = Clock.now (Atomic.get clock) in
+    Fun.protect
+      ~finally:(fun () -> observe h (Clock.now (Atomic.get clock) -. t0))
+      f
   end
 
 (* ------------------------------- snapshot ------------------------------ *)

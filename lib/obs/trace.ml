@@ -45,10 +45,13 @@ let create ?(clock = Clock.system) ?(capacity = 4096) () =
   { clock; capacity; ring = Array.make capacity None; total = 0;
     next_id = 0; lock = Mutex.create () }
 
-let current : recorder option ref = ref None
-let install r = current := Some r
-let uninstall () = current := None
-let installed () = !current
+(* Atomic, not ref: with_span/event/add_attr read this from worker
+   domains while the main domain installs/uninstalls recorders around
+   runs (the PR 6 trace-ring race). *)
+let current : recorder option Atomic.t = Atomic.make None
+let install r = Atomic.set current (Some r)
+let uninstall () = Atomic.set current None
+let installed () = Atomic.get current
 
 (* Each domain keeps its own open-span stack: span nesting follows the
    call stack, which never crosses a domain boundary. The cell is keyed
@@ -93,7 +96,7 @@ let parent_of stack =
   match snd !stack with [] -> None | sp :: _ -> Some sp.id
 
 let with_span ?attrs name f =
-  match !current with
+  match Atomic.get current with
   | None -> f ()
   | Some r ->
     let stack = my_stack r in
@@ -112,14 +115,14 @@ let with_span ?attrs name f =
       f
 
 let event ?attrs name =
-  match !current with
+  match Atomic.get current with
   | None -> ()
   | Some r ->
     let stack = my_stack r in
     ignore (fresh r ~kind:Event ~parent:(parent_of stack) ?attrs name)
 
 let add_attr k v =
-  match !current with
+  match Atomic.get current with
   | None -> ()
   | Some r -> (
     match snd !(my_stack r) with

@@ -107,6 +107,12 @@ type tuning = {
   epoch_size : int;
       (** decisions per replay/idempotency epoch; 0 = never rotate
           (memory then grows with the stream, the pre-streaming mode) *)
+  epoch_max_age_s : float;
+      (** maximum epoch age in seconds before rotation; 0 disables the
+          age trigger. Either trigger closes the epoch, so a trickle of
+          decisions cannot keep replay state resident forever *)
+  clock : Prio_obs.Clock.t;
+      (** drives the epoch-age trigger; injectable for tests *)
   checkpoint_dir : string option;
       (** where servers persist snapshots after decisions; [None]
           disables durability (crash loses the server's state) *)
@@ -126,6 +132,8 @@ let default_tuning =
     verify_domains = 1;
     max_pending = 1024;
     epoch_size = 0;
+    epoch_max_age_s = 0.;
+    clock = Prio_obs.Clock.system;
     checkpoint_dir = None;
     checkpoint_every = 1;
   }
@@ -134,6 +142,7 @@ let default_tuning =
 
 module Metrics = Prio_obs.Metrics
 module Trace = Prio_obs.Trace
+module Clock = Prio_obs.Clock
 
 (* Unified on-wire accounting: every frame that crosses a socket in this
    process — uploads, gossip, collection — lands in these channels, the
@@ -504,19 +513,30 @@ module Make (F : Prio_field.Field_intf.S) = struct
                 ("error", Checkpoint.string_of_error e) ])
     in
     (* Record a verdict, then run the durability/flat-memory schedule:
-       rotate the per-submission tables every [epoch_size] decisions and
-       snapshot every [checkpoint_every] decisions (a rotation always
-       snapshots, so restarting from it cannot resurrect a closed epoch). *)
+       rotate the per-submission tables every [epoch_size] decisions — or
+       once the epoch is [epoch_max_age_s] seconds old with at least one
+       decision in it — and snapshot every [checkpoint_every] decisions
+       (a rotation always snapshots, so restarting from it cannot
+       resurrect a closed epoch). *)
+    let epoch_started_at = ref (Clock.now tuning.clock) in
+    let rotate_now () =
+      Server.rotate_epoch state;
+      epoch_started_at := Clock.now tuning.clock;
+      decisions_since_ckpt := 0;
+      write_checkpoint ()
+    in
+    let epoch_expired () =
+      tuning.epoch_max_age_s > 0.
+      && state.Server.decided_in_epoch > 0
+      && Clock.now tuning.clock -. !epoch_started_at >= tuning.epoch_max_age_s
+    in
     let finish_decision ~client_id verdict =
       Server.record_decision state ~client_id verdict;
       if
-        tuning.epoch_size > 0
-        && state.Server.decided_in_epoch >= tuning.epoch_size
-      then begin
-        Server.rotate_epoch state;
-        decisions_since_ckpt := 0;
-        write_checkpoint ()
-      end
+        (tuning.epoch_size > 0
+        && state.Server.decided_in_epoch >= tuning.epoch_size)
+        || epoch_expired ()
+      then rotate_now ()
       else begin
         incr decisions_since_ckpt;
         if !decisions_since_ckpt >= tuning.checkpoint_every then begin
@@ -838,6 +858,9 @@ module Make (F : Prio_field.Field_intf.S) = struct
     in
     (try
        while true do
+         (* Age-triggered rotation fires from the idle tick too: with no
+            decisions arriving, the epoch still expires on schedule. *)
+         if epoch_expired () then rotate_now ();
          match
            Unix.select (listen_fd :: !conns) [] [] tuning.select_tick
          with

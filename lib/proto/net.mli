@@ -61,6 +61,13 @@ type tuning = {
       (** decisions per replay/idempotency epoch (default 0 = never
           rotate); setting it keeps server memory flat over unbounded
           streams *)
+  epoch_max_age_s : float;
+      (** maximum epoch age in seconds before rotation (default 0 = no
+          age trigger); either trigger closes the epoch, so a trickle
+          of decisions cannot keep replay state resident forever *)
+  clock : Prio_obs.Clock.t;
+      (** drives the epoch-age trigger (default the system clock;
+          injectable for tests) *)
   checkpoint_dir : string option;
       (** snapshot directory (default [None] = durability off); with it
           set, servers persist after decisions and

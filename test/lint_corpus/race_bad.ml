@@ -1,0 +1,28 @@
+(* corpus: domain-unsafe-state positives — the exact pre-fix shapes of
+   the PR 5 metrics gauge race and the PR 6 trace recorder race. *)
+
+type gauge = { mutable g_value : float }
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+(* PR 5 shape: look a shared gauge up and write its field, no lock. *)
+let set name v =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g.g_value <- v
+  | None -> Hashtbl.replace gauges name { g_value = v }
+
+type recorder = { mutable events : int }
+
+let current : recorder option ref = ref None
+
+(* PR 6 shape: the ambient recorder cell is read unguarded on workers. *)
+let event () =
+  match !current with
+  | None -> ()
+  | Some r -> r.events <- r.events + 1
+
+let worker () =
+  set "queue_depth" 1.0;
+  event ()
+
+let run () = Domain.spawn worker

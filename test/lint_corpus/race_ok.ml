@@ -1,0 +1,40 @@
+(* corpus: domain-unsafe-state negatives — the same shapes as
+   race_bad.ml, each guarded the sanctioned way: a Mutex-owning wrapper,
+   an Atomic cell, and Domain.DLS for domain-local state. *)
+
+type gauge = { mutable g_value : float }
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let set name v =
+  with_lock (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g.g_value <- v
+      | None -> Hashtbl.replace gauges name { g_value = v })
+
+type recorder = { mutable events : int }
+
+let current : recorder option Atomic.t = Atomic.make None
+
+let event () =
+  match Atomic.get current with
+  | None -> ()
+  | Some r -> r.events <- r.events + 1
+
+let counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let bump () =
+  let c = Domain.DLS.get counter in
+  incr c
+
+let worker () =
+  set "queue_depth" 1.0;
+  event ();
+  bump ()
+
+let run () = Domain.spawn worker

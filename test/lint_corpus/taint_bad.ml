@@ -1,0 +1,28 @@
+(* corpus: secret-flow positives — key material reaching each sink
+   class: direct printing, a producer function's result, an annotated
+   binding, a sink-wrapper call, and an exception payload. *)
+
+let make_key rng = Rng.bytes rng 32
+
+let log_line s = print_endline s
+
+let leak_direct rng =
+  let key = Rng.bytes rng 32 in
+  Printf.printf "key=%s" (Bytes.to_string key)
+
+let leak_producer rng =
+  let key = make_key rng in
+  failwith (Bytes.to_string key)
+
+(* prio-lint: secret *)
+let api_token = "hunter2"
+
+let leak_annotated () = print_endline api_token
+
+let leak_wrapper rng =
+  let key = Rng.bytes rng 32 in
+  log_line (Bytes.to_string key)
+
+let leak_exn rng =
+  let key = Rng.bytes rng 32 in
+  raise (Invalid_argument (Bytes.to_string key))

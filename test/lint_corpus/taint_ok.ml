@@ -1,0 +1,19 @@
+(* corpus: secret-flow negatives — rng handles and sampled synthetic
+   data are not secrets, unknown calls (a digest) launder taint, and an
+   inline waiver silences a deliberate debug print. *)
+
+let sample rng = Rng.int_below rng 100
+
+let report rng =
+  Printf.printf "sampled %d\n" (sample rng);
+  Printf.printf "also %d\n" (Rng.int_below rng 10)
+
+let fingerprint rng =
+  let key = Rng.bytes rng 32 in
+  let digest = Sha256.hex (Sha256.digest key) in
+  print_endline digest
+
+let dump rng =
+  let key = Rng.bytes rng 32 in
+  (* prio-lint: allow secret-flow *)
+  Printf.printf "debug key=%s" (Bytes.to_string key)

@@ -12,6 +12,7 @@ module Rules = Prio_analysis.Rules
 module Policy = Prio_analysis.Policy
 module Driver = Prio_analysis.Driver
 module Baseline = Prio_analysis.Baseline
+module Callgraph = Prio_analysis.Callgraph
 
 let read_file path =
   let ic = open_in_bin path in
@@ -28,6 +29,15 @@ let lint file =
 
 let check_diags name expected actual =
   Alcotest.(check (list string)) name expected actual
+
+(* Lint corpus files as one program under the cross-file rules. *)
+let lint_cross rules files =
+  let files =
+    List.map
+      (fun f -> (f, read_file (Filename.concat "lint_corpus" f)))
+      files
+  in
+  List.map D.to_string (Driver.lint_sources ~rules ~files)
 
 (* ------------------------------ corpus ------------------------------- *)
 
@@ -207,6 +217,113 @@ let test_parse_error () =
   | [ d ] -> Alcotest.(check string) "rule" "parse-error" d.D.rule
   | ds -> Alcotest.failf "expected one parse-error, got %d" (List.length ds)
 
+(* ------------------------- cross-file rules -------------------------- *)
+
+let test_race_positives () =
+  check_diags "race_bad"
+    [
+      "race_bad.ml:10:25: [domain-unsafe-state] unguarded use of \
+       module-level mutable state Race_bad.gauges (hash table, \
+       race_bad.ml:6) from domain-reachable code in Race_bad.set: wrap it \
+       in Atomic, guard it with a Mutex, or move it to Domain.DLS";
+      "race_bad.ml:11:14: [domain-unsafe-state] unguarded write to a \
+       mutable field of 'g', an alias of module-level mutable state \
+       Race_bad.gauges (hash table, race_bad.ml:6), from domain-reachable \
+       code in Race_bad.set: wrap the field in Atomic or guard the write \
+       with the owning Mutex";
+      "race_bad.ml:12:28: [domain-unsafe-state] unguarded use of \
+       module-level mutable state Race_bad.gauges (hash table, \
+       race_bad.ml:6) from domain-reachable code in Race_bad.set: wrap it \
+       in Atomic, guard it with a Mutex, or move it to Domain.DLS";
+      "race_bad.ml:20:9: [domain-unsafe-state] unguarded use of \
+       module-level mutable state Race_bad.current (ref cell, \
+       race_bad.ml:16) from domain-reachable code in Race_bad.event: wrap \
+       it in Atomic, guard it with a Mutex, or move it to Domain.DLS";
+      "race_bad.ml:22:14: [domain-unsafe-state] unguarded write to a \
+       mutable field of 'r', an alias of module-level mutable state \
+       Race_bad.current (ref cell, race_bad.ml:16), from domain-reachable \
+       code in Race_bad.event: wrap the field in Atomic or guard the \
+       write with the owning Mutex";
+    ]
+    (lint_cross [ Rules.domain_unsafe_state ] [ "race_bad.ml" ])
+
+let test_race_negatives () =
+  check_diags "race_ok" []
+    (lint_cross [ Rules.domain_unsafe_state ] [ "race_ok.ml" ])
+
+let test_taint_positives () =
+  check_diags "taint_bad"
+    [
+      "taint_bad.ml:11:25: [secret-flow] possible secret leak in \
+       Taint_bad.leak_direct: value derived from Rng.bytes flows into \
+       Printf.printf";
+      "taint_bad.ml:15:11: [secret-flow] possible secret leak in \
+       Taint_bad.leak_producer: value derived from Rng.bytes via \
+       Taint_bad.make_key flows into failwith";
+      "taint_bad.ml:20:38: [secret-flow] possible secret leak in \
+       Taint_bad.leak_annotated: value derived from a '(* prio-lint: \
+       secret *)' annotation on Taint_bad.api_token flows into \
+       print_endline";
+      "taint_bad.ml:24:11: [secret-flow] possible secret leak in \
+       Taint_bad.leak_wrapper: value derived from Rng.bytes reaches \
+       print_endline via Taint_bad.log_line";
+      "taint_bad.ml:28:26: [secret-flow] possible secret leak in \
+       Taint_bad.leak_exn: value derived from Rng.bytes flows into an \
+       exception payload";
+    ]
+    (lint_cross [ Rules.secret_flow ] [ "taint_bad.ml" ])
+
+let test_taint_negatives () =
+  check_diags "taint_ok" []
+    (lint_cross [ Rules.secret_flow ] [ "taint_ok.ml" ])
+
+(* Call-graph resolution: the Prio.* facade, functor-application
+   aliases, and [open Core] all resolve through to defining modules. *)
+let test_callgraph () =
+  let parse (path, src) =
+    match Driver.parse_implementation ~path src with
+    | Ok str -> (path, src, str)
+    | Error d -> Alcotest.failf "parse %s: %s" path (D.to_string d)
+  in
+  let cg =
+    Callgraph.build
+      (List.map parse
+         [
+           ("lib/obs/trace.ml", "let event () = ()");
+           ( "lib/proto/cluster.ml",
+             "module Make (F : sig end) = struct\n\
+             \  let submit _c = Prio_obs.Trace.event ()\n\
+              end" );
+           ( "lib/core/prio.ml",
+             "module Obs_trace = Prio_obs.Trace\n\
+              module Cluster = Prio_proto.Cluster" );
+           ( "bin/app.ml",
+             "open Core\n\
+              module C = Prio.Cluster.Make (struct end)\n\
+              let go c = C.submit c\n\
+              let use () = Prio.Obs_trace.event ()" );
+         ])
+  in
+  let alias p = Callgraph.alias_of cg p in
+  Alcotest.(check (option string))
+    "facade alias" (Some "Prio_obs.Trace") (alias "Core.Prio.Obs_trace");
+  Alcotest.(check (option string))
+    "functor application resolves to the functor"
+    (Some "Prio_proto.Cluster.Make") (alias "App.C");
+  let calls id =
+    match Callgraph.find cg id with
+    | Some fn -> fn.Callgraph.fn_calls
+    | None -> Alcotest.failf "function %s not in graph" id
+  in
+  Alcotest.(check (list string))
+    "call through alias chain" [ "Prio_proto.Cluster.Make.submit" ]
+    (calls "App.go");
+  Alcotest.(check (list string))
+    "call through the facade" [ "Prio_obs.Trace.event" ] (calls "App.use");
+  Alcotest.(check (list string))
+    "direct library call from inside a functor" [ "Prio_obs.Trace.event" ]
+    (calls "Prio_proto.Cluster.Make.submit")
+
 (* ------------------------------ policy ------------------------------- *)
 
 let test_policy () =
@@ -238,7 +355,19 @@ let test_policy () =
   Alcotest.(check bool) "partial functions a warning in examples" true
     (sev "examples/survey.ml" Rules.no_partial_stdlib = Some D.Warning);
   Alcotest.(check bool) "debug IO fine in binaries" true
-    (sev "bin/prio_cli.ml" Rules.no_debug_io = None)
+    (sev "bin/prio_cli.ml" Rules.no_debug_io = None);
+  Alcotest.(check bool) "races are errors everywhere" true
+    (sev "lib/obs/trace.ml" Rules.domain_unsafe_state = Some D.Error
+    && sev "bench/main.ml" Rules.domain_unsafe_state = Some D.Error);
+  Alcotest.(check bool) "secret leaks an error in lib and bin" true
+    (sev "lib/proto/client.ml" Rules.secret_flow = Some D.Error
+    && sev "bin/prio_cli.ml" Rules.secret_flow = Some D.Error);
+  Alcotest.(check bool) "secret leaks advisory in bench" true
+    (sev "bench/main.ml" Rules.secret_flow = Some D.Warning);
+  Alcotest.(check bool) "cross rules are not per-file AST rules" true
+    (List.for_all
+       (fun r -> not (List.mem r (Policy.ast_rules_for "lib/obs/trace.ml")))
+       Policy.cross_rules)
 
 (* ----------------------------- tree gate ----------------------------- *)
 
@@ -283,6 +412,15 @@ let () =
           Alcotest.test_case "inline suppressions" `Quick test_suppressions;
           Alcotest.test_case "baseline" `Quick test_baseline;
           Alcotest.test_case "parse errors reported" `Quick test_parse_error;
+          Alcotest.test_case "domain-unsafe-state positives" `Quick
+            test_race_positives;
+          Alcotest.test_case "domain-unsafe-state negatives" `Quick
+            test_race_negatives;
+          Alcotest.test_case "secret-flow positives" `Quick
+            test_taint_positives;
+          Alcotest.test_case "secret-flow negatives" `Quick
+            test_taint_negatives;
+          Alcotest.test_case "call-graph resolution" `Quick test_callgraph;
         ] );
       ("policy", [ Alcotest.test_case "severity map" `Quick test_policy ]);
       ( "tree",
