@@ -134,6 +134,55 @@ let run_stream opts bits epoch_size =
     (Prio.Bigint.to_string total) !true_total cluster.P.Cluster.accepted
     cluster.P.Cluster.rejected
 
+(* ----------------------------- circuits ------------------------------ *)
+
+(* Proof-share size for a circuit with m mul gates (see Snip):
+   2 masks + 2N h-points + 3 Beaver elements, N = next_pow2(m+1). *)
+let proof_elems m = if m = 0 then 0 else 2 + (2 * P.Ntt.next_pow2 (m + 1)) + 3
+
+(* Per-AFE gate census before/after optimization, over the zoo's
+   specimen list — the human-readable view of what the circuit-budget
+   lint pins. *)
+let run_circuit format =
+  let module Z = P.Afe_zoo in
+  let module CA = P.Circuit_analysis in
+  let rows =
+    List.map
+      (fun e ->
+        (e.Z.name, e.Z.family, CA.census e.Z.raw, CA.census e.Z.optimized))
+      (Z.all ())
+  in
+  match format with
+  | `Text ->
+    Printf.printf "%-22s %-12s %6s | %5s %5s %5s | %5s %5s %5s | %s\n" "name"
+      "family" "inputs" "wires" "muls" "asserts" "wires" "muls" "asserts"
+      "proof elems";
+    Printf.printf "%-22s %-12s %6s | %17s %s | %17s %s | %s\n" "" "" ""
+      "raw" "" "optimized" "" "raw -> opt";
+    List.iter
+      (fun (name, family, r, o) ->
+        Printf.printf
+          "%-22s %-12s %6d | %5d %5d %5d | %5d %5d %5d | %4d -> %d\n" name
+          family r.CA.inputs r.CA.wires r.CA.muls r.CA.asserts o.CA.wires
+          o.CA.muls o.CA.asserts (proof_elems r.CA.muls) (proof_elems o.CA.muls))
+      rows
+  | `Json ->
+    let side c =
+      Printf.sprintf
+        "{\"wires\": %d, \"muls\": %d, \"asserts\": %d, \"proof_elements\": %d}"
+        c.CA.wires c.CA.muls c.CA.asserts (proof_elems c.CA.muls)
+    in
+    print_string "[";
+    List.iteri
+      (fun i (name, family, r, o) ->
+        if i > 0 then print_string ",";
+        Printf.printf
+          "\n  {\"name\": %S, \"family\": %S, \"inputs\": %d, \"raw\": %s, \
+           \"optimized\": %s}"
+          name family r.CA.inputs (side r) (side o))
+      rows;
+    print_endline "\n]"
+
 (* --------------------------- observability --------------------------- *)
 
 (* A small end-to-end run (sum of 4-bit values) that exercises every
@@ -233,6 +282,21 @@ let stream_cmd =
           (constant-memory streaming aggregation).")
     Term.(const run_stream $ opts_term $ bits $ epoch_size)
 
+let circuit_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  Cmd.v
+    (Cmd.info "circuit"
+       ~doc:
+         "Print the per-AFE Valid-circuit gate census before and after \
+          the circuit optimizer (the counts the circuit-budget lint \
+          pins).")
+    Term.(const run_circuit $ format)
+
 let metrics_cmd =
   let format =
     Arg.(
@@ -274,6 +338,7 @@ let () =
             sum_cmd;
             histogram_cmd;
             regression_cmd;
+            circuit_cmd;
             stream_cmd;
             metrics_cmd;
             trace_cmd;

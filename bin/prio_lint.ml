@@ -3,13 +3,36 @@
    docs/ANALYSIS.md.
 
    Usage: prio_lint [--root DIR] [--baseline FILE] [--rule ID]
-                    [--format text|json] DIR...
+                    [--format text|json] [--circuit-budgets FILE]
+                    [--update-budgets] DIR...
 
    Emits "file:line:col: [rule-id] message" per finding (or one JSON
    array with --format json) and exits non-zero if any Error-severity
-   finding survives suppressions and the baseline. *)
+   finding survives suppressions and the baseline.
+
+   --circuit-budgets FILE additionally measures the optimized circuit of
+   every AFE-zoo specimen and diffs mul/wire counts against the
+   checked-in ledger (rule circuit-budget, exact-pin: regressions AND
+   unexpected improvements fail). --update-budgets rewrites the ledger
+   from the measurement instead of checking. *)
 
 module D = Prio_analysis.Diagnostic
+module Budget = Prio_analysis.Budget
+
+(* The specimens are measured over one concrete field; gate counts are
+   field-independent (the builders never branch on |F|), so any instance
+   serves. *)
+let measure_circuits () : Budget.entry list =
+  let module Z = Prio_afe.Zoo.Make (Prio_field.F87) in
+  List.map
+    (fun e ->
+      {
+        Budget.name = e.Z.name;
+        mul = Z.C.num_mul_gates e.Z.optimized;
+        wires = Z.C.num_wires e.Z.optimized;
+        line = 0;
+      })
+    (Z.all ())
 
 let () =
   let root = ref "." in
@@ -17,6 +40,8 @@ let () =
   let format = ref "text" in
   let rules = ref [] in
   let dirs = ref [] in
+  let budget_file = ref "" in
+  let update_budgets = ref false in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR repo root (default: .)");
@@ -29,12 +54,30 @@ let () =
       ( "--format",
         Arg.Symbol ([ "text"; "json" ], fun f -> format := f),
         " output format (default: text)" );
+      ( "--circuit-budgets",
+        Arg.Set_string budget_file,
+        "FILE gate-budget ledger to check the AFE zoo against" );
+      ( "--update-budgets",
+        Arg.Set update_budgets,
+        " rewrite the ledger from measured counts instead of checking" );
     ]
   in
   Arg.parse spec
     (fun d -> dirs := d :: !dirs)
     "prio_lint [--root DIR] [--baseline FILE] [--rule ID] [--format \
-     text|json] DIR...";
+     text|json] [--circuit-budgets FILE] [--update-budgets] DIR...";
+  if !update_budgets then begin
+    let file =
+      if !budget_file = "" then ".prio-circuit-budgets" else !budget_file
+    in
+    let measured = measure_circuits () in
+    let oc = open_out file in
+    output_string oc (Budget.format measured);
+    close_out oc;
+    Printf.printf "prio_lint: wrote %d circuit budgets to %s\n"
+      (List.length measured) file;
+    exit 0
+  end;
   let dirs =
     match List.rev !dirs with
     | [] -> [ "lib"; "bin"; "bench"; "examples" ]
@@ -44,8 +87,25 @@ let () =
     if !baseline = "" then Prio_analysis.Baseline.empty
     else Prio_analysis.Baseline.load !baseline
   in
+  let budget_diags =
+    if !budget_file = "" then []
+    else begin
+      let contents =
+        let ic = open_in !budget_file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      match Budget.parse ~file:!budget_file contents with
+      | Error d -> [ d ]
+      | Ok budget ->
+        Budget.check ~file:!budget_file ~budget ~measured:(measure_circuits ())
+    end
+  in
   let diags =
-    Prio_analysis.Driver.lint_tree ~baseline ~root:!root ~dirs ()
+    budget_diags
+    @ Prio_analysis.Driver.lint_tree ~baseline ~root:!root ~dirs ()
   in
   let diags =
     match !rules with

@@ -46,11 +46,13 @@ let signal_afe : (reading, (float option) array) P.Afe.t =
       indicators;
     C.Builder.build b
   in
+  let circuit, raw_circuit = P.Afe.compile circuit in
   {
     P.Afe.name = "cell-signal";
     encoding_len = len;
     trunc_len = 2 * grid;
     circuit;
+    raw_circuit;
     encode =
       (fun ~rng:_ { cell; strength } ->
         if cell < 0 || cell >= grid then invalid_arg "bad cell";

@@ -43,11 +43,13 @@ let secret_valid : C.t =
 type review = { rating : int; verified : bool }
 
 let afe : (review, int array) P.Afe.t =
+  let circuit, raw_circuit = P.Afe.compile secret_valid in
   {
     P.Afe.name = "reviews";
     encoding_len = ratings + 1;
     trunc_len = ratings;
-    circuit = secret_valid;
+    circuit;
+    raw_circuit;
     encode =
       (fun ~rng:_ { rating; verified } ->
         let enc = Array.make (ratings + 1) P.Field.zero in

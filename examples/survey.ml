@@ -30,11 +30,13 @@ let survey_afe : (int array, int array) P.Afe.t =
     done;
     C.Builder.build b
   in
+  let circuit, raw_circuit = P.Afe.compile circuit in
   {
     P.Afe.name = "survey-bdi21";
     encoding_len = len;
     trunc_len = len;
     circuit;
+    raw_circuit;
     encode =
       (fun ~rng:_ answers ->
         if Array.length answers <> questions then invalid_arg "need 21 answers";

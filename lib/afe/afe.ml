@@ -15,6 +15,7 @@
 
 module Make (F : Prio_field.Field_intf.S) = struct
   module C = Prio_circuit.Circuit.Make (F)
+  module Opt = Prio_circuit.Opt.Make (F)
   module Rng = Prio_crypto.Rng
   module B = Prio_bigint.Bigint
 
@@ -22,15 +23,28 @@ module Make (F : Prio_field.Field_intf.S) = struct
     name : string;
     encoding_len : int;  (** k: elements in a full encoding *)
     trunc_len : int;  (** k' ≤ k: elements that enter the accumulator *)
-    circuit : C.t;  (** the Valid predicate over F^k *)
+    circuit : C.t;
+        (** the Valid predicate over F^k, as deployed: every constructor
+            in this library runs the builder's output through
+            {!Prio_circuit.Opt.optimize}, so proofs and verification pay
+            for the optimized mul-gate count end to end *)
+    raw_circuit : C.t;
+        (** the builder's output before optimization — kept for the gate
+            census, the budget lint and the equivalence tests *)
     encode : rng:Rng.t -> 'input -> F.t array;
     decode : n:int -> F.t array -> 'output;
         (** [n] is the number of accumulated clients *)
     leakage : string;  (** the fˆ this AFE is private with respect to *)
   }
 
+  (** [optimize] from {!Prio_circuit.Opt}, re-exported for the AFE
+      constructors: [compile raw] pairs a builder's circuit with its
+      optimized form. *)
+  let compile (raw : C.t) : C.t * C.t = (Opt.optimize raw, raw)
+
   let well_formed afe =
     afe.encoding_len = C.num_inputs afe.circuit
+    && afe.encoding_len = C.num_inputs afe.raw_circuit
     && afe.trunc_len >= 0
     && afe.trunc_len <= afe.encoding_len
 
@@ -84,10 +98,11 @@ module Make (F : Prio_field.Field_intf.S) = struct
     let total = ka + kc in
     let map_a j = if j < ka' then j else ka' + kc' + (j - ka') in
     let map_c j = if j < kc' then ka' + j else ka + kc' + (j - kc') in
-    let circuit =
-      C.union
-        (C.remap_inputs a.circuit ~num_inputs:total ~mapping:map_a)
-        (C.remap_inputs c.circuit ~num_inputs:total ~mapping:map_c)
+    let circuit, raw_circuit =
+      compile
+        (C.union
+           (C.remap_inputs a.raw_circuit ~num_inputs:total ~mapping:map_a)
+           (C.remap_inputs c.raw_circuit ~num_inputs:total ~mapping:map_c))
     in
     let place mapping src dst = Array.iteri (fun j v -> dst.(mapping j) <- v) src in
     {
@@ -95,6 +110,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
       encoding_len = total;
       trunc_len = ka' + kc';
       circuit;
+      raw_circuit;
       encode =
         (fun ~rng (xa, xc) ->
           let enc = Array.make total F.zero in

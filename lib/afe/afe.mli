@@ -11,6 +11,7 @@
 
 module Make (F : Prio_field.Field_intf.S) : sig
   module C : module type of Prio_circuit.Circuit.Make (F)
+  module Opt : module type of Prio_circuit.Opt.Make (F)
   module Rng = Prio_crypto.Rng
   module B = Prio_bigint.Bigint
 
@@ -18,15 +19,24 @@ module Make (F : Prio_field.Field_intf.S) : sig
     name : string;
     encoding_len : int;  (** k: elements in a full encoding *)
     trunc_len : int;  (** k' ≤ k: elements entering the accumulator *)
-    circuit : C.t;  (** the Valid predicate over F^k *)
+    circuit : C.t;
+        (** the Valid predicate over F^k as deployed — the optimized form
+            of [raw_circuit]; this is what SNIPs prove and servers walk *)
+    raw_circuit : C.t;
+        (** the builder's output before {!Prio_circuit.Opt.optimize} —
+            for the gate census, budget lint and equivalence tests *)
     encode : rng:Rng.t -> 'input -> F.t array;
     decode : n:int -> F.t array -> 'output;
         (** [n] is the number of accumulated clients *)
     leakage : string;  (** the fˆ this AFE is private with respect to *)
   }
 
+  val compile : C.t -> C.t * C.t
+  (** [(optimized, raw)] of a builder's circuit — the pair every AFE
+      constructor stores as [(circuit, raw_circuit)]. *)
+
   val well_formed : ('a, 'b) t -> bool
-  (** Arity/truncation consistency between encoder and circuit. *)
+  (** Arity/truncation consistency between encoder and both circuits. *)
 
   val valid : ('a, 'b) t -> F.t array -> bool
   val truncate : ('a, 'b) t -> F.t array -> F.t array

@@ -30,11 +30,13 @@ module Make (F : Prio_field.Field_intf.S) = struct
 
   (** OR of the clients' booleans. *)
   let bool_or ?(lambda_elems = 1) () : (bool, bool) A.t =
+    let circuit, raw_circuit = A.compile (trivial_circuit ~len:lambda_elems) in
     {
       A.name = "or";
       encoding_len = lambda_elems;
       trunc_len = lambda_elems;
-      circuit = trivial_circuit ~len:lambda_elems;
+      circuit;
+      raw_circuit;
       encode = (fun ~rng x -> encode_or ~rng ~lambda_elems x);
       decode = (fun ~n:_ sigma -> decode_or sigma);
       leakage = "only the OR (or-private)";
@@ -42,11 +44,13 @@ module Make (F : Prio_field.Field_intf.S) = struct
 
   (** AND of the clients' booleans (De Morgan on {!bool_or}). *)
   let bool_and ?(lambda_elems = 1) () : (bool, bool) A.t =
+    let circuit, raw_circuit = A.compile (trivial_circuit ~len:lambda_elems) in
     {
       A.name = "and";
       encoding_len = lambda_elems;
       trunc_len = lambda_elems;
-      circuit = trivial_circuit ~len:lambda_elems;
+      circuit;
+      raw_circuit;
       encode = (fun ~rng x -> encode_or ~rng ~lambda_elems (not x));
       decode = (fun ~n:_ sigma -> not (decode_or sigma));
       leakage = "only the AND (and-private)";
@@ -56,11 +60,13 @@ module Make (F : Prio_field.Field_intf.S) = struct
       OR of characteristic vectors. Decodes to the membership vector. *)
   let set_union ~universe ?(lambda_elems = 1) () : (bool array, bool array) A.t =
     let len = universe * lambda_elems in
+    let circuit, raw_circuit = A.compile (trivial_circuit ~len) in
     {
       A.name = Printf.sprintf "set-union%d" universe;
       encoding_len = len;
       trunc_len = len;
-      circuit = trivial_circuit ~len;
+      circuit;
+      raw_circuit;
       encode =
         (fun ~rng membership ->
           if Array.length membership <> universe then

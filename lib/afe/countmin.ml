@@ -41,6 +41,14 @@ module Make (F : Prio_field.Field_intf.S) = struct
   let circuit ~params =
     let len = params.depth * params.width in
     let b = C.Builder.create ~num_inputs:len in
+    (* The sketch's validity spec, stated modularly: every cell is a bit,
+       and every row is one-hot. [assert_one_hot] is self-contained (it
+       re-checks its row's cells are bits), so the two groups overlap on
+       every cell; the circuit optimizer deduplicates the overlap and the
+       deployed circuit keeps the paper's depth·width mul gates. *)
+    for i = 0 to len - 1 do
+      C.Builder.assert_bit b (C.Builder.input b i)
+    done;
     for j = 0 to params.depth - 1 do
       let row = List.init params.width (fun i -> C.Builder.input b ((j * params.width) + i)) in
       C.Builder.assert_one_hot b row
@@ -68,11 +76,13 @@ module Make (F : Prio_field.Field_intf.S) = struct
   (** Count-min sketch AFE over string keys. *)
   let count_min ~params : (string, sketch) A.t =
     let len = params.depth * params.width in
+    let circuit, raw_circuit = A.compile (circuit ~params) in
     {
       A.name = Printf.sprintf "count-min%dx%d" params.depth params.width;
       encoding_len = len;
       trunc_len = len;
-      circuit = circuit ~params;
+      circuit;
+      raw_circuit;
       encode = (fun ~rng:_ key -> encode ~params key);
       decode =
         (fun ~n:_ sigma ->

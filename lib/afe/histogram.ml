@@ -23,11 +23,13 @@ module Make (F : Prio_field.Field_intf.S) = struct
 
   (** Histogram over B buckets: decodes to per-bucket counts. *)
   let histogram ~buckets : (int, int array) A.t =
+    let circuit, raw_circuit = A.compile (circuit ~buckets) in
     {
       A.name = Printf.sprintf "histogram%d" buckets;
       encoding_len = buckets;
       trunc_len = buckets;
-      circuit = circuit ~buckets;
+      circuit;
+      raw_circuit;
       encode = (fun ~rng:_ x -> encode ~buckets x);
       decode = (fun ~n:_ sigma -> Array.map A.to_int_exn sigma);
       leakage = "the histogram itself (f-private)";

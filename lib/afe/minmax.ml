@@ -28,6 +28,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
       encoding_len = u.A.encoding_len;
       trunc_len = u.A.trunc_len;
       circuit = u.A.circuit;
+      raw_circuit = u.A.raw_circuit;
       encode =
         (fun ~rng x ->
           if x < 0 || x >= range then invalid_arg "max.encode: out of range";
@@ -49,6 +50,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
       encoding_len = u.A.encoding_len;
       trunc_len = u.A.trunc_len;
       circuit = u.A.circuit;
+      raw_circuit = u.A.raw_circuit;
       encode =
         (fun ~rng x ->
           if x < 0 || x >= range then invalid_arg "min.encode: out of range";
@@ -82,6 +84,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
       encoding_len = inner.A.encoding_len;
       trunc_len = inner.A.trunc_len;
       circuit = inner.A.circuit;
+      raw_circuit = inner.A.raw_circuit;
       encode =
         (fun ~rng x ->
           if x < 0 || x >= range then invalid_arg "approx_max.encode";

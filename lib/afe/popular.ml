@@ -23,11 +23,13 @@ module Make (F : Prio_field.Field_intf.S) = struct
   (** Most-popular b-bit string, correct whenever some string has > n/2
       support. Input and output are little-endian bit arrays. *)
   let most_popular ~bits : (bool array, bool array) A.t =
+    let circuit, raw_circuit = A.compile (circuit ~bits) in
     {
       A.name = Printf.sprintf "most-popular%d" bits;
       encoding_len = bits;
       trunc_len = bits;
-      circuit = circuit ~bits;
+      circuit;
+      raw_circuit;
       encode =
         (fun ~rng:_ s ->
           if Array.length s <> bits then invalid_arg "most_popular.encode";
@@ -74,17 +76,27 @@ module Make (F : Prio_field.Field_intf.S) = struct
     in
     let circuit =
       let b = C.Builder.create ~num_inputs:len in
-      C.Builder.assert_one_hot b (List.init buckets (fun i -> C.Builder.input b i));
-      for i = buckets to len - 1 do
+      (* Every coordinate — indicator block and payload blocks alike — is
+         a bit. *)
+      for i = 0 to len - 1 do
         C.Builder.assert_bit b (C.Builder.input b i)
       done;
+      (* And the bucket indicator is one-hot. [assert_one_hot] is a
+         self-contained gadget that re-checks its wires are bits; the
+         overlap with the blanket sweep above is exactly what the circuit
+         optimizer deduplicates, leaving the deployed circuit at len mul
+         gates. *)
+      C.Builder.assert_one_hot b
+        (List.init buckets (fun i -> C.Builder.input b i));
       C.Builder.build b
     in
+    let circuit, raw_circuit = A.compile circuit in
     {
       A.name = Printf.sprintf "popular-%db-%dbuckets" bits buckets;
       encoding_len = len;
       trunc_len = len;
       circuit;
+      raw_circuit;
       encode =
         (fun ~rng:_ s ->
           if Array.length s <> bits then invalid_arg "popular_buckets.encode";

@@ -29,6 +29,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
       encoding_len = s.A.encoding_len;
       trunc_len = s.A.trunc_len;
       circuit = s.A.circuit;
+      raw_circuit = s.A.raw_circuit;
       encode = (fun ~rng:_ x -> S.encode ~bits (log_fixed ~frac_bits x));
       decode =
         (fun ~n:_ sigma ->

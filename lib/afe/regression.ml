@@ -47,20 +47,33 @@ module Make (F : Prio_field.Field_intf.S) = struct
     let b = C.Builder.create ~num_inputs:(encoding_len d ~bits) in
     let feature j = C.Builder.input b (idx_feature d j) in
     let y = C.Builder.input b (idx_y d) in
-    (* bit decompositions for every feature and for y *)
-    for j = 0 to d do
+    (* Range-check slot j (feature for j < d, y for j = d) against its bit
+       block. Stated as a self-contained gadget: each product constraint
+       below re-asserts the ranges of both of its factors rather than
+       assuming the blanket sweep ran, and the circuit optimizer
+       deduplicates the repeats, keeping the deployed circuit at the
+       paper's (d+1)·b + d(d+1)/2 + d mul gates. *)
+    let assert_ranged j =
       let value = if j < d then feature j else y in
       let bit_wires =
         List.init bits (fun i -> C.Builder.input b (idx_bits d ~bits j + i))
       in
       A.assert_int_bits b ~value ~bits:bit_wires
+    in
+    (* bit decompositions for every feature and for y *)
+    for j = 0 to d do
+      assert_ranged j
     done;
-    (* product components *)
+    (* product components, each re-checking its factors' ranges *)
     for j = 0 to d - 1 do
       for k = j to d - 1 do
+        assert_ranged j;
+        assert_ranged k;
         C.Builder.assert_product b ~x:(feature j) ~x':(feature k)
           ~y:(C.Builder.input b (idx_pair d j k))
       done;
+      assert_ranged j;
+      assert_ranged d;
       C.Builder.assert_product b ~x:(feature j) ~x':y
         ~y:(C.Builder.input b (idx_xy d j))
     done;
@@ -92,11 +105,13 @@ module Make (F : Prio_field.Field_intf.S) = struct
   (** d-dimensional least-squares fit h(x⃗) = c_0 + Σ c_j x_j; decodes to
       the coefficient vector (c_0, c_1, …, c_d). *)
   let least_squares ~d ~bits : (example, float array) A.t =
+    let circuit, raw_circuit = A.compile (circuit ~d ~bits) in
     {
       A.name = Printf.sprintf "linreg-d%d-b%d" d bits;
       encoding_len = encoding_len d ~bits;
       trunc_len = moments_len d;
-      circuit = circuit ~d ~bits;
+      circuit;
+      raw_circuit;
       encode = (fun ~rng:_ ex -> encode ~d ~bits ex);
       decode =
         (fun ~n sigma ->
@@ -166,11 +181,13 @@ module Make (F : Prio_field.Field_intf.S) = struct
       C.Builder.assert_square b ~x:resid ~y:(C.Builder.input b idx_resid);
       C.Builder.build b
     in
+    let circuit, raw_circuit = A.compile circuit in
     {
       A.name = Printf.sprintf "r2-d%d-b%d" d bits;
       encoding_len = len;
       trunc_len = 3;
       circuit;
+      raw_circuit;
       encode =
         (fun ~rng:_ { features; target } ->
           if Array.length features <> d then invalid_arg "r_squared.encode";

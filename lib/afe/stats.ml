@@ -20,6 +20,13 @@ module Make (F : Prio_field.Field_intf.S) = struct
     let x = C.Builder.input b 0 in
     let x2 = C.Builder.input b 1 in
     let bit_wires = List.init bits (fun i -> C.Builder.input b (i + 2)) in
+    (* Constraint group 1: x is a b-bit integer. *)
+    A.assert_int_bits b ~value:x ~bits:bit_wires;
+    (* Constraint group 2: x² is the square of a range-checked x. The
+       group is stated self-contained — it re-asserts its operand's range
+       rather than assuming group 1 ran — and the circuit optimizer
+       deduplicates the overlap, so the deployed circuit still costs
+       bits + 1 mul gates. *)
     A.assert_int_bits b ~value:x ~bits:bit_wires;
     C.Builder.assert_square b ~x ~y:x2;
     C.Builder.build b
@@ -33,11 +40,13 @@ module Make (F : Prio_field.Field_intf.S) = struct
 
   (** Variance/stddev of b-bit integers. Field sizing: |F| > n·2^{2b}. *)
   let variance ~bits : (int, moments) A.t =
+    let circuit, raw_circuit = A.compile (circuit ~bits) in
     {
       A.name = Printf.sprintf "variance%d" bits;
       encoding_len = bits + 2;
       trunc_len = 2;
-      circuit = circuit ~bits;
+      circuit;
+      raw_circuit;
       encode = (fun ~rng:_ x -> encode ~bits x);
       decode =
         (fun ~n sigma ->

@@ -26,11 +26,13 @@ module Make (F : Prio_field.Field_intf.S) = struct
 
   (** Sum of b-bit integers; decodes to the exact integer sum. *)
   let sum ~bits : (int, B.t) A.t =
+    let circuit, raw_circuit = A.compile (circuit ~bits) in
     {
       A.name = Printf.sprintf "sum%d" bits;
       encoding_len = bits + 1;
       trunc_len = 1;
-      circuit = circuit ~bits;
+      circuit;
+      raw_circuit;
       encode = (fun ~rng:_ x -> encode ~bits x);
       decode = (fun ~n:_ sigma -> F.to_bigint sigma.(0));
       leakage = "the sum itself (sum-private)";
@@ -58,6 +60,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
       encoding_len = s.A.encoding_len;
       trunc_len = s.A.trunc_len;
       circuit = s.A.circuit;
+      raw_circuit = s.A.raw_circuit;
       encode = (fun ~rng:_ x -> encode ~bits:1 (if x then 1 else 0));
       decode = (fun ~n:_ sigma -> A.to_int_exn sigma.(0));
       leakage = "the count itself";

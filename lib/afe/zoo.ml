@@ -1,0 +1,95 @@
+(** One representative instance of every AFE family in the library, with
+    its raw and optimized circuits side by side and a generator of valid
+    encodings.
+
+    This is the shared specimen list behind the gate census
+    ([prio_cli circuit]), the circuit-budget lint, the optimizer
+    equivalence tests and the [circuit_opt] benchmark — one place to add
+    an entry when a new AFE family lands, and every consumer picks it
+    up. *)
+
+module Make (F : Prio_field.Field_intf.S) = struct
+  module A = Afe.Make (F)
+  module C = A.C
+  module Rng = Prio_crypto.Rng
+  module Boolean = Boolean.Make (F)
+  module Sum = Sum.Make (F)
+  module Histogram = Histogram.Make (F)
+  module Minmax = Minmax.Make (F)
+  module Product = Product.Make (F)
+  module Fixed_point = Fixed_point.Make (F)
+  module Regression = Regression.Make (F)
+  module Stats = Stats.Make (F)
+  module Popular = Popular.Make (F)
+  module Countmin = Countmin.Make (F)
+
+  type entry = {
+    name : string;  (** the AFE's own name *)
+    family : string;  (** source module, lower-case *)
+    raw : C.t;  (** the builder's output *)
+    optimized : C.t;  (** the deployed circuit *)
+    sample : Rng.t -> F.t array;
+        (** a valid encoding of a random in-domain input *)
+  }
+
+  let entry ~family (afe : ('a, 'b) A.t) (gen : Rng.t -> 'a) : entry =
+    {
+      name = afe.A.name;
+      family;
+      raw = afe.A.raw_circuit;
+      optimized = afe.A.circuit;
+      sample = (fun rng -> afe.A.encode ~rng (gen rng));
+    }
+
+  (** The specimen list. Parameters are sized so even the largest circuit
+      stays in the hundreds of gates — big enough to exercise every
+      optimizer pass, small enough for thousand-input equivalence runs.
+      Built on demand: constructing an entry optimizes its circuit. *)
+  let all () : entry list =
+    [
+      entry ~family:"boolean" (Boolean.bool_or ()) (fun rng -> Rng.bool rng);
+      entry ~family:"sum" (Sum.sum ~bits:8) (fun rng -> Rng.int_below rng 256);
+      entry ~family:"histogram" (Histogram.histogram ~buckets:12) (fun rng ->
+          Rng.int_below rng 12);
+      entry ~family:"minmax"
+        (Minmax.max_small ~range:16 ())
+        (fun rng -> Rng.int_below rng 16);
+      entry ~family:"product"
+        (Product.product ~bits:10 ~frac_bits:4)
+        (fun rng -> 1. +. Rng.float01 rng);
+      entry ~family:"fixed_point"
+        (Fixed_point.sum { int_bits = 6; frac_bits = 4 })
+        (fun rng -> Rng.float01 rng *. 63.9);
+      entry ~family:"regression"
+        (Regression.least_squares ~d:2 ~bits:6)
+        (fun rng ->
+          {
+            Regression.features =
+              Array.init 2 (fun _ -> Rng.int_below rng 64);
+            target = Rng.int_below rng 64;
+          });
+      (* The linalg module itself is decode-side float code with no Valid
+         circuit of its own; its census specimen is the R² AFE, whose
+         decode is the library's other Linalg consumer. *)
+      entry ~family:"linalg"
+        (Regression.r_squared
+           ~model:{ Regression.intercept = 3; coefs = [| 1; 2 |]; frac_bits = 2 }
+           ~bits:6)
+        (fun rng ->
+          {
+            Regression.features =
+              Array.init 2 (fun _ -> Rng.int_below rng 64);
+            target = Rng.int_below rng 64;
+          });
+      entry ~family:"stats" (Stats.variance ~bits:8) (fun rng ->
+          Rng.int_below rng 256);
+      entry ~family:"popular" (Popular.most_popular ~bits:8) (fun rng ->
+          Array.init 8 (fun _ -> Rng.bool rng));
+      entry ~family:"popular"
+        (Popular.popular_buckets ~bits:8 ~buckets:6)
+        (fun rng -> Array.init 8 (fun _ -> Rng.bool rng));
+      entry ~family:"countmin"
+        (Countmin.count_min ~params:{ Countmin.depth = 3; width = 10 })
+        (fun rng -> Printf.sprintf "key-%d" (Rng.int_below rng 1000));
+    ]
+end

@@ -1,0 +1,27 @@
+(** One representative instance of every AFE family, with raw and
+    optimized circuits and a valid-encoding generator — the shared
+    specimen list behind the gate census, the circuit-budget lint, the
+    optimizer equivalence tests and the [circuit_opt] benchmark. *)
+
+module Make (F : Prio_field.Field_intf.S) : sig
+  module A : module type of Afe.Make (F)
+  module C : module type of Prio_circuit.Circuit.Make (F)
+  module Rng = Prio_crypto.Rng
+
+  type entry = {
+    name : string;  (** the AFE's own name *)
+    family : string;  (** source module, lower-case *)
+    raw : C.t;  (** the builder's output *)
+    optimized : C.t;  (** the deployed circuit *)
+    sample : Rng.t -> F.t array;
+        (** a valid encoding of a random in-domain input *)
+  }
+
+  val entry : family:string -> ('a, 'b) A.t -> (Rng.t -> 'a) -> entry
+  (** Wrap any AFE as a specimen given a random in-domain input
+      generator. *)
+
+  val all : unit -> entry list
+  (** The specimen list, one or two entries per family; built on demand
+      (constructing an entry optimizes its circuit). *)
+end

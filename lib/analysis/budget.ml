@@ -1,0 +1,106 @@
+(** The circuit gate-budget ledger behind the [circuit-budget] lint rule.
+
+    The repo pins, per AFE specimen, the deployed (optimized) circuit's
+    mul-gate and wire counts in a checked-in budget file. The lint
+    driver re-measures the specimens and diffs against the file with
+    exact-pin semantics: a mul-count regression fails the build, and so
+    does an unexpected improvement or a missing/stale entry — the file
+    is a ledger of the current state, not an upper bound, so any drift
+    is surfaced and re-pinned deliberately (via [--update-budgets]).
+
+    This module is the pure file-format and diff half; measuring the
+    specimens is the binary's job (it instantiates the AFE zoo, which a
+    compiler-libs-only library cannot). *)
+
+type entry = { name : string; mul : int; wires : int; line : int }
+
+let update_hint = "run `prio_lint --update-budgets` and review the diff"
+
+(* "<name> mul=<m> wires=<w>", one per line; '#' starts a comment. *)
+let parse ~file (contents : string) : (entry list, Diagnostic.t) result =
+  let err line msg =
+    Error (Diagnostic.make ~file ~line ~col:0 ~rule:Rules.circuit_budget msg)
+  in
+  let lines = String.split_on_char '\n' contents in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+      let l =
+        match String.index_opt l '#' with
+        | Some i -> String.sub l 0 i
+        | None -> l
+      in
+      match String.split_on_char ' ' (String.trim l) with
+      | [ "" ] -> go acc (lineno + 1) rest
+      | [ name; m; w ] -> (
+        match
+          ( String.split_on_char '=' m, String.split_on_char '=' w )
+        with
+        | [ "mul"; m ], [ "wires"; w ] -> (
+          match (int_of_string_opt m, int_of_string_opt w) with
+          | Some mul, Some wires when mul >= 0 && wires >= 0 ->
+            go ({ name; mul; wires; line = lineno } :: acc) (lineno + 1) rest
+          | _ -> err lineno "mul= and wires= need non-negative integers")
+        | _ -> err lineno "expected `<name> mul=<m> wires=<w>`")
+      | _ -> err lineno "expected `<name> mul=<m> wires=<w>`")
+  in
+  go [] 1 lines
+
+let format (entries : entry list) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "# Deployed (optimized) circuit sizes per AFE specimen — the\n\
+     # circuit-budget lint fails on any drift from these exact counts.\n\
+     # Re-pin with `prio_lint --update-budgets` and review the diff.\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "%s mul=%d wires=%d\n" e.name e.mul e.wires))
+    entries;
+  Buffer.contents b
+
+(** Exact-pin diff of measured specimen sizes against the checked-in
+    ledger. Every divergence is an error. *)
+let check ~file ~(budget : entry list) ~(measured : entry list) :
+    Diagnostic.t list =
+  let diag ?(line = 1) msg =
+    Diagnostic.make ~file ~line ~col:0 ~rule:Rules.circuit_budget msg
+  in
+  let found =
+    List.filter_map
+      (fun m ->
+        match List.find_opt (fun b -> b.name = m.name) budget with
+        | None ->
+          Some
+            (diag
+               (Printf.sprintf
+                  "circuit %s (mul=%d wires=%d) has no budget entry; %s"
+                  m.name m.mul m.wires update_hint))
+        | Some b when b.mul <> m.mul || b.wires <> m.wires ->
+          let direction =
+            if m.mul > b.mul then "regressed"
+            else if m.mul < b.mul then "improved — re-pin the ledger"
+            else "changed shape"
+          in
+          Some
+            (diag ~line:b.line
+               (Printf.sprintf
+                  "circuit %s %s: budget mul=%d wires=%d, measured mul=%d \
+                   wires=%d; %s"
+                  m.name direction b.mul b.wires m.mul m.wires update_hint))
+        | Some _ -> None)
+      measured
+  in
+  let stale =
+    List.filter_map
+      (fun b ->
+        if List.exists (fun m -> m.name = b.name) measured then None
+        else
+          Some
+            (diag ~line:b.line
+               (Printf.sprintf
+                  "budget entry %s matches no measured circuit; %s" b.name
+                  update_hint)))
+      budget
+  in
+  found @ stale

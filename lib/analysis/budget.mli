@@ -1,0 +1,27 @@
+(** File format and exact-pin diff for the [circuit-budget] lint rule:
+    a checked-in ledger of per-AFE optimized circuit sizes, failed on
+    any drift (regression or unexpected improvement). Measuring the
+    circuits is the lint binary's job; this module is pure. *)
+
+type entry = {
+  name : string;  (** AFE specimen name *)
+  mul : int;  (** deployed mul-gate count *)
+  wires : int;  (** deployed total wire count *)
+  line : int;  (** 1-based source line in the budget file (0 if synthetic) *)
+}
+
+val update_hint : string
+(** The "how to re-pin" suffix shared by every diagnostic. *)
+
+val parse : file:string -> string -> (entry list, Diagnostic.t) result
+(** Parse budget-file contents: one [<name> mul=<m> wires=<w>] per line,
+    [#] comments, blank lines ignored. *)
+
+val format : entry list -> string
+(** Canonical file contents (header comment + one line per entry). *)
+
+val check :
+  file:string -> budget:entry list -> measured:entry list -> Diagnostic.t list
+(** Exact-pin diff: errors for mismatched counts (either direction),
+    measured circuits missing from the ledger, and stale ledger
+    entries. *)

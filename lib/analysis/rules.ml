@@ -27,6 +27,10 @@ let parse_error = "parse-error"
 let domain_unsafe_state = "domain-unsafe-state"
 let secret_flow = "secret-flow"
 
+(* Non-AST rule: the gate-budget ledger diff in [Budget], measured over
+   the AFE zoo by the lint binary. *)
+let circuit_budget = "circuit-budget"
+
 type finding = { loc : Location.t; message : string }
 
 let lid_name lid = String.concat "." (Longident.flatten lid)

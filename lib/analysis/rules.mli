@@ -22,6 +22,10 @@ val domain_unsafe_state : string
 
 val secret_flow : string
 
+(** Non-AST rule: the per-AFE gate-budget ledger diff (see {!Budget});
+    the lint binary measures the circuits and runs the check. *)
+val circuit_budget : string
+
 type finding = { loc : Location.t; message : string }
 
 (** Resolve a rule id to its structure checker; [None] for non-AST rules

@@ -38,6 +38,75 @@ module Make (F : Prio_field.Field_intf.S) = struct
   let num_inputs c = c.num_inputs
 
   (* ------------------------------------------------------------------ *)
+  (* Structural validation                                               *)
+  (* ------------------------------------------------------------------ *)
+
+  exception Malformed of string
+
+  (** Structural well-formedness: every gate operand refers to a strictly
+      earlier wire (topological order), input indices are in range,
+      assert-zero wires exist, and the mul census lists exactly the [Mul]
+      gates of the gate array, in order. Everything downstream — the SNIP
+      prover's grid layout, the servers' share walk, the optimizer's
+      rewrites — assumes these invariants, so hand-assembled or rewritten
+      circuits are checked before use. *)
+  let validate (c : t) : (unit, string) result =
+    let n = Array.length c.gates in
+    let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt in
+    try
+      if c.num_inputs < 0 then fail "num_inputs is negative (%d)" c.num_inputs;
+      let operand w x =
+        if x < 0 || x >= w then
+          fail
+            "wire %d: operand wire %d is not strictly earlier (gates must be \
+             in topological order)"
+            w x
+      in
+      Array.iteri
+        (fun w g ->
+          match g with
+          | Input k ->
+            if k < 0 || k >= c.num_inputs then
+              fail "wire %d: input index %d out of range [0, %d)" w k
+                c.num_inputs
+          | Const _ -> ()
+          | Add (x, y) | Sub (x, y) | Mul (x, y) ->
+            operand w x;
+            operand w y
+          | Scale (_, x) | Add_const (_, x) -> operand w x)
+        c.gates;
+      Array.iteri
+        (fun j z ->
+          if z < 0 || z >= n then
+            fail "assert-zero %d: wire %d does not exist (%d wires)" j z n)
+        c.assert_zero;
+      let muls = ref [] in
+      Array.iteri
+        (fun w g -> match g with Mul (x, y) -> muls := (w, x, y) :: !muls | _ -> ())
+        c.gates;
+      let muls = Array.of_list (List.rev !muls) in
+      if Array.length muls <> Array.length c.mul_gates then
+        fail "mul census has %d entries but the gate array has %d mul gates"
+          (Array.length c.mul_gates) (Array.length muls);
+      Array.iteri
+        (fun t (w, x, y) ->
+          let w', x', y' = c.mul_gates.(t) in
+          if w <> w' || x <> x' || y <> y' then
+            fail
+              "mul census entry %d is (%d, %d, %d) but the %d-th mul gate of \
+               the array is (%d, %d, %d)"
+              t w' x' y' t w x y)
+        muls;
+      Ok ()
+    with Malformed m -> Error m
+
+  (** [validate] as an exception for construction-time fail-fast paths. *)
+  let validate_exn ?(context = "Circuit.validate") c =
+    match validate c with
+    | Ok () -> ()
+    | Error m -> invalid_arg (context ^ ": " ^ m)
+
+  (* ------------------------------------------------------------------ *)
   (* Builder                                                             *)
   (* ------------------------------------------------------------------ *)
 
@@ -122,12 +191,16 @@ module Make (F : Prio_field.Field_intf.S) = struct
           gates;
         Array.of_list (List.rev !acc)
       in
-      {
-        num_inputs = b.num_inputs;
-        gates;
-        assert_zero = Array.of_list (List.rev b.zeros);
-        mul_gates;
-      }
+      let c =
+        {
+          num_inputs = b.num_inputs;
+          gates;
+          assert_zero = Array.of_list (List.rev b.zeros);
+          mul_gates;
+        }
+      in
+      validate_exn ~context:"Circuit.Builder.build" c;
+      c
   end
 
   (* ------------------------------------------------------------------ *)

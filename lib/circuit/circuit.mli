@@ -37,8 +37,20 @@ module Make (F : Prio_field.Field_intf.S) : sig
   val num_mul_gates : t -> int
   val num_inputs : t -> int
 
+  val validate : t -> (unit, string) result
+  (** Structural well-formedness: gates in topological order (operands
+      strictly earlier), input indices in range, assert-zero wires in
+      range, and the mul census equal to the [Mul] gates of the gate array
+      in order. Run by {!Builder.build} and after every optimizer pass so
+      malformed circuits fail fast with a precise message. *)
+
+  val validate_exn : ?context:string -> t -> unit
+  (** @raise Invalid_argument with ["context: reason"] when invalid. *)
+
   (** Imperative circuit construction. Input wires are created eagerly,
-      one per input index. *)
+      one per input index. {!Builder.build} validates the result, so e.g.
+      a dangling assert-zero registered against a non-existent wire fails
+      there with a precise message. *)
   module Builder : sig
     type b
 

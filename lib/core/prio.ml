@@ -55,6 +55,8 @@ module Make (F : Field_intf.S) = struct
   module Poly = Prio_poly.Poly.Make (F)
   module Ntt = Prio_poly.Ntt.Make (F)
   module Circuit = Prio_circuit.Circuit.Make (F)
+  module Circuit_analysis = Prio_circuit.Analysis.Make (F)
+  module Circuit_opt = Prio_circuit.Opt.Make (F)
   module Share = Prio_share.Share.Make (F)
   module Dpf = Prio_share.Dpf.Make (F)
   module Snip = Prio_snip.Snip.Make (F)
@@ -71,6 +73,7 @@ module Make (F : Field_intf.S) = struct
   module Afe_regression = Prio_afe.Regression.Make (F)
   module Afe_product = Prio_afe.Product.Make (F)
   module Afe_fixed_point = Prio_afe.Fixed_point.Make (F)
+  module Afe_zoo = Prio_afe.Zoo.Make (F)
   module Wire = Prio_proto.Wire.Make (F)
   module Client = Prio_proto.Client.Make (F)
   module Server = Prio_proto.Server.Make (F)

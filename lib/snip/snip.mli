@@ -22,6 +22,15 @@
 module Make (F : Prio_field.Field_intf.S) : sig
   module C : module type of Prio_circuit.Circuit.Make (F)
 
+  (** Every entry point taking a circuit first runs it through
+      {!Prio_circuit.Opt.canonicalize}: proof sizes, grids and circuit
+      walks refer to the optimized circuit even when callers hand in a
+      raw builder output (AFE circuits arrive pre-optimized, for which
+      canonicalization is a cached no-op). [prove_raw] and
+      [make_batch_ctx_raw] skip the canonicalization to measure the
+      unoptimized form — all parties must then agree on that choice for
+      shares to parse. *)
+
   type proof_share = {
     f0 : F.t;  (** share of the random mask f(0) *)
     g0 : F.t;  (** share of the random mask g(0) *)
@@ -58,7 +67,13 @@ module Make (F : Prio_field.Field_intf.S) : sig
   val prove :
     rng:Prio_crypto.Rng.t -> circuit:C.t -> num_servers:int ->
     inputs:F.t array -> submission_share array
-  (** Build and split a complete submission, one share per server. *)
+  (** Build and split a complete submission, one share per server,
+      proving over the canonicalized circuit. *)
+
+  val prove_raw :
+    rng:Prio_crypto.Rng.t -> circuit:C.t -> num_servers:int ->
+    inputs:F.t array -> submission_share array
+  (** [prove] minus the canonicalization — ablation benchmarks only. *)
 
   (** {1 Servers (verifiers)} *)
 
@@ -69,6 +84,11 @@ module Make (F : Prio_field.Field_intf.S) : sig
 
   val make_batch_ctx :
     rng:Prio_crypto.Rng.t -> circuit:C.t -> num_servers:int -> batch_ctx
+
+  val make_batch_ctx_raw :
+    rng:Prio_crypto.Rng.t -> circuit:C.t -> num_servers:int -> batch_ctx
+  (** [make_batch_ctx] minus the canonicalization — must be paired with
+      [prove_raw] on the client side. *)
 
   type server_state = {
     fr : F.t;  (** share of f(r) *)

@@ -223,6 +223,66 @@ let test_builder_input_range () =
     (Invalid_argument "Circuit.Builder.input: out of range") (fun () ->
       ignore (C.Builder.input b 2))
 
+(* ------------------------- structural validation --------------------- *)
+
+(* One case per failure shape of Circuit.validate, on hand-assembled
+   records violating each invariant, pinned to the exact message. *)
+let test_validate_shapes () =
+  Alcotest.(check bool) "well-formed passes" true
+    (C.validate (sample_circuit ()) = Ok ());
+  let expect name want c =
+    match C.validate c with
+    | Ok () -> Alcotest.failf "%s: validate unexpectedly passed" name
+    | Error msg -> Alcotest.(check string) name want msg
+  in
+  expect "negative num_inputs" "num_inputs is negative (-1)"
+    { C.num_inputs = -1; gates = [||]; assert_zero = [||]; mul_gates = [||] };
+  expect "input index out of range"
+    "wire 0: input index 2 out of range [0, 1)"
+    {
+      C.num_inputs = 1;
+      gates = [| C.Input 2 |];
+      assert_zero = [||];
+      mul_gates = [||];
+    };
+  expect "non-topological operand"
+    "wire 0: operand wire 1 is not strictly earlier (gates must be in \
+     topological order)"
+    {
+      C.num_inputs = 1;
+      gates = [| C.Add (1, 1); C.Input 0 |];
+      assert_zero = [||];
+      mul_gates = [||];
+    };
+  expect "dangling assert-zero" "assert-zero 0: wire 3 does not exist (1 wires)"
+    {
+      C.num_inputs = 1;
+      gates = [| C.Input 0 |];
+      assert_zero = [| 3 |];
+      mul_gates = [||];
+    };
+  expect "census count mismatch"
+    "mul census has 0 entries but the gate array has 1 mul gates"
+    {
+      C.num_inputs = 2;
+      gates = [| C.Input 0; C.Input 1; C.Mul (0, 1) |];
+      assert_zero = [||];
+      mul_gates = [||];
+    };
+  expect "census entry mismatch"
+    "mul census entry 0 is (2, 1, 0) but the 0-th mul gate of the array is \
+     (2, 0, 1)"
+    {
+      C.num_inputs = 2;
+      gates = [| C.Input 0; C.Input 1; C.Mul (0, 1) |];
+      assert_zero = [||];
+      mul_gates = [| (2, 1, 0) |];
+    };
+  Alcotest.check_raises "validate_exn prefixes its context"
+    (Invalid_argument "hand-check: num_inputs is negative (-1)") (fun () ->
+      C.validate_exn ~context:"hand-check"
+        { C.num_inputs = -1; gates = [||]; assert_zero = [||]; mul_gates = [||] })
+
 let () =
   Alcotest.run "circuit"
     [
@@ -233,6 +293,8 @@ let () =
           Alcotest.test_case "arity checks" `Quick test_arity_checks;
           Alcotest.test_case "builder range" `Quick test_builder_input_range;
         ] );
+      ( "validation",
+        [ Alcotest.test_case "failure shapes" `Quick test_validate_shapes ] );
       ( "gadgets",
         [
           Alcotest.test_case "bit" `Quick test_gadget_bit;

@@ -371,6 +371,85 @@ let test_policy () =
 
 (* ----------------------------- tree gate ----------------------------- *)
 
+(* ------------------------- circuit budgets --------------------------- *)
+
+module Budget = Prio_analysis.Budget
+
+let bentry name mul wires line = { Budget.name; mul; wires; line }
+
+let test_budget_parse () =
+  let parsed =
+    Budget.parse ~file:"b"
+      "# header\nsum8 mul=8 wires=41\n\nvariance8 mul=9 wires=45 # inline\n"
+  in
+  (match parsed with
+  | Error d -> Alcotest.fail (D.to_string d)
+  | Ok entries ->
+    Alcotest.(check int) "two entries" 2 (List.length entries);
+    let e = List.hd entries in
+    Alcotest.(check string) "name" "sum8" e.Budget.name;
+    Alcotest.(check int) "mul" 8 e.Budget.mul;
+    Alcotest.(check int) "wires" 41 e.Budget.wires;
+    Alcotest.(check int) "line" 2 e.Budget.line);
+  (match Budget.parse ~file:"b" "sum8 mul=eight wires=41\n" with
+  | Ok _ -> Alcotest.fail "non-numeric count parsed"
+  | Error d ->
+    Alcotest.(check string) "parse diagnostic"
+      "b:1:0: [circuit-budget] mul= and wires= need non-negative integers"
+      (D.to_string d));
+  match Budget.parse ~file:"b" "sum8 mul=8\n" with
+  | Ok _ -> Alcotest.fail "short line parsed"
+  | Error d ->
+    Alcotest.(check string) "shape diagnostic"
+      "b:1:0: [circuit-budget] expected `<name> mul=<m> wires=<w>`"
+      (D.to_string d)
+
+let test_budget_roundtrip () =
+  let entries = [ bentry "sum8" 8 41 0; bentry "or" 0 0 0 ] in
+  match Budget.parse ~file:"b" (Budget.format entries) with
+  | Error d -> Alcotest.fail (D.to_string d)
+  | Ok parsed ->
+    Alcotest.(check (list string)) "names survive"
+      (List.map (fun e -> e.Budget.name) entries)
+      (List.map (fun e -> e.Budget.name) parsed);
+    List.iter2
+      (fun a b ->
+        Alcotest.(check int) "mul" a.Budget.mul b.Budget.mul;
+        Alcotest.(check int) "wires" a.Budget.wires b.Budget.wires)
+      entries parsed
+
+let test_budget_check () =
+  let budget = [ bentry "sum8" 8 41 4; bentry "gone" 5 9 5 ] in
+  let measured = [ bentry "sum8" 9 44 0; bentry "new8" 3 7 0 ] in
+  let diags = Budget.check ~file:"b" ~budget ~measured in
+  check_diags "exact-pin diff"
+    [
+      "b:4:0: [circuit-budget] circuit sum8 regressed: budget mul=8 \
+       wires=41, measured mul=9 wires=44; run `prio_lint --update-budgets` \
+       and review the diff";
+      "b:1:0: [circuit-budget] circuit new8 (mul=3 wires=7) has no budget \
+       entry; run `prio_lint --update-budgets` and review the diff";
+      "b:5:0: [circuit-budget] budget entry gone matches no measured \
+       circuit; run `prio_lint --update-budgets` and review the diff";
+    ]
+    (List.map D.to_string diags);
+  (* an improvement is also a divergence: the ledger must be re-pinned *)
+  let diags =
+    Budget.check ~file:"b"
+      ~budget:[ bentry "sum8" 9 44 1 ]
+      ~measured:[ bentry "sum8" 8 41 0 ]
+  in
+  (match diags with
+  | [ d ] ->
+    Alcotest.(check bool) "improvement flagged" true
+      (String.length d.D.message > 0 && d.D.rule = Rules.circuit_budget)
+  | _ -> Alcotest.fail "expected exactly one diagnostic");
+  Alcotest.(check (list string)) "exact match is clean" []
+    (List.map D.to_string
+       (Budget.check ~file:"b"
+          ~budget:[ bentry "sum8" 8 41 1 ]
+          ~measured:[ bentry "sum8" 8 41 0 ]))
+
 let test_tree_clean () =
   let baseline = Baseline.load "../.prio-lint-baseline" in
   let diags =
@@ -423,6 +502,12 @@ let () =
           Alcotest.test_case "call-graph resolution" `Quick test_callgraph;
         ] );
       ("policy", [ Alcotest.test_case "severity map" `Quick test_policy ]);
+      ( "budget",
+        [
+          Alcotest.test_case "parse" `Quick test_budget_parse;
+          Alcotest.test_case "format round-trip" `Quick test_budget_roundtrip;
+          Alcotest.test_case "exact-pin check" `Quick test_budget_check;
+        ] );
       ( "tree",
         [ Alcotest.test_case "repo is clean" `Quick test_tree_clean ] );
     ]
