@@ -125,6 +125,298 @@ let write_json path =
   output_string oc (Prio.Obs_report.json ());
   output_string oc "\n}\n"
 
+(* ---------------------------------------------------------------------- *)
+(* A minimal JSON reader — just enough to load a BENCH_PRIO.json written  *)
+(* by [write_json] (or an Obs report scraped over the wire) back in for   *)
+(* [--check] and for mining stage percentiles out of a live scrape.       *)
+(* ---------------------------------------------------------------------- *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Json_error of string
+
+let json_parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Json_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    if !pos < n then
+      match s.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+        incr pos;
+        skip_ws ()
+      | _ -> ()
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal w v =
+    let l = String.length w in
+    if !pos + l <= n && String.sub s !pos l = w then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+        incr pos;
+        Buffer.contents buf
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "unterminated escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          if !pos + 4 >= n then fail "short \\u escape";
+          let code =
+            match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+            | Some c -> c
+            | None -> fail "bad \\u escape"
+          in
+          pos := !pos + 4;
+          (* our writers only \u-escape control characters; anything
+             outside ASCII degrades to a replacement byte *)
+          Buffer.add_char buf (if code < 0x80 then Char.chr code else '?')
+        | c -> fail (Printf.sprintf "bad escape %C" c));
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        incr pos;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "expected a value";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Jobj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((k, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Jobj (members [])
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Jarr []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elems (v :: acc)
+          | Some ']' ->
+            incr pos;
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Jarr (elems [])
+      end
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> Jnum (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let json_member k = function Jobj kvs -> List.assoc_opt k kvs | _ -> None
+
+(* ---------------------------------------------------------------------- *)
+(* [--check <path>]: tolerance-band regression guard against a committed  *)
+(* result file. Strings and bools must match exactly; numbers must agree  *)
+(* within a multiplicative band (larger/smaller <= 1 + tolerance), so     *)
+(* run-to-run timing noise passes but order-of-magnitude regressions —    *)
+(* and any shape drift: missing records, missing fields, changed          *)
+(* parameters — trip the guard. Records are matched by                    *)
+(* (experiment, name); only experiments that ran this invocation are      *)
+(* compared, so `streaming --check BENCH_PRIO.json` checks just the       *)
+(* streaming rows.                                                        *)
+(* ---------------------------------------------------------------------- *)
+
+let check_against path ~tolerance =
+  let doc =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    json_parse s
+  in
+  let committed =
+    match json_member "records" doc with
+    | Some (Jarr rows) ->
+      List.filter_map (function Jobj kvs -> Some kvs | _ -> None) rows
+    | _ -> raise (Json_error (path ^ ": no \"records\" array"))
+  in
+  let fresh = List.rev !json_records in
+  let fresh_key fields =
+    match (List.assoc_opt "experiment" fields, List.assoc_opt "name" fields) with
+    | Some (S e), Some (S n) -> Some (e, n)
+    | _ -> None
+  in
+  let ran_experiments =
+    List.sort_uniq compare (List.filter_map fresh_key fresh |> List.map fst)
+  in
+  let committed_key kvs =
+    match (List.assoc_opt "experiment" kvs, List.assoc_opt "name" kvs) with
+    | Some (Jstr e), Some (Jstr n) -> Some (e, n)
+    | _ -> None
+  in
+  let failures = ref [] in
+  let complain fmt =
+    Printf.ksprintf (fun m -> failures := m :: !failures) fmt
+  in
+  let band_ok a b =
+    a = b
+    || a <> 0. && b <> 0.
+       && a < 0. = (b < 0.)
+       &&
+       let a = Float.abs a and b = Float.abs b in
+       Float.max a b /. Float.min a b <= 1. +. tolerance
+  in
+  let check_field ~exp ~name k reference measured =
+    match (reference, measured) with
+    | Jstr r, S m ->
+      if r <> m then
+        complain "%s/%s %s: %S, reference says %S" exp name k m r
+    | Jbool r, B m ->
+      if r <> m then
+        complain "%s/%s %s: %b, reference says %b" exp name k m r
+    | Jnum r, (I _ | Fl _) ->
+      let m = match measured with I i -> float_of_int i | Fl f -> f | _ -> 0. in
+      if not (band_ok r m) then
+        complain "%s/%s %s: %.6g, outside x%.2f band of reference %.6g" exp
+          name k m (1. +. tolerance) r
+    | Jnull, Fl f when not (Float.is_finite f) -> ()
+    | _ ->
+      complain "%s/%s %s: kind differs from reference" exp name k
+  in
+  let compared = ref 0 in
+  let skipped = ref 0 in
+  (* worst-single-call statistics are dominated by scheduler and GC
+     noise (one pause blows any reasonable band), and repetition counts
+     are just the inverse of per-call latency under the fixed measuring
+     budget: their presence is still required, but their values are not
+     pinned *)
+  let unpinnable k =
+    let has_suffix suffix =
+      let lk = String.length k and ls = String.length suffix in
+      lk >= ls && String.sub k (lk - ls) ls = suffix
+    in
+    has_suffix "_max_s" || has_suffix "_count"
+  in
+  List.iter
+    (fun kvs ->
+      match committed_key kvs with
+      | Some (exp, name) when List.mem exp ran_experiments -> (
+        match
+          List.find_opt (fun f -> fresh_key f = Some (exp, name)) fresh
+        with
+        | None ->
+          complain "%s/%s: in the reference but not produced by this run" exp
+            name
+        | Some fields ->
+          incr compared;
+          List.iter
+            (fun (k, reference) ->
+              if k <> "experiment" && k <> "name" then
+                match List.assoc_opt k fields with
+                | None ->
+                  complain "%s/%s: field %s missing from this run" exp name k
+                | Some measured ->
+                  if unpinnable k then incr skipped
+                  else check_field ~exp ~name k reference measured)
+            kvs)
+      | _ -> ())
+    committed;
+  (* fresh rows absent from the reference are drift too: the reference is
+     stale and needs a --json refresh *)
+  List.iter
+    (fun fields ->
+      match fresh_key fields with
+      | Some key
+        when not (List.exists (fun kvs -> committed_key kvs = Some key) committed)
+        ->
+        complain "%s/%s: produced by this run but not in %s (refresh with --json)"
+          (fst key) (snd key) path
+      | _ -> ())
+    fresh;
+  match List.rev !failures with
+  | [] ->
+    Printf.printf
+      "\n--check %s: %d records within the x%.2f band (%d noise-dominated \
+       fields present but not value-pinned)\n"
+      path !compared (1. +. tolerance) !skipped;
+    true
+  | fs ->
+    Printf.printf "\n--check %s FAILED (%d violations):\n" path (List.length fs);
+    List.iter (fun m -> Printf.printf "  %s\n" m) fs;
+    false
+
 let pretty_time s =
   if s < 1e-6 then Printf.sprintf "%.0f ns" (s *. 1e9)
   else if s < 1e-3 then Printf.sprintf "%.1f µs" (s *. 1e6)
@@ -957,6 +1249,46 @@ let streaming () =
                   (afe.Wk.P.Afe.decode ~n:accepted.(i) sigma)))
     |> List.fold_left ( + ) 0
   in
+  (* per-stage latency percentiles, mined from the shard-0 leader while it
+     is still running: a live [q]-frame scrape of its metrics registry in
+     JSON form — the histograms live in the server process, not ours *)
+  let stage_fields =
+    match
+      Prio_proto.Net.scrape_metrics ~format:`Json
+        deployments.(0).Net.addrs.(0)
+    with
+    | Error e ->
+      Printf.printf "  (stage scrape failed: %s)\n"
+        (Prio_proto.Net.string_of_protocol_error e);
+      []
+    | Ok text -> (
+      match json_parse text with
+      | exception Json_error _ -> []
+      | report ->
+        List.concat_map
+          (fun stage ->
+            let h =
+              json_member (Printf.sprintf "prio_stage_%s_seconds" stage) report
+            in
+            List.filter_map
+              (fun q ->
+                match Option.map (json_member q) h with
+                | Some (Some (Jnum v)) ->
+                  Some (Printf.sprintf "%s_%s_s" stage q, Fl v)
+                | _ -> None)
+              [ "p50"; "p95"; "p99" ])
+          [ "admit"; "verify"; "aggregate"; "checkpoint" ])
+  in
+  (match stage_fields with
+  | [] -> ()
+  | fs ->
+    Printf.printf "  leader stage latency:%s\n"
+      (String.concat ""
+         (List.map
+            (fun (k, v) ->
+              Printf.sprintf " %s=%s" k
+                (match v with Fl f -> pretty_time f | _ -> "?"))
+            fs)));
   Array.iter Net.shutdown deployments;
   Array.iter
     (fun dir ->
@@ -982,7 +1314,7 @@ let streaming () =
     (float_of_int total_n /. secs)
     (pretty_bytes !rss_warm) (pretty_bytes !rss_final) growth;
   record ~experiment:"streaming" ~name:"capstone"
-    [
+    ([
       ("n", I total_n);
       ("shards", I shards);
       ("servers_per_shard", I num_servers);
@@ -997,6 +1329,7 @@ let streaming () =
       ("flat_memory", S (if flat then "true" else "false"));
       ("aggregate_matches", S (if total = !expected then "true" else "false"));
     ]
+    @ stage_fields)
 
 (* ---------------------------------------------------------------------- *)
 (* Appendix G: client upload size, three sharing strategies.               *)
@@ -1314,16 +1647,29 @@ let experiments =
   ]
 
 let usage () =
-  Printf.eprintf "usage: %s [experiment ...] [--json <path>]\n" Sys.argv.(0);
+  Printf.eprintf
+    "usage: %s [experiment ...] [--json <path>] [--check <path>] \
+     [--tolerance <t>]\n"
+    Sys.argv.(0);
   exit 1
 
 let () =
   let json_path = ref None in
+  let check_path = ref None in
+  let tolerance = ref 1.0 in
   let rec split acc = function
     | "--json" :: path :: rest ->
       json_path := Some path;
       split acc rest
-    | [ "--json" ] -> usage ()
+    | "--check" :: path :: rest ->
+      check_path := Some path;
+      split acc rest
+    | "--tolerance" :: t :: rest ->
+      (match float_of_string_opt t with
+      | Some t when t >= 0. -> tolerance := t
+      | Some _ | None -> usage ());
+      split acc rest
+    | [ "--json" ] | [ "--check" ] | [ "--tolerance" ] -> usage ()
     | x :: rest -> split (x :: acc) rest
     | [] -> List.rev acc
   in
@@ -1344,9 +1690,13 @@ let () =
             (String.concat " " (List.map fst experiments));
           exit 1)
       names);
-  match !json_path with
+  (match !json_path with
   | None -> ()
   | Some path ->
     write_json path;
     Printf.printf "\nwrote %s (%d records + metrics snapshot)\n" path
-      (List.length !json_records)
+      (List.length !json_records));
+  match !check_path with
+  | None -> ()
+  | Some path ->
+    if not (check_against path ~tolerance:!tolerance) then exit 1

@@ -201,11 +201,129 @@ let run_metrics opts format =
   Prio.Obs_metrics.reset ();
   observed_workload opts;
   (match format with
+  | `Summary -> print_string (Prio.Obs_report.summary ())
   | `Prometheus -> print_string (Prio.Obs_report.prometheus ())
   | `Json -> print_endline (Prio.Obs_report.json ()));
   Printf.eprintf
     "# metrics from one in-process run (%d clients, %d servers); see docs/OBSERVABILITY.md\n"
     opts.clients opts.servers
+
+(* ------------------------------- top --------------------------------- *)
+
+(* Parse Prometheus exposition text into a (name -> value) table, keeping
+   only the scalar series (counters, gauges, histogram _sum/_count) —
+   enough for a per-interval diff view. *)
+let parse_prometheus text =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] <> '#' && not (String.contains line '{')
+      then
+        match String.index_opt line ' ' with
+        | None -> ()
+        | Some i -> (
+          let name = String.sub line 0 i in
+          match
+            float_of_string_opt
+              (String.sub line (i + 1) (String.length line - i - 1))
+          with
+          | Some v -> Hashtbl.replace tbl name v
+          | None -> ()))
+    (String.split_on_char '\n' text);
+  tbl
+
+(* Live-scrape demo: launch a real TCP deployment (one OS process per
+   server), drive submissions between scrapes, and pull each server's
+   metrics registry over the wire ([q] frames) — rendering what moved
+   per interval, plus a health-probe ([h]) line per server. *)
+let run_top opts intervals period =
+  let module T = Prio.Transport in
+  let rng = Prio.Rng.of_string_seed opts.seed in
+  let afe = P.Afe_sum.sum ~bits:4 in
+  let master = Prio.Rng.bytes rng 32 in
+  let batch_seed = Prio.Rng.bytes rng 32 in
+  let cfg =
+    {
+      P.Net.circuit = afe.P.Afe.circuit;
+      trunc_len = afe.P.Afe.trunc_len;
+      num_servers = opts.servers;
+      master;
+      batch_seed;
+    }
+  in
+  let tuning =
+    { T.default_tuning with io_timeout = 2.0; dial_timeout = 1.0;
+      select_tick = 0.02 }
+  in
+  let d = P.Net.launch ~tuning cfg in
+  Fun.protect ~finally:(fun () -> P.Net.shutdown d) @@ fun () ->
+  let n = opts.servers in
+  let prev = Array.init n (fun _ -> Hashtbl.create 0) in
+  let next_id = ref 0 in
+  let watched =
+    [
+      "prio_net_rx_frames_total";
+      "prio_net_tx_bytes_total";
+      "prio_stage_admit_seconds_count";
+      "prio_stage_verify_seconds_count";
+      "prio_stage_aggregate_seconds_count";
+      "prio_net_pending_depth";
+    ]
+  in
+  for it = 1 to intervals do
+    let per = max 1 (opts.clients / intervals) in
+    for _ = 1 to per do
+      let cid = !next_id in
+      incr next_id;
+      ignore
+        (P.Net.submit d ~rng ~client_id:cid
+           (afe.P.Afe.encode ~rng (Prio.Rng.int_below rng 16)))
+    done;
+    if period > 0. then Prio.Retry.sleep period;
+    Printf.printf "--- interval %d: +%d submissions ---\n" it per;
+    Printf.printf "%-40s" "metric (delta this interval)";
+    for i = 0 to n - 1 do
+      Printf.printf " %10s" (Printf.sprintf "srv%d" i)
+    done;
+    print_newline ();
+    let scrapes =
+      Array.init n (fun i ->
+          match T.scrape_metrics ~tuning d.P.Net.addrs.(i) with
+          | Ok text -> parse_prometheus text
+          | Error _ -> Hashtbl.create 0)
+    in
+    List.iter
+      (fun name ->
+        Printf.printf "%-40s" name;
+        for i = 0 to n - 1 do
+          let get t = Option.value ~default:0. (Hashtbl.find_opt t name) in
+          Printf.printf " %10.0f" (get scrapes.(i) -. get prev.(i))
+        done;
+        print_newline ())
+      watched;
+    Array.blit scrapes 0 prev 0 n;
+    for i = 0 to n - 1 do
+      match T.probe_health ~tuning d.P.Net.addrs.(i) with
+      | Ok h ->
+        Printf.printf "srv%d  epoch=%d pending=%d accepted=%d%s%s\n" i
+          h.T.h_epoch h.T.h_pending h.T.h_accepted
+          (match h.T.h_ckpt_age with
+          | None -> ""
+          | Some a -> Printf.sprintf " ckpt_age=%.1fs" a)
+          (match h.T.h_peers with
+          | [] -> ""
+          | peers ->
+            " links="
+            ^ String.concat ","
+                (List.map
+                   (fun (j, up) ->
+                     Printf.sprintf "%d:%s" j (if up then "up" else "down"))
+                   peers))
+      | Error e ->
+        Printf.printf "srv%d  unreachable (%s)\n" i
+          (T.string_of_protocol_error e)
+    done
+  done
 
 let run_trace opts format =
   let recorder = Prio.Obs_trace.create ~capacity:65536 () in
@@ -301,15 +419,40 @@ let metrics_cmd =
   let format =
     Arg.(
       value
-      & opt (enum [ ("prometheus", `Prometheus); ("json", `Json) ]) `Prometheus
-      & info [ "format" ] ~doc:"Output format: $(b,prometheus) or $(b,json).")
+      & opt
+          (enum
+             [ ("summary", `Summary); ("prometheus", `Prometheus);
+               ("json", `Json) ])
+          `Summary
+      & info [ "format" ]
+          ~doc:"Output format: $(b,summary), $(b,prometheus) or $(b,json).")
   in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
          "Run a small in-process deployment and print the Obs metrics \
-          snapshot (byte, latency, and accept/reject channels).")
+          snapshot; the default summary shows p50/p95/p99 latency \
+          estimates per histogram.")
     Term.(const run_metrics $ opts_term $ format)
+
+let top_cmd =
+  let intervals =
+    Arg.(value & opt int 3 & info [ "intervals" ] ~doc:"Scrape intervals.")
+  in
+  let period =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "period" ] ~doc:"Extra seconds to sleep between scrapes.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Launch a real TCP deployment (one OS process per server), drive \
+          submissions, and live-scrape every server's metrics over the \
+          wire, showing a per-interval diff table and a health-probe line \
+          per server.")
+    Term.(const run_top $ opts_term $ intervals $ period)
 
 let trace_cmd =
   let format =
@@ -342,4 +485,5 @@ let () =
             stream_cmd;
             metrics_cmd;
             trace_cmd;
+            top_cmd;
           ]))

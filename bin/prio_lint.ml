@@ -4,7 +4,8 @@
 
    Usage: prio_lint [--root DIR] [--baseline FILE] [--rule ID]
                     [--format text|json] [--circuit-budgets FILE]
-                    [--update-budgets] DIR...
+                    [--update-budgets] [--metrics-ledger FILE]
+                    [--update-metrics] DIR...
 
    Emits "file:line:col: [rule-id] message" per finding (or one JSON
    array with --format json) and exits non-zero if any Error-severity
@@ -14,10 +15,18 @@
    every AFE-zoo specimen and diffs mul/wire counts against the
    checked-in ledger (rule circuit-budget, exact-pin: regressions AND
    unexpected improvements fail). --update-budgets rewrites the ledger
-   from the measurement instead of checking. *)
+   from the measurement instead of checking.
+
+   --metrics-ledger FILE additionally collects every metric name the
+   tree registers (Metrics.counter/gauge/histogram call sites) and
+   diffs the set against the checked-in ledger (rule metric-registry,
+   exact-pin: unledgered metrics, stale entries, and kind changes all
+   fail). --update-metrics rewrites the ledger from the collection
+   instead of checking. *)
 
 module D = Prio_analysis.Diagnostic
 module Budget = Prio_analysis.Budget
+module Metricreg = Prio_analysis.Metricreg
 
 (* The specimens are measured over one concrete field; gate counts are
    field-independent (the builders never branch on |F|), so any instance
@@ -42,6 +51,8 @@ let () =
   let dirs = ref [] in
   let budget_file = ref "" in
   let update_budgets = ref false in
+  let metrics_file = ref "" in
+  let update_metrics = ref false in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR repo root (default: .)");
@@ -60,12 +71,38 @@ let () =
       ( "--update-budgets",
         Arg.Set update_budgets,
         " rewrite the ledger from measured counts instead of checking" );
+      ( "--metrics-ledger",
+        Arg.Set_string metrics_file,
+        "FILE metric-name ledger to check the tree's registrations against"
+      );
+      ( "--update-metrics",
+        Arg.Set update_metrics,
+        " rewrite the metric ledger from collected names instead of checking"
+      );
     ]
   in
   Arg.parse spec
     (fun d -> dirs := d :: !dirs)
     "prio_lint [--root DIR] [--baseline FILE] [--rule ID] [--format \
-     text|json] [--circuit-budgets FILE] [--update-budgets] DIR...";
+     text|json] [--circuit-budgets FILE] [--update-budgets] \
+     [--metrics-ledger FILE] [--update-metrics] DIR...";
+  let lint_dirs () =
+    match List.rev !dirs with
+    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+    | ds -> ds
+  in
+  if !update_metrics then begin
+    let file = if !metrics_file = "" then ".prio-metrics" else !metrics_file in
+    let entries =
+      Metricreg.dedup (Metricreg.measure ~root:!root ~dirs:(lint_dirs ()))
+    in
+    let oc = open_out file in
+    output_string oc (Metricreg.format entries);
+    close_out oc;
+    Printf.printf "prio_lint: wrote %d metric names to %s\n"
+      (List.length entries) file;
+    exit 0
+  end;
   if !update_budgets then begin
     let file =
       if !budget_file = "" then ".prio-circuit-budgets" else !budget_file
@@ -78,11 +115,7 @@ let () =
       (List.length measured) file;
     exit 0
   end;
-  let dirs =
-    match List.rev !dirs with
-    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
-    | ds -> ds
-  in
+  let dirs = lint_dirs () in
   let baseline =
     if !baseline = "" then Prio_analysis.Baseline.empty
     else Prio_analysis.Baseline.load !baseline
@@ -103,8 +136,25 @@ let () =
         Budget.check ~file:!budget_file ~budget ~measured:(measure_circuits ())
     end
   in
+  let metric_diags =
+    if !metrics_file = "" then []
+    else begin
+      let contents =
+        let ic = open_in !metrics_file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      match Metricreg.parse ~file:!metrics_file contents with
+      | Error d -> [ d ]
+      | Ok ledger ->
+        Metricreg.check ~file:!metrics_file ~ledger
+          ~measured:(Metricreg.measure ~root:!root ~dirs)
+    end
+  in
   let diags =
-    budget_diags
+    budget_diags @ metric_diags
     @ Prio_analysis.Driver.lint_tree ~baseline ~root:!root ~dirs ()
   in
   let diags =

@@ -6,6 +6,12 @@
 val parse_implementation :
   path:string -> string -> (Parsetree.structure, Diagnostic.t) result
 
+(** [source_files ~root dirs] lists every [.ml]/[.mli] under
+    [root]/[dirs] (the lint tree walk: [_build]-style and hidden
+    directories skipped), sorted, relative to [root]. Exposed for
+    whole-tree collectors like {!Metricreg}. *)
+val source_files : root:string -> string list -> string list
+
 (** [lint_source ~rules ~path src] parses [src] (an [.ml] body) and runs
     exactly the given AST rules at Error severity, honouring inline
     [(* prio-lint: allow ... *)] waivers. [path] only labels diagnostics.

@@ -1,0 +1,235 @@
+(* The metric-name ledger behind the [metric-registry] lint rule.
+
+   Every observable the codebase exports is registered through
+   [Metrics.counter]/[gauge]/[histogram] with a literal name; dashboards,
+   scrape configs, and the docs key on those names, so a rename or a
+   silently added/removed metric is an interface break that nothing
+   type-checks. The lint driver collects every registration site
+   syntactically and diffs the set against a checked-in ledger with
+   exact-pin semantics: an unregistered ledger entry, an unledgered
+   metric, or a kind change fails the build — the file is a ledger of
+   the current exported surface, re-pinned deliberately (via
+   [--update-metrics]), mirroring the gate-budget flow in [Budget]. *)
+
+open Parsetree
+
+type kind = Counter | Gauge | Histogram
+
+let kind_to_string = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+let kind_of_string = function
+  | "counter" -> Some Counter
+  | "gauge" -> Some Gauge
+  | "histogram" -> Some Histogram
+  | _ -> None
+
+type entry = { name : string; kind : kind; line : int }
+
+type registration = {
+  r_name : string;
+  r_kind : kind;
+  r_file : string;
+  r_line : int;
+}
+
+let update_hint = "run `prio_lint --update-metrics` and review the diff"
+
+(* --- collection ------------------------------------------------------- *)
+
+(* A registration is an application of [counter]/[gauge]/[histogram] from
+   a module spelled [Metrics] or [Obs_metrics] (every call site goes
+   through one of those aliases of [Prio_obs.Metrics]) to a literal
+   string. Computed names would be invisible to this rule — and to every
+   grep over the ledger — which is exactly why the codebase doesn't use
+   them. *)
+let collect_structure ~file (str : structure) : registration list =
+  let acc = ref [] in
+  let kind_of_fn = function
+    | "counter" -> Some Counter
+    | "gauge" -> Some Gauge
+    | "histogram" -> Some Histogram
+    | _ -> None
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = lid; _ }; _ },
+                ( Asttypes.Nolabel,
+                  {
+                    pexp_desc = Pexp_constant (Pconst_string (name, _, _));
+                    pexp_loc;
+                    _;
+                  } )
+                :: _ ) -> (
+            match List.rev (Longident.flatten lid) with
+            | fn :: qualifier :: _
+              when qualifier = "Metrics" || qualifier = "Obs_metrics" -> (
+              match kind_of_fn fn with
+              | Some r_kind ->
+                acc :=
+                  {
+                    r_name = name;
+                    r_kind;
+                    r_file = file;
+                    r_line = pexp_loc.Location.loc_start.Lexing.pos_lnum;
+                  }
+                  :: !acc
+              | None -> ())
+            | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.Ast_iterator.structure it str;
+  List.rev !acc
+
+(* Walk the tree and collect every registration; files that do not parse
+   are skipped here (the per-file [parse-error] rule already reports
+   them). *)
+let measure ~root ~dirs : registration list =
+  let read path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  List.concat_map
+    (fun path ->
+      if not (Filename.check_suffix path ".ml") then []
+      else
+        match
+          Driver.parse_implementation ~path (read (Filename.concat root path))
+        with
+        | Ok str -> collect_structure ~file:path str
+        | Error _ -> [])
+    (Driver.source_files ~root dirs)
+
+(* --- ledger file format ----------------------------------------------- *)
+
+(* "<name> kind=<counter|gauge|histogram>", one per line; '#' comments. *)
+let parse ~file (contents : string) : (entry list, Diagnostic.t) result =
+  let err line msg =
+    Error (Diagnostic.make ~file ~line ~col:0 ~rule:Rules.metric_registry msg)
+  in
+  let lines = String.split_on_char '\n' contents in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+      let l =
+        match String.index_opt l '#' with
+        | Some i -> String.sub l 0 i
+        | None -> l
+      in
+      match String.split_on_char ' ' (String.trim l) with
+      | [ "" ] -> go acc (lineno + 1) rest
+      | [ name; k ] -> (
+        match String.split_on_char '=' k with
+        | [ "kind"; k ] -> (
+          match kind_of_string k with
+          | Some kind ->
+            go ({ name; kind; line = lineno } :: acc) (lineno + 1) rest
+          | None -> err lineno "kind= must be counter, gauge, or histogram")
+        | _ -> err lineno "expected `<name> kind=<kind>`")
+      | _ -> err lineno "expected `<name> kind=<kind>`")
+  in
+  go [] 1 lines
+
+let format (entries : entry list) : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    "# Every metric name the codebase registers (Metrics.counter / gauge /\n\
+     # histogram call sites) — the metric-registry lint fails on any drift\n\
+     # from this exact set: dashboards and scrape configs key on these\n\
+     # names. Re-pin with `prio_lint --update-metrics` and review the diff.\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "%s kind=%s\n" e.name (kind_to_string e.kind)))
+    entries;
+  Buffer.contents b
+
+(* Collapse registrations (one per call site, the same name may be
+   registered from several modules) to one sorted entry per name; a name
+   registered under two different kinds is reported through [check]. *)
+let dedup (regs : registration list) : entry list =
+  List.sort_uniq compare
+    (List.map (fun r -> (r.r_name, r.r_kind)) regs)
+  |> List.map (fun (name, kind) -> { name; kind; line = 0 })
+  |> List.sort (fun a b -> compare a.name b.name)
+
+(* --- the diff ---------------------------------------------------------- *)
+
+(** Exact-pin diff of the collected registrations against the checked-in
+    ledger. Every divergence is an error. *)
+let check ~file ~(ledger : entry list) ~(measured : registration list) :
+    Diagnostic.t list =
+  let diag ?(line = 1) msg =
+    Diagnostic.make ~file ~line ~col:0 ~rule:Rules.metric_registry msg
+  in
+  let conflicts =
+    (* one name, two kinds: broken regardless of what the ledger says *)
+    List.filter_map
+      (fun r ->
+        match
+          List.find_opt
+            (fun r' -> r'.r_name = r.r_name && r'.r_kind <> r.r_kind)
+            measured
+        with
+        | Some r' when r.r_file < r'.r_file
+                       || (r.r_file = r'.r_file && r.r_line < r'.r_line) ->
+          Some
+            (diag
+               (Printf.sprintf
+                  "metric %s registered as %s (%s:%d) and as %s (%s:%d)"
+                  r.r_name (kind_to_string r.r_kind) r.r_file r.r_line
+                  (kind_to_string r'.r_kind) r'.r_file r'.r_line))
+        | _ -> None)
+      measured
+  in
+  let entries = dedup measured in
+  let unledgered =
+    List.filter_map
+      (fun (e : entry) ->
+        match List.find_opt (fun (l : entry) -> l.name = e.name) ledger with
+        | None ->
+          let site =
+            match List.find_opt (fun r -> r.r_name = e.name) measured with
+            | Some r -> Printf.sprintf " (registered at %s:%d)" r.r_file r.r_line
+            | None -> ""
+          in
+          Some
+            (diag
+               (Printf.sprintf "metric %s kind=%s has no ledger entry%s; %s"
+                  e.name (kind_to_string e.kind) site update_hint))
+        | Some l when l.kind <> e.kind ->
+          Some
+            (diag ~line:l.line
+               (Printf.sprintf
+                  "metric %s changed kind: ledger says %s, code registers %s; \
+                   %s"
+                  e.name (kind_to_string l.kind) (kind_to_string e.kind)
+                  update_hint))
+        | Some _ -> None)
+      entries
+  in
+  let stale =
+    List.filter_map
+      (fun (l : entry) ->
+        if List.exists (fun (e : entry) -> e.name = l.name) entries then None
+        else
+          Some
+            (diag ~line:l.line
+               (Printf.sprintf
+                  "ledger entry %s matches no registration in the code; %s"
+                  l.name update_hint)))
+      ledger
+  in
+  conflicts @ unledgered @ stale

@@ -1,0 +1,55 @@
+(** The metric-name ledger behind the [metric-registry] lint rule.
+
+    The repo pins the full set of metric names the codebase registers
+    (every [Metrics.counter]/[gauge]/[histogram] call site with its
+    kind) in a checked-in ledger. The lint driver re-collects the set
+    syntactically and diffs with exact-pin semantics: an unledgered
+    metric, a stale ledger entry, or a kind change fails the build —
+    metric names are an exported interface (dashboards and scrape
+    configs key on them) that nothing else type-checks. Drift is
+    re-pinned deliberately via [--update-metrics], mirroring the
+    gate-budget flow in {!Budget}. *)
+
+type kind = Counter | Gauge | Histogram
+
+val kind_to_string : kind -> string
+
+(** One ledger line: a pinned metric name with its kind. [line] is the
+    ledger line the entry came from (0 for freshly measured sets). *)
+type entry = { name : string; kind : kind; line : int }
+
+(** One registration call site in the code. *)
+type registration = {
+  r_name : string;
+  r_kind : kind;
+  r_file : string;
+  r_line : int;
+}
+
+(** Collect every registration in one parsed [.ml]; [file] labels the
+    sites. *)
+val collect_structure :
+  file:string -> Parsetree.structure -> registration list
+
+(** Collect every registration under [root]/[dirs] (same walk as the
+    lint tree; files that fail to parse are skipped — [parse-error]
+    reports those). *)
+val measure : root:string -> dirs:string list -> registration list
+
+(** Collapse call sites to one sorted [entry] per metric name. *)
+val dedup : registration list -> entry list
+
+(** Parse a ledger file ("<name> kind=<kind>" lines, '#' comments). *)
+val parse : file:string -> string -> (entry list, Diagnostic.t) result
+
+(** Render entries in the ledger file format (with header comment). *)
+val format : entry list -> string
+
+(** Exact-pin diff of collected registrations against the checked-in
+    ledger; every divergence (including one name registered under two
+    kinds) is an error attributed to [file]. *)
+val check :
+  file:string ->
+  ledger:entry list ->
+  measured:registration list ->
+  Diagnostic.t list

@@ -27,9 +27,11 @@ let parse_error = "parse-error"
 let domain_unsafe_state = "domain-unsafe-state"
 let secret_flow = "secret-flow"
 
-(* Non-AST rule: the gate-budget ledger diff in [Budget], measured over
-   the AFE zoo by the lint binary. *)
+(* Non-AST rules: the gate-budget ledger diff in [Budget] (measured over
+   the AFE zoo by the lint binary) and the metric-name ledger diff in
+   [Metricreg] (collected over the whole tree by the lint binary). *)
 let circuit_budget = "circuit-budget"
+let metric_registry = "metric-registry"
 
 type finding = { loc : Location.t; message : string }
 

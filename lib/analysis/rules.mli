@@ -26,6 +26,10 @@ val secret_flow : string
     the lint binary measures the circuits and runs the check. *)
 val circuit_budget : string
 
+(** Non-AST rule: the metric-name ledger diff (see {!Metricreg}); the
+    lint binary collects registrations and runs the check. *)
+val metric_registry : string
+
 type finding = { loc : Location.t; message : string }
 
 (** Resolve a rule id to its structure checker; [None] for non-AST rules

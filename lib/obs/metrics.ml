@@ -206,6 +206,40 @@ let snapshot () =
       Hashtbl.fold (fun name m acc -> (name, view_of m) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Percentile estimate from the log-scale buckets: walk the cumulative
+   counts to the bucket the rank lands in, interpolate linearly inside
+   it, and clamp to the observed min/max so a near-empty histogram never
+   reports a bucket edge far from any actual sample. The relative error
+   is bounded by the bucket width (a factor of 2). *)
+let percentile hv q =
+  if hv.hv_count = 0 then None
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    let rank = q *. float_of_int hv.hv_count in
+    let clamp v = Float.min hv.hv_max (Float.max hv.hv_min v) in
+    let n = Array.length hv.hv_buckets in
+    let rec go cum i =
+      if i >= n then Some hv.hv_max
+      else begin
+        let le, c = hv.hv_buckets.(i) in
+        let cum' = cum + c in
+        if float_of_int cum' >= rank then
+          if Float.is_finite le then begin
+            let lower = le /. 2. in
+            let frac =
+              if c = 0 then 1.
+              else (rank -. float_of_int cum) /. float_of_int c
+            in
+            Some (clamp (lower +. ((le -. lower) *. frac)))
+          end
+          else (* unbounded last bucket: the max is the best estimate *)
+            Some hv.hv_max
+        else go cum' (i + 1)
+      end
+    in
+    go 0 0
+  end
+
 let reset () =
   with_lock (fun () ->
       Hashtbl.iter

@@ -79,6 +79,13 @@ type view =
 val snapshot : unit -> (string * view) list
 (** Every registered metric, sorted by name. *)
 
+val percentile : histogram_view -> float -> float option
+(** [percentile hv q] estimates the [q]-quantile ([0. <= q <= 1.]) from
+    the log-scale buckets: linear interpolation inside the bucket the
+    rank lands in, clamped to the observed min/max. [None] when the
+    histogram is empty; relative error is bounded by the power-of-two
+    bucket width. *)
+
 val reset : unit -> unit
 (** Zero all values; registrations (and metric identities) survive. *)
 

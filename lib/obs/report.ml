@@ -80,10 +80,17 @@ let json () =
       | Metrics.Counter_v n -> Buffer.add_string buf (string_of_int n)
       | Metrics.Gauge_v x -> Buffer.add_string buf (json_float x)
       | Metrics.Histogram_v h ->
+        let pct q =
+          match Metrics.percentile h q with
+          | Some v -> json_float v
+          | None -> "null"
+        in
         Buffer.add_string buf
-          (Printf.sprintf "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"buckets\":["
+          (Printf.sprintf
+             "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"buckets\":["
              h.Metrics.hv_count (json_float h.Metrics.hv_sum)
-             (json_float h.Metrics.hv_min) (json_float h.Metrics.hv_max));
+             (json_float h.Metrics.hv_min) (json_float h.Metrics.hv_max)
+             (pct 0.5) (pct 0.95) (pct 0.99));
         Array.iteri
           (fun j (le, c) ->
             if j > 0 then Buffer.add_char buf ',';
@@ -93,4 +100,34 @@ let json () =
         Buffer.add_string buf "]}")
     (Metrics.snapshot ());
   Buffer.add_string buf "}";
+  Buffer.contents buf
+
+(* Human view: one line per metric, histograms summarized by their
+   percentile estimates instead of raw bucket counts. *)
+let summary () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Metrics.Counter_v n ->
+        Buffer.add_string buf (Printf.sprintf "counter    %-44s %d\n" name n)
+      | Metrics.Gauge_v x ->
+        Buffer.add_string buf
+          (Printf.sprintf "gauge      %-44s %s\n" name (float_lit x))
+      | Metrics.Histogram_v h ->
+        let pct q =
+          match Metrics.percentile h q with
+          | Some v -> float_lit v
+          | None -> "-"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "histogram  %-44s count=%d mean=%s p50=%s p95=%s p99=%s max=%s\n"
+             name h.Metrics.hv_count
+             (float_lit
+                (if h.Metrics.hv_count = 0 then 0.
+                 else h.Metrics.hv_sum /. float_of_int h.Metrics.hv_count))
+             (pct 0.5) (pct 0.95) (pct 0.99)
+             (if h.Metrics.hv_count = 0 then "-" else float_lit h.Metrics.hv_max)))
+    (Metrics.snapshot ());
   Buffer.contents buf

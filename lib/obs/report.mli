@@ -8,5 +8,11 @@ val prometheus : unit -> string
 val json : unit -> string
 (** One JSON object keyed by metric name; counters as integers, gauges
     as numbers, histograms as
-    [{"count":…,"sum":…,"min":…,"max":…,"buckets":[[le,n],…]}] (non-finite
-    bounds rendered as [null]). *)
+    [{"count":…,"sum":…,"min":…,"max":…,"p50":…,"p95":…,"p99":…,
+      "buckets":[[le,n],…]}] (non-finite bounds and empty-histogram
+    percentiles rendered as [null]). *)
+
+val summary : unit -> string
+(** Human-readable one-line-per-metric view; histograms show count,
+    mean and p50/p95/p99 estimates ({!Metrics.percentile}) instead of
+    raw bucket counts. *)

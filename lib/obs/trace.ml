@@ -27,6 +27,8 @@ type span = {
   name : string;
   kind : kind;
   start : float;
+  trace : string;  (** trace id this span belongs to (root spans mint one) *)
+  remote : string option;  (** cross-process parent reference, if any *)
   mutable duration : float;
   mutable attrs : (string * string) list;
 }
@@ -34,16 +36,24 @@ type span = {
 type recorder = {
   clock : Clock.t;
   capacity : int;
+  origin : string;  (** process label namespacing span references *)
   ring : span option array;
   mutable total : int;  (** spans ever started, including evicted ones *)
   mutable next_id : int;
   lock : Mutex.t;  (** guards ring, total, next_id and span mutations *)
 }
 
-let create ?(clock = Clock.system) ?(capacity = 4096) () =
+let create ?(clock = Clock.system) ?(capacity = 4096) ?(origin = "main") () =
   if capacity <= 0 then invalid_arg "Obs.Trace.create: capacity must be positive";
-  { clock; capacity; ring = Array.make capacity None; total = 0;
+  { clock; capacity; origin; ring = Array.make capacity None; total = 0;
     next_id = 0; lock = Mutex.create () }
+
+let origin r = r.origin
+
+(* Globally-referenceable span identity: "<origin>#<local id>". Two
+   recorders with distinct origins (one per OS process in a deployment)
+   never collide, so cross-process parent links survive {!merge}. *)
+let sref r id = r.origin ^ "#" ^ string_of_int id
 
 (* Atomic, not ref: with_span/event/add_attr read this from worker
    domains while the main domain installs/uninstalls recorders around
@@ -80,13 +90,16 @@ let locked r f =
 let recorded r = locked r (fun () -> min r.total r.capacity)
 let total r = locked r (fun () -> r.total)
 
-let fresh r ~kind ~parent ?(attrs = []) name =
+(* [trace]: [None] mints a fresh trace id — the span's own global
+   reference — making the span a trace root; [Some t] joins trace [t]. *)
+let fresh r ~kind ~parent ~trace ~remote ?(attrs = []) name =
   locked r (fun () ->
       let id = r.next_id in
       r.next_id <- id + 1;
+      let trace = match trace with Some t -> t | None -> sref r id in
       let sp =
-        { id; parent; name; kind; start = Clock.now r.clock; duration = 0.;
-          attrs }
+        { id; parent; name; kind; start = Clock.now r.clock; trace; remote;
+          duration = 0.; attrs }
       in
       r.ring.(r.total mod r.capacity) <- Some sp;
       r.total <- r.total + 1;
@@ -95,12 +108,53 @@ let fresh r ~kind ~parent ?(attrs = []) name =
 let parent_of stack =
   match snd !stack with [] -> None | sp :: _ -> Some sp.id
 
-let with_span ?attrs name f =
+let trace_of stack =
+  match snd !stack with [] -> None | sp :: _ -> Some sp.trace
+
+(* --------------------------- trace context ----------------------------- *)
+
+(** Wire-portable reference to an open span in this process: attach it to
+    an outgoing frame and the receiving process records its handling
+    spans as remote children ({!with_span_ctx}), so a client submission
+    and every server-side phase it triggers share one trace. *)
+type context = { ctx_trace : string; ctx_parent : string }
+
+let context () =
+  match Atomic.get current with
+  | None -> None
+  | Some r -> (
+    match snd !(my_stack r) with
+    | [] -> None
+    | sp :: _ -> Some { ctx_trace = sp.trace; ctx_parent = sref r sp.id })
+
+(* References are origin-prefixed ids with no whitespace, so a single
+   space separates the two fields unambiguously. *)
+let context_to_string c = c.ctx_trace ^ " " ^ c.ctx_parent
+
+let context_of_string s =
+  match String.index_opt s ' ' with
+  | Some i when i > 0 && i < String.length s - 1 ->
+    let trace = String.sub s 0 i in
+    let parent = String.sub s (i + 1) (String.length s - i - 1) in
+    if String.contains parent ' ' then None
+    else Some { ctx_trace = trace; ctx_parent = parent }
+  | _ -> None
+
+let start_span ?ctx ?attrs r stack name =
+  let parent = parent_of stack in
+  let trace, remote =
+    match ctx with
+    | Some c -> (Some c.ctx_trace, Some c.ctx_parent)
+    | None -> (trace_of stack, None)
+  in
+  fresh r ~kind:Span ~parent ~trace ~remote ?attrs name
+
+let with_span_gen ?ctx ?attrs name f =
   match Atomic.get current with
   | None -> f ()
   | Some r ->
     let stack = my_stack r in
-    let sp = fresh r ~kind:Span ~parent:(parent_of stack) ?attrs name in
+    let sp = start_span ?ctx ?attrs r stack name in
     stack := (Some r, sp :: snd !stack);
     Fun.protect
       ~finally:(fun () ->
@@ -114,12 +168,18 @@ let with_span ?attrs name f =
         stack := (Some r, unwind (snd !stack)))
       f
 
+let with_span ?attrs name f = with_span_gen ?attrs name f
+
+let with_span_ctx ?ctx ?attrs name f = with_span_gen ?ctx ?attrs name f
+
 let event ?attrs name =
   match Atomic.get current with
   | None -> ()
   | Some r ->
     let stack = my_stack r in
-    ignore (fresh r ~kind:Event ~parent:(parent_of stack) ?attrs name)
+    ignore
+      (fresh r ~kind:Event ~parent:(parent_of stack) ~trace:(trace_of stack)
+         ~remote:None ?attrs name)
 
 let add_attr k v =
   match Atomic.get current with
@@ -168,12 +228,21 @@ let float_lit f =
     let s = Printf.sprintf "%.12g" f in
     if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
-let span_to_json sp =
+let span_to_json ~origin sp =
   let buf = Buffer.create 128 in
   Buffer.add_string buf (Printf.sprintf "{\"id\":%d" sp.id);
   (match sp.parent with
   | None -> Buffer.add_string buf ",\"parent\":null"
   | Some p -> Buffer.add_string buf (Printf.sprintf ",\"parent\":%d" p));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"origin\":\"%s\"" (json_escape origin));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"trace\":\"%s\"" (json_escape sp.trace));
+  (match sp.remote with
+  | None -> ()
+  | Some ref_ ->
+    Buffer.add_string buf
+      (Printf.sprintf ",\"remote\":\"%s\"" (json_escape ref_)));
   Buffer.add_string buf
     (Printf.sprintf ",\"kind\":%s"
        (match sp.kind with Span -> "\"span\"" | Event -> "\"event\""));
@@ -198,7 +267,7 @@ let to_jsonl r =
   let buf = Buffer.create 1024 in
   List.iter
     (fun sp ->
-      Buffer.add_string buf (span_to_json sp);
+      Buffer.add_string buf (span_to_json ~origin:r.origin sp);
       Buffer.add_char buf '\n')
     (spans r);
   Buffer.contents buf
@@ -239,6 +308,328 @@ let tree r =
       Buffer.add_string buf (Printf.sprintf "* %s%s\n" sp.name (attr_str sp)));
     List.iter (render (depth + 1))
       (List.rev (try Hashtbl.find children sp.id with Not_found -> []))
+  in
+  List.iter (render 0) roots;
+  Buffer.contents buf
+
+(* --------------------------- cross-process merge ----------------------- *)
+
+(* A minimal JSON reader covering exactly the subset {!to_jsonl} emits
+   (objects, strings with the escapes {!json_escape} produces, numbers,
+   null). Unparseable lines are skipped by the merge — a torn last line
+   from a killed process must not poison the rest of the dump. *)
+module Json_line = struct
+  exception Bad
+
+  type v =
+    | Null
+    | Num of float
+    | Str of string
+    | Obj of (string * v) list
+
+  let parse line =
+    let n = String.length line in
+    let pos = ref 0 in
+    let peek () = if !pos >= n then raise Bad else line.[!pos] in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < n && (match line.[!pos] with ' ' | '\t' -> true | _ -> false)
+      do advance () done
+    in
+    let expect c = if peek () <> c then raise Bad else advance () in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance (); Buffer.contents buf
+        | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'u' ->
+            if !pos + 4 >= n then raise Bad;
+            let hex = String.sub line (!pos + 1) 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some c when c < 0x80 -> Buffer.add_char buf (Char.chr c)
+            | Some _ -> Buffer.add_char buf '?'
+            | None -> raise Bad);
+            pos := !pos + 4
+          | _ -> raise Bad);
+          advance ();
+          go ()
+        | c -> Buffer.add_char buf c; advance (); go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      while
+        !pos < n
+        && (match line.[!pos] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do advance () done;
+      match float_of_string_opt (String.sub line start (!pos - start)) with
+      | Some f -> f
+      | None -> raise Bad
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '"' -> Str (parse_string ())
+      | '{' -> parse_obj ()
+      | 'n' ->
+        if !pos + 4 <= n && String.sub line !pos 4 = "null" then begin
+          pos := !pos + 4; Null
+        end
+        else raise Bad
+      | 't' ->
+        if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
+          pos := !pos + 4; Num 1.
+        end
+        else raise Bad
+      | 'f' ->
+        if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
+          pos := !pos + 5; Num 0.
+        end
+        else raise Bad
+      | _ -> Num (parse_number ())
+    and parse_obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = '}' then begin advance (); Obj [] end
+      else begin
+        let fields = ref [] in
+        let rec field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); field ()
+          | '}' -> advance ()
+          | _ -> raise Bad
+        in
+        field ();
+        Obj (List.rev !fields)
+      end
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise Bad;
+    v
+
+  let find k = function Obj fields -> List.assoc_opt k fields | _ -> None
+  let str = function Some (Str s) -> Some s | _ -> None
+  let num = function Some (Num f) -> Some f | _ -> None
+end
+
+type merged = {
+  m_id : string;  (** origin-qualified reference, ["server0#3"] *)
+  m_parent : string option;  (** resolved parent reference, local or remote *)
+  m_origin : string;
+  m_trace : string;
+  m_kind : kind;
+  m_name : string;
+  m_start : float;
+  m_duration : float;
+  m_attrs : (string * string) list;
+}
+
+(* Parse one JSONL doc into merged records (parents unresolved yet);
+   [fallback] labels docs whose lines carry no origin. *)
+let parse_doc ~fallback doc =
+  let parse_line line =
+    match Json_line.parse line with
+    | exception Json_line.Bad -> None
+    | j ->
+      let open Json_line in
+      (match (num (find "id" j), str (find "name" j)) with
+      | Some id, Some name ->
+        let origin =
+          match str (find "origin" j) with Some o -> o | None -> fallback
+        in
+        let attrs =
+          match find "attrs" j with
+          | Some (Obj fields) ->
+            List.filter_map
+              (fun (k, v) ->
+                match v with Str s -> Some (k, s) | _ -> None)
+              fields
+          | _ -> []
+        in
+        Some
+          ( (match num (find "parent" j) with
+            | Some p -> Some (int_of_float p)
+            | None -> None),
+            str (find "remote" j),
+            {
+              m_id = origin ^ "#" ^ string_of_int (int_of_float id);
+              m_parent = None;
+              m_origin = origin;
+              m_trace =
+                (match str (find "trace" j) with Some t -> t | None -> "");
+              m_kind =
+                (match str (find "kind" j) with
+                | Some "event" -> Event
+                | _ -> Span);
+              m_name = name;
+              m_start =
+                (match num (find "start" j) with Some s -> s | None -> 0.);
+              m_duration =
+                (match num (find "duration" j) with Some d -> d | None -> 0.);
+              m_attrs = attrs;
+            } )
+      | _ -> None)
+  in
+  String.split_on_char '\n' doc
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.filter_map parse_line
+
+(** Join per-process JSONL dumps into one causally-ordered list: local
+    parent ids are qualified by their process origin, cross-process
+    [remote] references stitch the per-process trees together (a span
+    with both keeps the local parent — deeper nesting), and the result
+    is topologically ordered (parents before children, siblings by start
+    time then id, so a fixed clock gives a deterministic merge). *)
+let merge docs =
+  let raw =
+    List.concat
+      (List.mapi (fun i doc -> parse_doc ~fallback:("p" ^ string_of_int i) doc)
+         docs)
+  in
+  let present = Hashtbl.create 256 in
+  List.iter (fun (_, _, m) -> Hashtbl.replace present m.m_id ()) raw;
+  let resolved =
+    List.map
+      (fun (local, remote, m) ->
+        let local_ref =
+          match local with
+          | Some p ->
+            let r = m.m_origin ^ "#" ^ string_of_int p in
+            if Hashtbl.mem present r then Some r else None
+          | None -> None
+        in
+        let remote_ref =
+          match remote with
+          | Some r when Hashtbl.mem present r -> Some r
+          | _ -> None
+        in
+        let parent =
+          match local_ref with Some _ -> local_ref | None -> remote_ref
+        in
+        { m with m_parent = parent })
+      raw
+  in
+  (* Topological emit: roots (and orphans) first, children under their
+     parents, siblings ordered by (start, id). *)
+  let children = Hashtbl.create 256 in
+  let roots = ref [] in
+  List.iter
+    (fun m ->
+      match m.m_parent with
+      | Some p ->
+        Hashtbl.replace children p
+          (m :: (try Hashtbl.find children p with Not_found -> []))
+      | None -> roots := m :: !roots)
+    resolved;
+  let order a b =
+    match Float.compare a.m_start b.m_start with
+    | 0 -> String.compare a.m_id b.m_id
+    | c -> c
+  in
+  let buf = ref [] in
+  let rec emit m =
+    buf := m :: !buf;
+    List.iter emit
+      (List.sort order (try Hashtbl.find children m.m_id with Not_found -> []))
+  in
+  List.iter emit (List.sort order (List.rev !roots));
+  List.rev !buf
+
+let merged_to_json m =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "{\"id\":\"%s\"" (json_escape m.m_id));
+  (match m.m_parent with
+  | None -> Buffer.add_string buf ",\"parent\":null"
+  | Some p ->
+    Buffer.add_string buf (Printf.sprintf ",\"parent\":\"%s\"" (json_escape p)));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"origin\":\"%s\"" (json_escape m.m_origin));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"trace\":\"%s\"" (json_escape m.m_trace));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"kind\":%s"
+       (match m.m_kind with Span -> "\"span\"" | Event -> "\"event\""));
+  Buffer.add_string buf (Printf.sprintf ",\"name\":\"%s\"" (json_escape m.m_name));
+  Buffer.add_string buf (Printf.sprintf ",\"start\":%s" (float_lit m.m_start));
+  if m.m_kind = Span then
+    Buffer.add_string buf
+      (Printf.sprintf ",\"duration\":%s" (float_lit m.m_duration));
+  if m.m_attrs <> [] then begin
+    Buffer.add_string buf ",\"attrs\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+      m.m_attrs;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let merge_jsonl docs =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun m ->
+      Buffer.add_string buf (merged_to_json m);
+      Buffer.add_char buf '\n')
+    (merge docs);
+  Buffer.contents buf
+
+let merge_tree docs =
+  let all = merge docs in
+  let children = Hashtbl.create 256 in
+  let roots =
+    List.filter
+      (fun m ->
+        match m.m_parent with
+        | Some p ->
+          Hashtbl.replace children p
+            (m :: (try Hashtbl.find children p with Not_found -> []));
+          false
+        | None -> true)
+      all
+  in
+  let buf = Buffer.create 1024 in
+  let attr_str m =
+    if m.m_attrs = [] then ""
+    else
+      " ["
+      ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) m.m_attrs)
+      ^ "]"
+  in
+  let rec render depth m =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    (match m.m_kind with
+    | Span ->
+      Buffer.add_string buf
+        (Printf.sprintf "[%s] %s (%.6fs)%s\n" m.m_origin m.m_name m.m_duration
+           (attr_str m))
+    | Event ->
+      Buffer.add_string buf
+        (Printf.sprintf "[%s] * %s%s\n" m.m_origin m.m_name (attr_str m)));
+    List.iter (render (depth + 1))
+      (List.rev (try Hashtbl.find children m.m_id with Not_found -> []))
   in
   List.iter (render 0) roots;
   Buffer.contents buf

@@ -8,13 +8,18 @@
     and the leader driving the two SNIP gossip rounds over persistent
     server-to-server connections.
 
-    Protocol (all frames are 4-byte big-endian length + tag byte + body):
-    - client → any server:   [P] client_id ‖ sealed packet   (ack [K]/[R]/[E])
-    - client → leader:       [V] client_id                    — verify now
-    - leader → follower:     [o] client_id                    → [O] d‖e
-    - leader → follower:     [d] client_id ‖ d ‖ e            → [S] σ‖ζ
-    - leader → follower:     [a]/[r] client_id                — decision
+    Protocol (all frames are 4-byte big-endian length + tag byte + body;
+    [ctx] is the length-prefixed trace-context suffix of {!ctx_bytes} —
+    2 zero bytes when no span is open, so the causal frames below always
+    carry it):
+    - client → any server:   [P] client_id ‖ ctx ‖ sealed     (ack [K]/[R]/[E])
+    - client → leader:       [V] client_id ‖ ctx              — verify now
+    - leader → follower:     [o] client_id ‖ ctx              → [O] d‖e
+    - leader → follower:     [d] client_id ‖ ctx ‖ d ‖ e      → [S] σ‖ζ
+    - leader → follower:     [a]/[r] client_id ‖ ctx          — decision
     - collector → server:    [Q]                              → [A] accumulator
+    - monitor → server:      [q] format byte ('p'/'j')        → [m] metrics text
+    - monitor → server:      [h]                              → [H] health probe
     - controller → server:   [X]                              — shutdown
     - any server → peer:     [E] code ‖ detail                — refusal, with
       a one-byte machine-readable code ({!error_code}) and human detail
@@ -120,6 +125,10 @@ type tuning = {
       (** decisions between snapshots; 1 (default) loses nothing across
           a crash, larger amortizes the write at the cost of losing the
           tail since the last snapshot *)
+  trace_dir : string option;
+      (** with it set, each server process installs its own span recorder
+          (origin ["server<id>"]) and dumps [<trace_dir>/server<id>.jsonl]
+          on clean shutdown, ready for {!Prio_obs.Trace.merge} *)
 }
 
 let default_tuning =
@@ -136,6 +145,7 @@ let default_tuning =
     clock = Prio_obs.Clock.system;
     checkpoint_dir = None;
     checkpoint_every = 1;
+    trace_dir = None;
   }
 
 (* ---------------------------- observability ---------------------------- *)
@@ -143,6 +153,7 @@ let default_tuning =
 module Metrics = Prio_obs.Metrics
 module Trace = Prio_obs.Trace
 module Clock = Prio_obs.Clock
+module Report = Prio_obs.Report
 
 (* Unified on-wire accounting: every frame that crosses a socket in this
    process — uploads, gossip, collection — lands in these channels, the
@@ -165,6 +176,22 @@ let m_restore_rejected = Metrics.counter "prio_ckpt_rejected_total"
 let h_ckpt_write = Metrics.histogram "prio_ckpt_write_seconds"
 let h_restore = Metrics.histogram "prio_ckpt_restore_seconds"
 
+(* Per-stage latency histograms: every submission crosses admission →
+   verify → aggregate → checkpoint inside a server process; each stage
+   records its wall time here, and the live scrape ([q] frames) pulls the
+   percentile view out of the running process. *)
+let h_stage_admit = Metrics.histogram "prio_stage_admit_seconds"
+let h_stage_verify = Metrics.histogram "prio_stage_verify_seconds"
+let h_stage_aggregate = Metrics.histogram "prio_stage_aggregate_seconds"
+let h_stage_checkpoint = Metrics.histogram "prio_stage_checkpoint_seconds"
+
+(* Supervisor view (recorded in the probing process, not the servers):
+   how many servers the last probe sweep found broken, and how many
+   probe-driven restarts were issued over this process's lifetime. *)
+let g_sup_down = Metrics.gauge "prio_supervisor_down"
+let g_sup_degraded = Metrics.gauge "prio_supervisor_degraded"
+let m_probe_restarts = Metrics.counter "prio_supervisor_probe_restarts_total"
+
 (* ------------------------------- framing ------------------------------- *)
 
 let put_u32 v =
@@ -177,6 +204,62 @@ let get_u32 b off =
   lor Char.code (Bytes.get b (off + 3))
 
 let tagged tag body = Bytes.cat (Bytes.make 1 tag) body
+
+let put_u16 v =
+  Bytes.init 2 (fun i -> Char.chr ((v lsr (8 * (1 - i))) land 0xff))
+
+let get_u16 b off =
+  (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+(* IEEE-754 double, big-endian — the checkpoint-age field of [H] frames *)
+let put_f64 v =
+  let bits = Int64.bits_of_float v in
+  Bytes.init 8 (fun i ->
+      Char.chr
+        (Int64.to_int (Int64.shift_right_logical bits (8 * (7 - i)))
+        land 0xff))
+
+let get_f64 b off =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor
+        (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code (Bytes.get b (off + i))))
+  done;
+  Int64.float_of_bits !bits
+
+(* ---------------------------- trace context ---------------------------- *)
+
+(** Length-prefixed trace-context suffix for causal frames: [u16 len ‖
+    context], where the context is the calling domain's current
+    {!Trace.context} ([len = 0] when no recorder/span is live, so
+    uninstrumented peers interoperate unchanged). Receivers parse it with
+    {!get_ctx} and open their handling span with [Trace.with_span_ctx],
+    which is how a client's submission span becomes the ancestor of the
+    leader's — and, via the gossip frames, every follower's — spans in
+    the merged cross-process trace. *)
+let ctx_bytes () =
+  match Trace.context () with
+  | None -> Bytes.make 2 '\000'
+  | Some c ->
+    let s = Trace.context_to_string c in
+    let n = String.length s in
+    if n > 0xffff then Bytes.make 2 '\000'
+    else Bytes.cat (put_u16 n) (Bytes.of_string s)
+
+(** [get_ctx frame off] parses a {!ctx_bytes} suffix at [off]; returns
+    the context (if present and well-formed) and the offset just past the
+    suffix. Total: a truncated or garbled suffix degrades to [None] — a
+    missing trace must never refuse a frame. *)
+let get_ctx frame off =
+  if Bytes.length frame < off + 2 then (None, Bytes.length frame)
+  else begin
+    let n = get_u16 frame off in
+    let off = off + 2 in
+    if n = 0 || Bytes.length frame < off + n then (None, off)
+    else (Trace.context_of_string (Bytes.sub_string frame off n), off + n)
+  end
 
 (* wait until [fd] is ready for reading/writing, bounded by [deadline];
    false on expiry *)
@@ -408,6 +491,129 @@ let dial ?(deadline = Retry.after 2.0) ?(retry_refused = true) addr :
   in
   attempt ()
 
+(* ------------------------- health and scrape --------------------------- *)
+
+(** One server's answer to an [h] probe: enough signal for a supervisor
+    to distinguish "serving", "serving but degraded" (a gossip link to a
+    peer is down, durability is stale) and "wedged" (process alive but
+    the probe itself times out) — liveness alone ([waitpid]) sees only
+    the first and last. *)
+type health = {
+  h_server : int;  (** server id (0 = leader) *)
+  h_epoch : int;  (** current replay/idempotency epoch *)
+  h_pending : int;  (** admission-queue depth (in-flight submissions) *)
+  h_accepted : int;  (** submissions folded into the accumulator *)
+  h_ckpt_age : float option;
+      (** seconds since this process last wrote a snapshot; [None] when
+          durability is off or nothing has been checkpointed yet *)
+  h_peers : (int * bool) list;
+      (** leader only: per-follower [(server id, link cached)] — [false]
+          means the persistent gossip connection is down (dropped after a
+          failure, or never established) and will be redialed on demand *)
+}
+
+let health_to_bytes h =
+  let buf = Buffer.create 64 in
+  Buffer.add_bytes buf (put_u32 h.h_server);
+  Buffer.add_bytes buf (put_u32 h.h_epoch);
+  Buffer.add_bytes buf (put_u32 h.h_pending);
+  Buffer.add_bytes buf (put_u32 h.h_accepted);
+  (match h.h_ckpt_age with
+  | None ->
+    Buffer.add_char buf '\000';
+    Buffer.add_bytes buf (put_f64 0.)
+  | Some age ->
+    Buffer.add_char buf '\001';
+    Buffer.add_bytes buf (put_f64 age));
+  Buffer.add_char buf (Char.chr (List.length h.h_peers land 0xff));
+  List.iter
+    (fun (j, up) ->
+      Buffer.add_bytes buf (put_u32 j);
+      Buffer.add_char buf (if up then '\001' else '\000'))
+    h.h_peers;
+  Buffer.to_bytes buf
+
+let health_of_bytes_opt frame ~off =
+  let len = Bytes.length frame in
+  if len < off + 26 then None
+  else begin
+    let npeers = Char.code (Bytes.get frame (off + 25)) in
+    if len < off + 26 + (5 * npeers) then None
+    else begin
+      let peers =
+        List.init npeers (fun k ->
+            let p = off + 26 + (5 * k) in
+            (get_u32 frame p, Bytes.get frame (p + 4) <> '\000'))
+      in
+      Some
+        {
+          h_server = get_u32 frame off;
+          h_epoch = get_u32 frame (off + 4);
+          h_pending = get_u32 frame (off + 8);
+          h_accepted = get_u32 frame (off + 12);
+          h_ckpt_age =
+            (if Bytes.get frame (off + 16) = '\000' then None
+             else Some (get_f64 frame (off + 17)));
+          h_peers = peers;
+        }
+    end
+  end
+
+(* one probe RPC: fresh connection, no retries — a supervisor wants the
+   current truth, not a backoff-smoothed one *)
+let probe_rpc ~tuning addr payload ~expect =
+  ignore_sigpipe ();
+  match
+    dial ~retry_refused:false ~deadline:(Retry.after tuning.dial_timeout) addr
+  with
+  | Error e -> Error e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let deadline = Retry.after tuning.io_timeout in
+        match write_frame ~deadline fd payload with
+        | Error e -> Error e
+        | Ok () -> (
+          match read_frame ~deadline ~max_bytes:tuning.max_frame_bytes fd with
+          | Error e -> Error e
+          | Ok reply ->
+            if Bytes.length reply = 0 then Error (Bad_frame "empty reply")
+            else if Bytes.get reply 0 = 'E' then (
+              match parse_error_frame reply with
+              | Some (c, detail) -> Error (Peer_error (c, detail))
+              | None -> Error (Bad_frame "garbled error frame"))
+            else if Bytes.get reply 0 <> expect then
+              Error
+                (Bad_frame
+                   (Printf.sprintf "expected %C reply, got %C" expect
+                      (Bytes.get reply 0)))
+            else Ok reply))
+
+(** Ask one server for its {!health} over a fresh connection ([h] → [H]).
+    Works against any live server of a deployment; an error is itself the
+    signal (dial refused = port dead, timeout = process wedged). *)
+let probe_health ?(tuning = default_tuning) addr :
+    (health, protocol_error) result =
+  match probe_rpc ~tuning addr (tagged 'h' Bytes.empty) ~expect:'H' with
+  | Error _ as e -> e
+  | Ok reply -> (
+    match health_of_bytes_opt reply ~off:1 with
+    | Some h -> Ok h
+    | None -> Error (Bad_frame "bad health payload"))
+
+(** Pull one server's live metrics registry over TCP ([q] → [m]) as
+    Prometheus exposition text or the {!Prio_obs.Report.json} snapshot —
+    the scrape endpoint, without embedding an HTTP server. *)
+let scrape_metrics ?(tuning = default_tuning) ?(format = `Prometheus) addr :
+    (string, protocol_error) result =
+  let fmt = match format with `Prometheus -> 'p' | `Json -> 'j' in
+  match
+    probe_rpc ~tuning addr (tagged 'q' (Bytes.make 1 fmt)) ~expect:'m'
+  with
+  | Error _ as e -> e
+  | Ok reply -> Ok (Bytes.sub_string reply 1 (Bytes.length reply - 1))
+
 (* ------------------------------ deployment ----------------------------- *)
 
 module Make (F : Prio_field.Field_intf.S) = struct
@@ -454,6 +660,19 @@ module Make (F : Prio_field.Field_intf.S) = struct
       ~id ~(listen_fd : Unix.file_descr)
       ~(follower_addrs : Unix.sockaddr array) =
     ignore_sigpipe ();
+    (* this process's registry answers the live scrape: zero whatever the
+       forking parent had accumulated, and time stages on the deployment
+       clock so manual-clock tests stay deterministic *)
+    Metrics.reset ();
+    Metrics.set_clock tuning.clock;
+    (match tuning.trace_dir with
+    | None -> ()
+    | Some _ ->
+      (* own recorder, origin-labeled so per-process dumps merge into one
+         cross-process tree ({!Trace.merge}) *)
+      Trace.install
+        (Trace.create ~clock:tuning.clock ~capacity:65536
+           ~origin:("server" ^ string_of_int id) ()));
     let payload_elements =
       C.num_inputs cfg.circuit + Snip.proof_num_elements cfg.circuit
     in
@@ -495,15 +714,24 @@ module Make (F : Prio_field.Field_intf.S) = struct
                 ("error", Checkpoint.string_of_error e) ]
       end);
     let decisions_since_ckpt = ref 0 in
+    let last_ckpt_at = ref nan in
     let write_checkpoint () =
       match tuning.checkpoint_dir with
       | None -> ()
       | Some dir -> (
+        (* nested under whatever decision span is open, so checkpoint
+           writes appear inside the submission's merged trace *)
+        Trace.with_span "server.checkpoint"
+          ~attrs:[ ("server", string_of_int id) ]
+        @@ fun () ->
         match
-          Metrics.time h_ckpt_write (fun () ->
-              Ckpt.save ~key:ckpt_key ~dir (Ckpt.of_server state))
+          Metrics.time h_stage_checkpoint (fun () ->
+              Metrics.time h_ckpt_write (fun () ->
+                  Ckpt.save ~key:ckpt_key ~dir (Ckpt.of_server state)))
         with
-        | Ok () -> Metrics.incr m_ckpt_writes
+        | Ok () ->
+          Metrics.incr m_ckpt_writes;
+          last_ckpt_at := Clock.now tuning.clock
         | Error e ->
           (* a failed write degrades durability, not availability *)
           Metrics.incr m_ckpt_errors;
@@ -681,11 +909,14 @@ module Make (F : Prio_field.Field_intf.S) = struct
                 drop_follower j;
                 raise (Degraded (j, Bad_frame "bad gossip payload")))
         in
+        (* gossip frames carry the leader's open verify span as context,
+           so every follower's spans join the client's trace *)
+        let id_ctx () = Bytes.cat (put_u32 client_id) (ctx_bytes ()) in
         (* round 1: collect openings *)
         let d = ref my_opening.Snip.d and e = ref my_opening.Snip.e in
         for j = 0 to nf - 1 do
           let dd, ee =
-            expect_pair j 'O' (ask_follower j (tagged 'o' (put_u32 client_id)))
+            expect_pair j 'O' (ask_follower j (tagged 'o' (id_ctx ())))
           in
           d := F.add !d dd;
           e := F.add !e ee
@@ -698,7 +929,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
           let s, z =
             expect_pair j 'S'
               (ask_follower j
-                 (tagged 'd' (Bytes.cat (put_u32 client_id) (pair_bytes !d !e))))
+                 (tagged 'd' (Bytes.cat (id_ctx ()) (pair_bytes !d !e))))
           in
           sigma := F.add !sigma s;
           zero := F.add !zero z
@@ -706,13 +937,20 @@ module Make (F : Prio_field.Field_intf.S) = struct
         let accepted = F.is_zero !sigma && F.is_zero !zero in
         let tag = if accepted then 'a' else 'r' in
         for j = 0 to nf - 1 do
-          tell_follower j (tagged tag (put_u32 client_id))
+          tell_follower j (tagged tag (id_ctx ()))
         done;
-        if accepted then Server.accumulate state p.share;
+        if accepted then
+          Trace.with_span "server.aggregate"
+            ~attrs:[ ("server", string_of_int id) ]
+            (fun () ->
+              Metrics.time h_stage_aggregate (fun () ->
+                  Server.accumulate state p.share));
         Ok accepted
       with Degraded (j, err) ->
         for k = 0 to nf - 1 do
-          if k <> j then tell_follower k (tagged 'r' (put_u32 client_id))
+          if k <> j then
+            tell_follower k
+              (tagged 'r' (Bytes.cat (put_u32 client_id) (ctx_bytes ())))
         done;
         Error (j, err)
     in
@@ -727,9 +965,16 @@ module Make (F : Prio_field.Field_intf.S) = struct
       in
       match Bytes.get frame 0 with
       | 'P' ->
-        need 5 (fun () ->
+        need 7 (fun () ->
             let client_id = get_u32 frame 1 in
-            let sealed = Bytes.sub frame 5 (Bytes.length frame - 5) in
+            let tctx, off = get_ctx frame 5 in
+            let sealed = Bytes.sub frame off (Bytes.length frame - off) in
+            Trace.with_span_ctx ?ctx:tctx "server.admit"
+              ~attrs:
+                [ ("server", string_of_int id);
+                  ("client", string_of_int client_id) ]
+            @@ fun () ->
+            Metrics.time h_stage_admit @@ fun () ->
             (match Server.decision state ~client_id with
             | Some accepted ->
               (* duplicate of a finished submission: idempotent re-ack *)
@@ -768,6 +1013,12 @@ module Make (F : Prio_field.Field_intf.S) = struct
       | 'V' ->
         need 5 (fun () ->
             let client_id = get_u32 frame 1 in
+            let tctx, _ = get_ctx frame 5 in
+            Trace.with_span_ctx ?ctx:tctx "server.verify"
+              ~attrs:
+                [ ("server", string_of_int id);
+                  ("client", string_of_int client_id) ]
+            @@ fun () ->
             (if id <> 0 then reply_error fd Unavailable "not the leader"
              else
                match Server.decision state ~client_id with
@@ -778,7 +1029,10 @@ module Make (F : Prio_field.Field_intf.S) = struct
                  | None ->
                    reply_error fd Unknown_client (string_of_int client_id)
                  | Some p -> (
-                   match verify client_id p with
+                   match
+                     Metrics.time h_stage_verify (fun () ->
+                         verify client_id p)
+                   with
                    | Ok accepted ->
                      Hashtbl.remove pending client_id;
                      note_depth ();
@@ -798,17 +1052,28 @@ module Make (F : Prio_field.Field_intf.S) = struct
       | 'o' ->
         need 5 (fun () ->
             let client_id = get_u32 frame 1 in
+            let tctx, _ = get_ctx frame 5 in
             (match Hashtbl.find_opt pending client_id with
             | None -> reply_error fd Unknown_client (string_of_int client_id)
             | Some p ->
-              let st, opening = prepare_pending p in
+              (* follower's share of the verify stage, joined to the
+                 leader's span via the gossip-frame context *)
+              Trace.with_span_ctx ?ctx:tctx "server.verify"
+                ~attrs:
+                  [ ("server", string_of_int id);
+                    ("client", string_of_int client_id) ]
+              @@ fun () ->
+              let st, opening =
+                Metrics.time h_stage_verify (fun () -> prepare_pending p)
+              in
               p.state <- Some st;
               reply fd (tagged 'O' (pair_bytes opening.Snip.d opening.Snip.e)));
             `Keep)
       | 'd' ->
         need 5 (fun () ->
             let client_id = get_u32 frame 1 in
-            (match W.field_pair_opt frame ~off:5 with
+            let tctx, off = get_ctx frame 5 in
+            (match W.field_pair_opt frame ~off with
             | None -> reply_error fd Malformed_frame "bad (d,e) payload"
             | Some (d, e) -> (
               match Hashtbl.find_opt pending client_id with
@@ -817,18 +1082,33 @@ module Make (F : Prio_field.Field_intf.S) = struct
               | Some { state = None; _ } ->
                 reply_error fd Malformed_frame "decide before opening"
               | Some { state = Some st; _ } ->
-                let v = Snip.server_decide_share ctx st ~d ~e in
+                Trace.with_span_ctx ?ctx:tctx "server.decide"
+                  ~attrs:
+                    [ ("server", string_of_int id);
+                      ("client", string_of_int client_id) ]
+                @@ fun () ->
+                let v =
+                  Metrics.time h_stage_verify (fun () ->
+                      Snip.server_decide_share ctx st ~d ~e)
+                in
                 reply fd (tagged 'S' (pair_bytes v.Snip.sigma v.Snip.zero))));
             `Keep)
       | 'a' ->
         need 5 (fun () ->
             let client_id = get_u32 frame 1 in
+            let tctx, _ = get_ctx frame 5 in
             (match Hashtbl.find_opt pending client_id with
             | Some p ->
               (* streaming aggregation: the share folds into the
                  accumulator and drops with the pending entry — nothing
                  per-submission outlives the decision *)
-              Server.accumulate state p.share;
+              Trace.with_span_ctx ?ctx:tctx "server.aggregate"
+                ~attrs:
+                  [ ("server", string_of_int id);
+                    ("client", string_of_int client_id) ]
+              @@ fun () ->
+              Metrics.time h_stage_aggregate (fun () ->
+                  Server.accumulate state p.share);
               Hashtbl.remove pending client_id;
               note_depth ();
               finish_decision ~client_id true
@@ -837,12 +1117,48 @@ module Make (F : Prio_field.Field_intf.S) = struct
       | 'r' ->
         need 5 (fun () ->
             let client_id = get_u32 frame 1 in
+            let tctx, _ = get_ctx frame 5 in
+            Trace.with_span_ctx ?ctx:tctx "server.discard"
+              ~attrs:
+                [ ("server", string_of_int id);
+                  ("client", string_of_int client_id) ]
+            @@ fun () ->
             Hashtbl.remove pending client_id;
             note_depth ();
             finish_decision ~client_id false;
             `Keep)
       | 'Q' ->
         reply fd (tagged 'A' (W.vector_to_bytes (Server.publish state)));
+        `Keep
+      | 'q' ->
+        (* live metrics scrape: render this process's registry on demand;
+           format byte 'j' = JSON snapshot, anything else = Prometheus *)
+        let text =
+          if Bytes.length frame >= 2 && Bytes.get frame 1 = 'j' then
+            Report.json ()
+          else Report.prometheus ()
+        in
+        reply fd (tagged 'm' (Bytes.of_string text));
+        `Keep
+      | 'h' ->
+        let age =
+          if Float.is_nan !last_ckpt_at then None
+          else Some (Clock.now tuning.clock -. !last_ckpt_at)
+        in
+        let peers =
+          List.init nf (fun j -> (j + 1, follower_fds.(j) <> None))
+        in
+        reply fd
+          (tagged 'H'
+             (health_to_bytes
+                {
+                  h_server = id;
+                  h_epoch = state.Server.epoch;
+                  h_pending = Hashtbl.length pending;
+                  h_accepted = state.Server.accepted;
+                  h_ckpt_age = age;
+                  h_peers = peers;
+                }));
         `Keep
       | 'X' -> raise Exit
       | c ->
@@ -911,6 +1227,19 @@ module Make (F : Prio_field.Field_intf.S) = struct
              readable
        done
      with Exit -> ());
+    (* dump this process's spans for cross-process stitching; a crashed
+       server leaves no dump (or a torn one), which {!Trace.merge}
+       tolerates — that absence is part of the crash narrative *)
+    (match (tuning.trace_dir, Trace.installed ()) with
+    | Some dir, Some r -> (
+      try
+        let oc =
+          open_out (Filename.concat dir (Trace.origin r ^ ".jsonl"))
+        in
+        output_string oc (Trace.to_jsonl r);
+        close_out oc
+      with Sys_error _ -> ())
+    | _ -> ());
     Pool.shutdown pool;
     List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !conns;
     Array.iter
@@ -1052,6 +1381,87 @@ module Make (F : Prio_field.Field_intf.S) = struct
     d.statuses.(i) <- None;
     Trace.event "supervisor.restarted" ~attrs:[ ("server", string_of_int i) ]
 
+  (** What a health sweep concluded about one server — strictly more
+      signal than {!server_status}: a process can be alive yet wedged
+      (answers nothing) or serving yet degraded (a gossip link down). *)
+  type probe =
+    | Probe_ok of health
+    | Probe_degraded of health * string  (** serving, but impaired *)
+    | Probe_unreachable of protocol_error
+        (** process alive, probe failed — wedged or unresponsive *)
+    | Probe_dead of Unix.process_status  (** process reaped *)
+
+  (** One supervision sweep: liveness first ({!poll_servers}), then an
+      [h] probe of every live server. Exports the verdict as gauges
+      ([prio_supervisor_down] / [prio_supervisor_degraded]) in the
+      calling process. *)
+  let probe_deployment d : probe array =
+    let probes =
+      Array.mapi
+        (fun i st ->
+          match st with
+          | Exited pst -> Probe_dead pst
+          | Running -> (
+            match probe_health ~tuning:d.tuning d.addrs.(i) with
+            | Error e -> Probe_unreachable e
+            | Ok h -> (
+              match List.filter (fun (_, up) -> not up) h.h_peers with
+              | [] -> Probe_ok h
+              | down ->
+                Probe_degraded
+                  ( h,
+                    "gossip link down to server "
+                    ^ String.concat ", "
+                        (List.map (fun (j, _) -> string_of_int j) down) ))))
+        (poll_servers d)
+    in
+    let count p =
+      Array.fold_left (fun n x -> if p x then n + 1 else n) 0 probes
+    in
+    Metrics.set g_sup_down
+      (float_of_int
+         (count (function
+           | Probe_dead _ | Probe_unreachable _ -> true
+           | _ -> false)));
+    Metrics.set g_sup_degraded
+      (float_of_int
+         (count (function Probe_degraded _ -> true | _ -> false)));
+    probes
+
+  (** Probe-driven supervision: restart every server the sweep found
+      dead, and kill-then-restart every live server that would not
+      answer its probe — the wedged state liveness polling cannot see.
+      Returns the ids restarted (in order). Degraded-but-serving servers
+      are left alone: the leader redials dropped gossip links on demand.
+      Probes share the deployment's [io_timeout], so keep it comfortably
+      above the longest single-frame stall a healthy server can have. *)
+  let supervise ?min_epoch d : int list =
+    let restarted = ref [] in
+    Array.iteri
+      (fun i p ->
+        let restart () =
+          restart_server ?min_epoch d i;
+          Metrics.incr m_probe_restarts;
+          restarted := i :: !restarted
+        in
+        match p with
+        | Probe_ok _ | Probe_degraded _ -> ()
+        | Probe_dead _ -> restart ()
+        | Probe_unreachable e ->
+          Trace.event "supervisor.unreachable"
+            ~attrs:
+              [ ("server", string_of_int i);
+                ("error", string_of_protocol_error e) ];
+          (try Unix.kill d.pids.(i) Sys.sigkill
+           with Unix.Unix_error _ -> ());
+          (match Unix.waitpid [] d.pids.(i) with
+          | _, st -> d.statuses.(i) <- Some st
+          | exception Unix.Unix_error (ECHILD, _, _) ->
+            d.statuses.(i) <- Some (Unix.WEXITED 0));
+          restart ())
+      (probe_deployment d);
+    List.rev !restarted
+
   (* ----------------------------- clients ---------------------------- *)
 
   (** What happened to a submission, beyond a bare boolean. *)
@@ -1122,7 +1532,12 @@ module Make (F : Prio_field.Field_intf.S) = struct
     let upload i =
       Trace.with_span "net.upload" ~attrs:[ ("server", string_of_int i) ]
       @@ fun () ->
-      rpc_to i (tagged 'P' (Bytes.cat (put_u32 client_id) pk.Client.sealed.(i)))
+      (* ctx computed inside the span: the server's admit span becomes a
+         child of this upload in the merged cross-process trace *)
+      rpc_to i
+        (tagged 'P'
+           (Bytes.cat (put_u32 client_id)
+              (Bytes.cat (ctx_bytes ()) pk.Client.sealed.(i))))
     in
     let rec push = function
       | [] -> None
@@ -1138,7 +1553,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
       | None -> (
         match
           Trace.with_span "net.verify" (fun () ->
-              rpc_to 0 (tagged 'V' (put_u32 client_id)))
+              rpc_to 0
+                (tagged 'V' (Bytes.cat (put_u32 client_id) (ctx_bytes ()))))
         with
         | Ok `Ack -> Accepted
         | Ok (`Nack why) -> Rejected why

@@ -74,6 +74,11 @@ type tuning = {
           {!Make.restart_server} resumes mid-collection *)
   checkpoint_every : int;
       (** decisions between snapshots (default 1 = lose nothing) *)
+  trace_dir : string option;
+      (** span-dump directory (default [None]); with it set, each server
+          process records its spans under origin ["server<id>"] and dumps
+          [<trace_dir>/server<id>.jsonl] on clean shutdown, ready for
+          {!Prio_obs.Trace.merge} *)
 }
 
 val default_tuning : tuning
@@ -86,6 +91,17 @@ val default_tuning : tuning
 val put_u32 : int -> Bytes.t
 val get_u32 : Bytes.t -> int -> int
 val tagged : char -> Bytes.t -> Bytes.t
+
+val ctx_bytes : unit -> Bytes.t
+(** Length-prefixed trace-context suffix ([u16 len ‖ context]) carried by
+    the causal frames ([P]/[V]/[o]/[d]/[a]/[r]): the calling domain's
+    current {!Prio_obs.Trace.context} when a span is open, else the
+    2-byte empty suffix. Hand-crafted frames must include it. *)
+
+val get_ctx : Bytes.t -> int -> Prio_obs.Trace.context option * int
+(** [get_ctx frame off] parses a {!ctx_bytes} suffix at [off]: the
+    context (when present and well-formed) and the offset just past the
+    suffix. Total — truncated or garbled suffixes degrade to [None]. *)
 
 val write_frame :
   ?deadline:Retry.deadline -> Unix.file_descr -> Bytes.t ->
@@ -125,6 +141,42 @@ val dial :
     (default), ECONNREFUSED / ETIMEDOUT / EHOSTUNREACH / ENETUNREACH are
     retried until the deadline; without it they fail immediately so a
     caller with its own backoff does not spin on a dead port. *)
+
+(** {2 Health probes and live metrics scrape}
+
+    Process-liveness supervision ([waitpid]) sees only alive/dead; these
+    in-band probes distinguish "serving", "serving but degraded", and
+    "alive but wedged", and pull live metrics out of a running server
+    without embedding an HTTP endpoint. *)
+
+(** One server's answer to an [h] probe. *)
+type health = {
+  h_server : int;  (** server id (0 = leader) *)
+  h_epoch : int;  (** current replay/idempotency epoch *)
+  h_pending : int;  (** admission-queue depth (in-flight submissions) *)
+  h_accepted : int;  (** submissions folded into the accumulator *)
+  h_ckpt_age : float option;
+      (** seconds since the process last wrote a snapshot; [None] when
+          durability is off or nothing has been checkpointed yet *)
+  h_peers : (int * bool) list;
+      (** leader only: per-follower [(server id, gossip link cached)] —
+          [false] means the persistent connection was dropped after a
+          failure (it is redialed on demand) *)
+}
+
+val probe_health :
+  ?tuning:tuning -> Unix.sockaddr -> (health, protocol_error) result
+(** Ask one server for its {!health} over a fresh connection ([h] → [H]).
+    The error is itself a signal: a refused dial means the port is dead,
+    a timeout that the process is wedged. *)
+
+val scrape_metrics :
+  ?tuning:tuning -> ?format:[ `Prometheus | `Json ] ->
+  Unix.sockaddr -> (string, protocol_error) result
+(** Pull one server's live metrics registry over TCP ([q] → [m]) as
+    Prometheus exposition text (default) or the
+    {!Prio_obs.Report.json} snapshot (which carries p50/p95/p99 per
+    histogram — the per-stage latency view). *)
 
 module Make (F : Prio_field.Field_intf.S) : sig
   module C : module type of Prio_circuit.Circuit.Make (F)
@@ -185,6 +237,29 @@ module Make (F : Prio_field.Field_intf.S) : sig
       otherwise it restarts with fresh per-batch state. [min_epoch]
       refuses authentic-but-stale snapshots.
       @raise Invalid_argument if it is still running. *)
+
+  (** What a health sweep concluded about one server — strictly more
+      signal than {!server_status}. *)
+  type probe =
+    | Probe_ok of health
+    | Probe_degraded of health * string  (** serving, but impaired *)
+    | Probe_unreachable of protocol_error
+        (** process alive, probe failed — wedged or unresponsive *)
+    | Probe_dead of Unix.process_status  (** process reaped *)
+
+  val probe_deployment : deployment -> probe array
+  (** One supervision sweep: {!poll_servers} liveness first, then an [h]
+      probe of every live server. Exports the verdict as the
+      [prio_supervisor_down] / [prio_supervisor_degraded] gauges in the
+      calling process. *)
+
+  val supervise : ?min_epoch:int -> deployment -> int list
+  (** Probe-driven supervision: restart the dead, kill-then-restart the
+      live-but-unresponsive (the wedged state liveness polling cannot
+      see), leave degraded-but-serving servers alone (dropped gossip
+      links heal by on-demand redial). Returns the restarted ids. Probes
+      share the deployment's [io_timeout] — keep it comfortably above
+      the longest single-frame stall a healthy server can have. *)
 
   (** {2 Clients} *)
 

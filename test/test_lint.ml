@@ -450,6 +450,137 @@ let test_budget_check () =
           ~budget:[ bentry "sum8" 8 41 1 ]
           ~measured:[ bentry "sum8" 8 41 0 ]))
 
+(* --------------------------- metric ledger --------------------------- *)
+
+module Metricreg = Prio_analysis.Metricreg
+
+let mreg name kind file line =
+  { Metricreg.r_name = name; r_kind = kind; r_file = file; r_line = line }
+
+let mentry name kind line = { Metricreg.name; kind; line }
+
+let test_metricreg_collect () =
+  let src =
+    "let c = Metrics.counter \"prio_a_total\"\n\
+     let g = Obs_metrics.gauge \"prio_b\"\n\
+     let h = Prio_obs.Metrics.histogram \"prio_c_seconds\"\n\
+     let _ = Metrics.add c 1\n\
+     let name = \"computed\"\n\
+     let _ = Metrics.counter name\n\
+     let _ = Other.counter \"not_a_metric\"\n"
+  in
+  match Driver.parse_implementation ~path:"m.ml" src with
+  | Error d -> Alcotest.fail (D.to_string d)
+  | Ok str ->
+    let regs = Metricreg.collect_structure ~file:"m.ml" str in
+    Alcotest.(check (list (pair string string)))
+      "literal registrations through the Metrics aliases, nothing else"
+      [
+        ("prio_a_total", "counter");
+        ("prio_b", "gauge");
+        ("prio_c_seconds", "histogram");
+      ]
+      (List.map
+         (fun r ->
+           (r.Metricreg.r_name, Metricreg.kind_to_string r.Metricreg.r_kind))
+         regs);
+    Alcotest.(check (list int)) "call-site lines recorded" [ 1; 2; 3 ]
+      (List.map (fun r -> r.Metricreg.r_line) regs)
+
+let test_metricreg_roundtrip () =
+  let entries =
+    [
+      mentry "prio_a_total" Metricreg.Counter 0;
+      mentry "prio_b_seconds" Metricreg.Histogram 0;
+    ]
+  in
+  (match Metricreg.parse ~file:"l" (Metricreg.format entries) with
+  | Error d -> Alcotest.fail (D.to_string d)
+  | Ok parsed ->
+    Alcotest.(check (list (pair string string)))
+      "names and kinds survive the round trip"
+      (List.map
+         (fun (e : Metricreg.entry) ->
+           (e.Metricreg.name, Metricreg.kind_to_string e.Metricreg.kind))
+         entries)
+      (List.map
+         (fun (e : Metricreg.entry) ->
+           (e.Metricreg.name, Metricreg.kind_to_string e.Metricreg.kind))
+         parsed));
+  (match Metricreg.parse ~file:"l" "x kind=knob\n" with
+  | Ok _ -> Alcotest.fail "bad kind parsed"
+  | Error d ->
+    Alcotest.(check string) "kind diagnostic"
+      "l:1:0: [metric-registry] kind= must be counter, gauge, or histogram"
+      (D.to_string d));
+  match Metricreg.parse ~file:"l" "lonely\n" with
+  | Ok _ -> Alcotest.fail "short line parsed"
+  | Error d ->
+    Alcotest.(check string) "shape diagnostic"
+      "l:1:0: [metric-registry] expected `<name> kind=<kind>`"
+      (D.to_string d)
+
+let test_metricreg_check () =
+  let ledger =
+    [
+      mentry "prio_a_total" Metricreg.Counter 5;
+      mentry "prio_gone" Metricreg.Gauge 6;
+    ]
+  in
+  let measured =
+    [
+      mreg "prio_a_total" Metricreg.Histogram "lib/a.ml" 3;
+      mreg "prio_new" Metricreg.Counter "lib/b.ml" 9;
+    ]
+  in
+  check_diags "exact-pin diff"
+    [
+      "l:5:0: [metric-registry] metric prio_a_total changed kind: ledger \
+       says counter, code registers histogram; run `prio_lint \
+       --update-metrics` and review the diff";
+      "l:1:0: [metric-registry] metric prio_new kind=counter has no ledger \
+       entry (registered at lib/b.ml:9); run `prio_lint --update-metrics` \
+       and review the diff";
+      "l:6:0: [metric-registry] ledger entry prio_gone matches no \
+       registration in the code; run `prio_lint --update-metrics` and \
+       review the diff";
+    ]
+    (List.map D.to_string (Metricreg.check ~file:"l" ~ledger ~measured));
+  (* one name registered under two kinds is broken whatever the ledger
+     says *)
+  (match
+     Metricreg.check ~file:"l" ~ledger:[]
+       ~measured:
+         [
+           mreg "prio_dup" Metricreg.Counter "a.ml" 1;
+           mreg "prio_dup" Metricreg.Gauge "b.ml" 2;
+         ]
+   with
+  | d :: _ ->
+    Alcotest.(check string) "kind conflict"
+      "l:1:0: [metric-registry] metric prio_dup registered as counter \
+       (a.ml:1) and as gauge (b.ml:2)"
+      (D.to_string d)
+  | [] -> Alcotest.fail "kind conflict undetected");
+  Alcotest.(check (list string)) "exact match is clean" []
+    (List.map D.to_string
+       (Metricreg.check ~file:"l"
+          ~ledger:[ mentry "prio_a_total" Metricreg.Counter 1 ]
+          ~measured:[ mreg "prio_a_total" Metricreg.Counter "a.ml" 1 ]))
+
+let test_metric_ledger_current () =
+  (* the committed ledger matches what the code actually registers — the
+     same diff `dune build @lint` gates on *)
+  match Metricreg.parse ~file:".prio-metrics" (read_file "../.prio-metrics") with
+  | Error d -> Alcotest.fail (D.to_string d)
+  | Ok ledger ->
+    let measured =
+      Metricreg.measure ~root:".." ~dirs:[ "lib"; "bin"; "bench"; "examples" ]
+    in
+    check_diags "the committed ledger is current" []
+      (List.map D.to_string
+         (Metricreg.check ~file:".prio-metrics" ~ledger ~measured))
+
 let test_tree_clean () =
   let baseline = Baseline.load "../.prio-lint-baseline" in
   let diags =
@@ -507,6 +638,16 @@ let () =
           Alcotest.test_case "parse" `Quick test_budget_parse;
           Alcotest.test_case "format round-trip" `Quick test_budget_roundtrip;
           Alcotest.test_case "exact-pin check" `Quick test_budget_check;
+        ] );
+      ( "metric registry",
+        [
+          Alcotest.test_case "collect registrations" `Quick
+            test_metricreg_collect;
+          Alcotest.test_case "ledger round-trip" `Quick
+            test_metricreg_roundtrip;
+          Alcotest.test_case "exact-pin check" `Quick test_metricreg_check;
+          Alcotest.test_case "committed ledger is current" `Quick
+            test_metric_ledger_current;
         ] );
       ( "tree",
         [ Alcotest.test_case "repo is clean" `Quick test_tree_clean ] );

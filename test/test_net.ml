@@ -257,7 +257,9 @@ let test_leader_degrades_and_restarts () =
       List.iter
         (fun i ->
           let p =
-            NetT.tagged 'P' (Bytes.cat (NetT.put_u32 1) pk.Cl.sealed.(i))
+            NetT.tagged 'P'
+              (Bytes.cat (NetT.put_u32 1)
+                 (Bytes.cat (NetT.ctx_bytes ()) pk.Cl.sealed.(i)))
           in
           Alcotest.(check char) "P acked" 'K'
             (Bytes.get (exchange d.Net.addrs.(i) p) 0))
@@ -362,7 +364,9 @@ let test_idempotent_retries () =
         r
       in
       let p_frame i =
-        NetT.tagged 'P' (Bytes.cat (NetT.put_u32 0) pk.Cl.sealed.(i))
+        NetT.tagged 'P'
+          (Bytes.cat (NetT.put_u32 0)
+             (Bytes.cat (NetT.ctx_bytes ()) pk.Cl.sealed.(i)))
       in
       (* upload twice to every server: a duplicate of an in-flight
          submission is re-acked, not replay-rejected *)
@@ -412,7 +416,8 @@ let test_admission_busy_shed () =
             (fun srv ->
               let p =
                 NetT.tagged 'P'
-                  (Bytes.cat (NetT.put_u32 cid) pk.Cl.sealed.(srv))
+                  (Bytes.cat (NetT.put_u32 cid)
+                     (Bytes.cat (NetT.ctx_bytes ()) pk.Cl.sealed.(srv)))
               in
               Alcotest.(check char) "queued" 'K'
                 (Bytes.get (exchange d.Net.addrs.(srv) p) 0))
@@ -428,7 +433,9 @@ let test_admission_busy_shed () =
       in
       let reply =
         exchange d.Net.addrs.(1)
-          (NetT.tagged 'P' (Bytes.cat (NetT.put_u32 7) pk3.Cl.sealed.(1)))
+          (NetT.tagged 'P'
+             (Bytes.cat (NetT.put_u32 7)
+                (Bytes.cat (NetT.ctx_bytes ()) pk3.Cl.sealed.(1))))
       in
       (match NetT.parse_error_frame reply with
       | Some (NetT.Busy, _) -> ()
@@ -452,11 +459,13 @@ let test_admission_busy_shed () =
            (exchange d.Net.addrs.(1)
               (NetT.tagged 'P'
                  (Bytes.cat (NetT.put_u32 0)
-                    (Cl.submit ~rng
-                       ~mode:(Cl.Robust_snip afe.A.circuit)
-                       ~num_servers:3 ~client_id:0
-                       ~master:d.Net.cfg.Net.master (afe.A.encode ~rng 1)).Cl
-                      .sealed.(1))))
+                    (Bytes.cat (NetT.ctx_bytes ())
+                       (Cl.submit ~rng
+                          ~mode:(Cl.Robust_snip afe.A.circuit)
+                          ~num_servers:3 ~client_id:0
+                          ~master:d.Net.cfg.Net.master (afe.A.encode ~rng 1))
+                         .Cl
+                         .sealed.(1)))))
            0)
       |> ignore;
       (* drain the queue by deciding both pending submissions *)
@@ -579,6 +588,193 @@ let test_restore_chaos_drill () =
         (string_of_int !total)
         (Prio_bigint.Bigint.to_string sigma))
 
+(* ------------------------- telemetry plane --------------------------- *)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let test_scrape_and_health () =
+  let afe = Sum.sum ~bits:4 in
+  with_deployment afe (fun d ->
+      List.iteri
+        (fun i x ->
+          Alcotest.(check bool) "accepted" true
+            (Net.submit d ~rng ~client_id:i (afe.A.encode ~rng x)))
+        [ 5; 9 ];
+      (* live Prometheus scrape off the leader, over the wire *)
+      let prom =
+        ok_exn (NetT.scrape_metrics ~tuning:fast_tuning d.Net.addrs.(0))
+      in
+      Alcotest.(check bool) "stage histograms exported" true
+        (contains ~affix:"# TYPE prio_stage_admit_seconds histogram" prom);
+      Alcotest.(check bool) "admit stage saw both submissions" true
+        (contains ~affix:"prio_stage_admit_seconds_count 2" prom);
+      Alcotest.(check bool) "verify stage rendered" true
+        (contains ~affix:"prio_stage_verify_seconds_count" prom);
+      (* the JSON form carries the per-stage percentiles *)
+      let json =
+        ok_exn
+          (NetT.scrape_metrics ~tuning:fast_tuning ~format:`Json
+             d.Net.addrs.(0))
+      in
+      Alcotest.(check bool) "JSON scrape has the verify histogram" true
+        (contains ~affix:"\"prio_stage_verify_seconds\":{" json);
+      Alcotest.(check bool) "JSON scrape has percentiles" true
+        (contains ~affix:"\"p50\":" json);
+      (* health probes: the leader reports its gossip links, a follower
+         reports none *)
+      let h0 = ok_exn (NetT.probe_health ~tuning:fast_tuning d.Net.addrs.(0)) in
+      Alcotest.(check int) "leader id" 0 h0.NetT.h_server;
+      Alcotest.(check int) "leader folded both" 2 h0.NetT.h_accepted;
+      Alcotest.(check int) "nothing pending" 0 h0.NetT.h_pending;
+      Alcotest.(check int) "leader lists every follower" 2
+        (List.length h0.NetT.h_peers);
+      List.iter
+        (fun (id, up) ->
+          if not up then Alcotest.failf "gossip link to %d reported down" id)
+        h0.NetT.h_peers;
+      let h1 = ok_exn (NetT.probe_health ~tuning:fast_tuning d.Net.addrs.(1)) in
+      Alcotest.(check int) "follower id" 1 h1.NetT.h_server;
+      Alcotest.(check (list (pair int bool))) "followers hold no gossip links"
+        [] h1.NetT.h_peers)
+
+let test_probe_driven_supervision () =
+  let afe = Sum.sum ~bits:4 in
+  with_deployment afe (fun d ->
+      Alcotest.(check bool) "healthy accept" true
+        (Net.submit d ~rng ~client_id:0 (afe.A.encode ~rng 5));
+      Array.iteri
+        (fun i p ->
+          match p with
+          | Net.Probe_ok _ -> ()
+          | _ -> Alcotest.failf "server %d should probe healthy" i)
+        (Net.probe_deployment d);
+      Unix.kill d.Net.pids.(1) Sys.sigkill;
+      Unix.sleepf 0.05;
+      (match (Net.probe_deployment d).(1) with
+      | Net.Probe_dead _ -> ()
+      | _ -> Alcotest.fail "probe sweep should see the corpse");
+      Alcotest.(check (list int)) "supervisor restarts exactly the dead one"
+        [ 1 ] (Net.supervise d);
+      (match (Net.probe_deployment d).(1) with
+      | Net.Probe_ok _ -> ()
+      | _ -> Alcotest.fail "revived follower should probe healthy");
+      Alcotest.(check bool) "accepts after probe-driven restart" true
+        (Net.submit d ~rng ~client_id:1 (afe.A.encode ~rng 3)))
+
+module Trace = Prio_obs.Trace
+
+let test_merged_trace_ancestry () =
+  (* a client submission under seeded client-side chaos, traced across
+     the process boundary: after the deployment shuts down (dumping each
+     server's spans), the merged tree must show every server's admit and
+     verify work as a descendant of the client's submission span — and
+     the whole run is a pure function of the fault seed *)
+  let afe = Sum.sum ~bits:4 in
+  with_temp_dir "traces" (fun dir ->
+      let tuning = NetT.{ fast_tuning with trace_dir = Some dir } in
+      let client = Trace.create ~origin:"client" () in
+      Trace.install client;
+      let faults = Faults.create ~seed:"trace-chaos" (Faults.drop 0.25) in
+      Fun.protect
+        ~finally:(fun () -> Trace.uninstall ())
+        (fun () ->
+          with_deployment ~tuning afe (fun d ->
+              Trace.with_span "net.submit"
+                ~attrs:[ ("client", "0") ]
+                (fun () ->
+                  match
+                    Net.submit_outcome ~faults d ~rng ~client_id:0
+                      (afe.A.encode ~rng 6)
+                  with
+                  | Net.Accepted -> ()
+                  | Net.Rejected why ->
+                    Alcotest.failf "rejected under seeded chaos: %s" why
+                  | Net.Unreachable e ->
+                    Alcotest.failf "unreachable under seeded chaos: %s"
+                      (NetT.string_of_protocol_error e))));
+      Alcotest.(check bool) "chaos actually injected faults" true
+        (Faults.injected faults > 0);
+      let read f = In_channel.with_open_bin f In_channel.input_all in
+      let dumps =
+        Trace.to_jsonl client
+        :: (Sys.readdir dir |> Array.to_list
+           |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+           |> List.map (fun f -> read (Filename.concat dir f)))
+      in
+      Alcotest.(check int) "client + one dump per server" 4
+        (List.length dumps);
+      let merged = Trace.merge dumps in
+      let by_id = Hashtbl.create 64 in
+      List.iter (fun m -> Hashtbl.replace by_id m.Trace.m_id m) merged;
+      let rec descends m target =
+        m.Trace.m_id = target
+        ||
+        match m.Trace.m_parent with
+        | None -> false
+        | Some p -> (
+          match Hashtbl.find_opt by_id p with
+          | Some pm -> descends pm target
+          | None -> false)
+      in
+      let submit =
+        match
+          List.find_opt
+            (fun m ->
+              m.Trace.m_name = "net.submit" && m.Trace.m_origin = "client")
+            merged
+        with
+        | Some m -> m
+        | None -> Alcotest.fail "client submission span missing from merge"
+      in
+      let named n = List.filter (fun m -> m.Trace.m_name = n) merged in
+      (* retries may admit the same share more than once (idempotently),
+         so assert on the set of origins, not span counts *)
+      let origins spans =
+        List.sort_uniq compare (List.map (fun m -> m.Trace.m_origin) spans)
+      in
+      let admits = named "server.admit" in
+      Alcotest.(check (list string)) "every server admitted under the trace"
+        [ "server0"; "server1"; "server2" ]
+        (origins admits);
+      List.iter
+        (fun a ->
+          if not (descends a submit.Trace.m_id) then
+            Alcotest.failf "%s admit span is not under the client submission"
+              a.Trace.m_origin)
+        admits;
+      let verifies = named "server.verify" in
+      Alcotest.(check bool) "leader verify descends from the submission" true
+        (List.exists
+           (fun v ->
+             v.Trace.m_origin = "server0" && descends v submit.Trace.m_id)
+           verifies);
+      Alcotest.(check bool) "a follower verify descends from it too" true
+        (List.exists
+           (fun v ->
+             v.Trace.m_origin <> "server0" && descends v submit.Trace.m_id)
+           verifies);
+      List.iter
+        (fun m ->
+          if descends m submit.Trace.m_id then
+            Alcotest.(check string)
+              (m.Trace.m_id ^ " shares the trace id")
+              submit.Trace.m_trace m.Trace.m_trace)
+        merged;
+      (* causal order: every span's parent precedes it in the merge *)
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun m ->
+          (match m.Trace.m_parent with
+          | Some p when Hashtbl.mem by_id p ->
+            if not (Hashtbl.mem seen p) then
+              Alcotest.failf "%s ordered before its parent" m.Trace.m_id
+          | _ -> ());
+          Hashtbl.replace seen m.Trace.m_id ())
+        merged)
+
 let () =
   Alcotest.run "net"
     [
@@ -615,5 +811,14 @@ let () =
             test_restore_equals_uninterrupted;
           Alcotest.test_case "seeded crash+restore drill" `Quick
             test_restore_chaos_drill;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "live scrape and health probes" `Quick
+            test_scrape_and_health;
+          Alcotest.test_case "probe-driven supervision" `Quick
+            test_probe_driven_supervision;
+          Alcotest.test_case "merged trace ancestry under chaos" `Quick
+            test_merged_trace_ancestry;
         ] );
     ]

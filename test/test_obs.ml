@@ -301,6 +301,128 @@ let test_deterministic_trace () =
   Alcotest.(check bool) "the chaos actually injected faults" true
     (contains ~affix:"\"fault\"" a)
 
+(* ------------------- percentile estimation ---------------------------- *)
+
+let histogram_view name =
+  match List.assoc_opt name (Metrics.snapshot ()) with
+  | Some (Metrics.Histogram_v hv) -> hv
+  | _ -> Alcotest.failf "histogram %s missing from snapshot" name
+
+let test_percentiles () =
+  let h = Metrics.histogram "test_obs_pct_seconds" in
+  Metrics.reset ();
+  Alcotest.(check (option (float 0.)))
+    "empty histogram has no percentiles" None
+    (Metrics.percentile (histogram_view "test_obs_pct_seconds") 0.5);
+  (* a single repeated value: every quantile clamps to it *)
+  List.iter (Metrics.observe h) [ 1.5; 1.5; 1.5 ];
+  let hv = histogram_view "test_obs_pct_seconds" in
+  List.iter
+    (fun q ->
+      Alcotest.(check (option (float 0.)))
+        (Printf.sprintf "point mass: q=%.2f" q)
+        (Some 1.5) (Metrics.percentile hv q))
+    [ 0.0; 0.5; 0.95; 0.99; 1.0 ];
+  (* a bimodal distribution: quantiles are monotone, bounded by min/max,
+     and the median sits in the low mode (90% of mass) while p99 sits in
+     the high mode *)
+  Metrics.reset ();
+  for _ = 1 to 90 do
+    Metrics.observe h 0.25
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe h 4.0
+  done;
+  let hv = histogram_view "test_obs_pct_seconds" in
+  let pct q =
+    match Metrics.percentile hv q with
+    | Some v -> v
+    | None -> Alcotest.failf "no percentile at %.2f" q
+  in
+  let p50 = pct 0.5 and p95 = pct 0.95 and p99 = pct 0.99 in
+  Alcotest.(check bool) "p50 within [min,max]" true
+    (p50 >= hv.Metrics.hv_min && p50 <= hv.Metrics.hv_max);
+  Alcotest.(check bool) "monotone p50 <= p95 <= p99" true
+    (p50 <= p95 && p95 <= p99);
+  Alcotest.(check bool) "median in the low mode" true (p50 < 1.0);
+  Alcotest.(check bool) "p99 in the high mode" true (p99 > 1.0);
+  Alcotest.(check (float 0.)) "q=1 clamps to max" hv.Metrics.hv_max (pct 1.0)
+
+(* ----------------- cross-process context & merging -------------------- *)
+
+let test_context_roundtrip () =
+  with_recorder @@ fun _r ->
+  Alcotest.(check bool) "no context outside a span" true
+    (Trace.context () = None);
+  Trace.with_span "root" @@ fun () ->
+  let c =
+    match Trace.context () with
+    | Some c -> c
+    | None -> Alcotest.fail "no context inside an open span"
+  in
+  let s = Trace.context_to_string c in
+  Alcotest.(check bool) "wire form is one line" false (String.contains s '\n');
+  (match Trace.context_of_string s with
+  | Some c' ->
+    Alcotest.(check string) "trace survives" c.Trace.ctx_trace c'.Trace.ctx_trace;
+    Alcotest.(check string) "parent survives" c.Trace.ctx_parent
+      c'.Trace.ctx_parent
+  | None -> Alcotest.fail "context failed to parse back");
+  Alcotest.(check bool) "empty input rejected" true
+    (Trace.context_of_string "" = None);
+  Alcotest.(check bool) "spaceless input rejected" true
+    (Trace.context_of_string "noseparator" = None)
+
+let test_merge_ancestry () =
+  (* one manual clock across two recorders: the "client" process opens a
+     submission span whose wire context the "server" process picks up;
+     the merged dump must parent the server's span under the client's *)
+  let clock = Clock.manual ~start:1. () in
+  let a = Trace.create ~clock ~capacity:64 ~origin:"client" () in
+  let b = Trace.create ~clock ~capacity:64 ~origin:"server" () in
+  Trace.install a;
+  let ctx = ref None in
+  Trace.with_span "net.submit" (fun () ->
+      Clock.advance clock 0.5;
+      ctx := Trace.context ());
+  Trace.uninstall ();
+  Trace.install b;
+  Trace.with_span_ctx ?ctx:!ctx "server.admit" (fun () ->
+      Clock.advance clock 0.25;
+      Trace.with_span "server.verify" (fun () -> Clock.advance clock 0.25));
+  Trace.uninstall ();
+  let merged = Trace.merge [ Trace.to_jsonl a; Trace.to_jsonl b ] in
+  let find name =
+    match List.find_opt (fun m -> m.Trace.m_name = name) merged with
+    | Some m -> m
+    | None -> Alcotest.failf "span %s missing from merge" name
+  in
+  let submit = find "net.submit" in
+  let admit = find "server.admit" in
+  let verify = find "server.verify" in
+  Alcotest.(check (option string))
+    "remote parent resolved across processes" (Some submit.Trace.m_id)
+    admit.Trace.m_parent;
+  Alcotest.(check (option string))
+    "local nesting preserved inside the server" (Some admit.Trace.m_id)
+    verify.Trace.m_parent;
+  Alcotest.(check string) "one trace id end to end" submit.Trace.m_trace
+    verify.Trace.m_trace;
+  (* causal order: every parent precedes its children *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      (match m.Trace.m_parent with
+      | Some p when not (Hashtbl.mem seen p) ->
+        Alcotest.failf "%s emitted before its parent" m.Trace.m_name
+      | _ -> ());
+      Hashtbl.replace seen m.Trace.m_id ())
+    merged;
+  (* a dump torn mid-line (a SIGKILLed process) degrades, never raises *)
+  let torn = String.sub (Trace.to_jsonl b) 0 20 in
+  let partial = Trace.merge [ Trace.to_jsonl a; torn; "not json\n" ] in
+  Alcotest.(check int) "torn dumps skip bad lines" 1 (List.length partial)
+
 (* ---------------------- unified byte accounting ---------------------- *)
 
 (* The ISSUE-4 contract: the Obs counters and the legacy per-object
@@ -356,6 +478,100 @@ let test_report_formats () =
   Alcotest.(check bool) "json has the counter" true
     (contains ~affix:"\"test_obs_report_total\":7" json)
 
+let test_report_zeroed_registry () =
+  let _c = Metrics.counter "test_obs_zero_total" in
+  let _h = Metrics.histogram "test_obs_zero_seconds" in
+  Metrics.reset ();
+  let prom = Report.prometheus () in
+  Alcotest.(check bool) "zeroed counter renders" true
+    (contains ~affix:"test_obs_zero_total 0" prom);
+  Alcotest.(check bool) "sample-less histogram renders a +Inf bucket" true
+    (contains ~affix:"test_obs_zero_seconds_bucket{le=\"+Inf\"} 0" prom);
+  Alcotest.(check bool) "sample-less histogram has count 0" true
+    (contains ~affix:"test_obs_zero_seconds_count 0" prom);
+  Alcotest.(check bool) "JSON renders null percentiles with no samples" true
+    (contains ~affix:"\"p50\":null" (Report.json ()));
+  Alcotest.(check bool) "summary still renders the empty histogram" true
+    (contains ~affix:"test_obs_zero_seconds" (Report.summary ()))
+
+let test_report_json_escaping () =
+  (* names are normally clean identifiers, but the registry does not
+     enforce that — the JSON exporter must stay well-formed anyway *)
+  let c = Metrics.counter "test_obs \"quoted\\slashed\" total" in
+  Metrics.reset ();
+  Metrics.add c 3;
+  Alcotest.(check bool) "quote and backslash escaped in JSON" true
+    (contains
+       ~affix:"\"test_obs \\\"quoted\\\\slashed\\\" total\":3"
+       (Report.json ()))
+
+let test_report_bucket_rendering () =
+  let h = Metrics.histogram "test_obs_cum_seconds" in
+  Metrics.reset ();
+  List.iter (Metrics.observe h) [ 0.3; 0.4; 1.5; 100.0 ];
+  let prom = Report.prometheus () in
+  Alcotest.(check bool) "TYPE line" true
+    (contains ~affix:"# TYPE test_obs_cum_seconds histogram" prom);
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        let pfx = "test_obs_cum_seconds_bucket{le=" in
+        if
+          String.length l > String.length pfx
+          && String.sub l 0 (String.length pfx) = pfx
+        then
+          match String.rindex_opt l ' ' with
+          | Some i ->
+            int_of_string_opt (String.sub l (i + 1) (String.length l - i - 1))
+          | None -> None
+        else None)
+      (String.split_on_char '\n' prom)
+  in
+  Alcotest.(check bool) "several buckets rendered" true
+    (List.length bucket_counts >= 2);
+  Alcotest.(check (list int))
+    "cumulative bucket counts are nondecreasing" bucket_counts
+    (List.sort compare bucket_counts);
+  Alcotest.(check int) "cumulative counts end at the sample count" 4
+    (List.nth bucket_counts (List.length bucket_counts - 1));
+  Alcotest.(check bool) "sum line rendered" true
+    (contains ~affix:"test_obs_cum_seconds_sum " prom)
+
+let test_report_json_roundtrip () =
+  let c = Metrics.counter "test_obs_rt_total" in
+  let g = Metrics.gauge "test_obs_rt_gauge" in
+  let h = Metrics.histogram "test_obs_rt_seconds" in
+  Metrics.reset ();
+  Metrics.add c 41;
+  Metrics.set g 2.5;
+  List.iter (Metrics.observe h) [ 0.25; 0.5; 1.0 ];
+  let json = Report.json () in
+  Alcotest.(check bool) "counter value round-trips" true
+    (contains ~affix:"\"test_obs_rt_total\":41" json);
+  Alcotest.(check bool) "gauge value round-trips" true
+    (contains ~affix:"\"test_obs_rt_gauge\":2.5" json);
+  Alcotest.(check bool) "histogram header round-trips" true
+    (contains ~affix:"\"test_obs_rt_seconds\":{\"count\":3,\"sum\":1.75" json);
+  (* the JSON percentiles agree exactly with the in-process estimator *)
+  let hv = histogram_view "test_obs_rt_seconds" in
+  List.iter
+    (fun (label, q) ->
+      match Metrics.percentile hv q with
+      | None -> Alcotest.failf "no %s on a populated histogram" label
+      | Some v ->
+        let lit =
+          if Float.is_integer v && Float.abs v < 1e15 then
+            Printf.sprintf "%.0f" v
+          else Printf.sprintf "%.9g" v
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s printed from the estimator" label)
+          true
+          (contains ~affix:(Printf.sprintf "\"%s\":%s" label lit) json))
+    [ ("p50", 0.5); ("p95", 0.95); ("p99", 0.99) ];
+  Alcotest.(check bool) "buckets rendered as [le,count] pairs" true
+    (contains ~affix:"\"buckets\":[[" json)
+
 let () =
   Alcotest.run "obs"
     [
@@ -370,6 +586,10 @@ let () =
             test_deterministic_trace;
           Alcotest.test_case "multi-domain nesting stays domain-local" `Quick
             test_trace_domain_hammer;
+          Alcotest.test_case "wire context round trip" `Quick
+            test_context_roundtrip;
+          Alcotest.test_case "cross-process merge ancestry" `Quick
+            test_merge_ancestry;
         ] );
       ( "metrics",
         [
@@ -382,11 +602,20 @@ let () =
             test_noop_is_allocation_free;
           Alcotest.test_case "multi-domain hammer loses nothing" `Quick
             test_metrics_domain_hammer;
+          Alcotest.test_case "percentile estimation" `Quick test_percentiles;
         ] );
       ( "integration",
         [
           Alcotest.test_case "unified byte accounting" `Quick
             test_byte_unification;
           Alcotest.test_case "report formats" `Quick test_report_formats;
+          Alcotest.test_case "zeroed registry rendering" `Quick
+            test_report_zeroed_registry;
+          Alcotest.test_case "JSON name escaping" `Quick
+            test_report_json_escaping;
+          Alcotest.test_case "cumulative bucket rendering" `Quick
+            test_report_bucket_rendering;
+          Alcotest.test_case "JSON percentile round trip" `Quick
+            test_report_json_roundtrip;
         ] );
     ]
