@@ -1252,7 +1252,7 @@ let streaming () =
   (* per-stage latency percentiles, mined from the shard-0 leader while it
      is still running: a live [q]-frame scrape of its metrics registry in
      JSON form — the histograms live in the server process, not ours *)
-  let stage_fields =
+  let stage_fields, journal_fields =
     match
       Prio_proto.Net.scrape_metrics ~format:`Json
         deployments.(0).Net.addrs.(0)
@@ -1260,24 +1260,51 @@ let streaming () =
     | Error e ->
       Printf.printf "  (stage scrape failed: %s)\n"
         (Prio_proto.Net.string_of_protocol_error e);
-      []
+      ([], [])
     | Ok text -> (
       match json_parse text with
-      | exception Json_error _ -> []
+      | exception Json_error _ -> ([], [])
       | report ->
-        List.concat_map
-          (fun stage ->
-            let h =
-              json_member (Printf.sprintf "prio_stage_%s_seconds" stage) report
-            in
-            List.filter_map
-              (fun q ->
-                match Option.map (json_member q) h with
-                | Some (Some (Jnum v)) ->
-                  Some (Printf.sprintf "%s_%s_s" stage q, Fl v)
-                | _ -> None)
-              [ "p50"; "p95"; "p99" ])
-          [ "admit"; "verify"; "aggregate"; "checkpoint" ])
+        let stages =
+          List.concat_map
+            (fun stage ->
+              let h =
+                json_member
+                  (Printf.sprintf "prio_stage_%s_seconds" stage)
+                  report
+              in
+              List.filter_map
+                (fun q ->
+                  match Option.map (json_member q) h with
+                  | Some (Some (Jnum v)) ->
+                    Some (Printf.sprintf "%s_%s_s" stage q, Fl v)
+                  | _ -> None)
+                [ "p50"; "p95"; "p99" ])
+            [ "admit"; "verify"; "aggregate"; "checkpoint" ]
+        in
+        (* the durability price of the two-phase commit: every decision
+           is write-ahead journaled + fsynced before it is acked. The
+           mean is band-checked; the worst single fsync and the append
+           count are presence-only (`*_max_s` / `*_count`). *)
+        let journal =
+          (match json_member "prio_journal_appends_total" report with
+          | Some (Jnum v) -> [ ("journal_appends_count", I (int_of_float v)) ]
+          | _ -> [])
+          @
+          match json_member "prio_journal_fsync_seconds" report with
+          | Some h -> (
+            match
+              (json_member "count" h, json_member "sum" h, json_member "max" h)
+            with
+            | Some (Jnum c), Some (Jnum s), Some (Jnum m) when c > 0. ->
+              [
+                ("journal_fsync_mean_s", Fl (s /. c));
+                ("journal_fsync_max_s", Fl m);
+              ]
+            | _ -> [])
+          | None -> []
+        in
+        (stages, journal))
   in
   (match stage_fields with
   | [] -> ()
@@ -1289,6 +1316,13 @@ let streaming () =
               Printf.sprintf " %s=%s" k
                 (match v with Fl f -> pretty_time f | _ -> "?"))
             fs)));
+  (match List.assoc_opt "journal_fsync_mean_s" journal_fields with
+  | Some (Fl mean) ->
+    Printf.printf "  journal fsync: mean=%s%s\n" (pretty_time mean)
+      (match List.assoc_opt "journal_appends_count" journal_fields with
+      | Some (I n) -> Printf.sprintf " over %d appends" n
+      | _ -> "")
+  | _ -> ());
   Array.iter Net.shutdown deployments;
   Array.iter
     (fun dir ->
@@ -1329,7 +1363,7 @@ let streaming () =
       ("flat_memory", S (if flat then "true" else "false"));
       ("aggregate_matches", S (if total = !expected then "true" else "false"));
     ]
-    @ stage_fields)
+    @ stage_fields @ journal_fields)
 
 (* ---------------------------------------------------------------------- *)
 (* Appendix G: client upload size, three sharing strategies.               *)

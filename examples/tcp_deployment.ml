@@ -403,6 +403,99 @@ let () =
     (Sys.readdir ckpt_dir);
   (try Unix.rmdir ckpt_dir with Unix.Unix_error _ -> ());
 
+  (* --- commit-window drill: a follower killed at the worst possible
+     instant — the leader's decision received, not yet journaled or
+     acked. Two-phase commit means the client ack is withheld
+     (commit-pending), the resubmission re-seeds the restored follower
+     and drives the repair re-broadcast, and the share still counts
+     exactly once. Under fire-and-forget this exact schedule silently
+     loses the follower's copy of the share --- *)
+  let commit_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "prio-example-commit-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir commit_dir 0o700 with Unix.Unix_error (EEXIST, _, _) -> ());
+  (* [faults_for] runs in each forked server, so the one-shot disarm
+     flag lives on the shared filesystem: the first launch of server 2
+     consumes it, the supervisor's restart finds it gone *)
+  let armed = Filename.concat commit_dir "fault-armed" in
+  close_out (open_out armed);
+  let faults_for id =
+    if id = 2 && Sys.file_exists armed then begin
+      (try Sys.remove armed with Sys_error _ -> ());
+      Some
+        (Faults.create ~seed:"commit-window" (Faults.crash_on ~tags:"a" 1.0))
+    end
+    else None
+  in
+  let d3 =
+    Net.launch
+      ~tuning:T.{ tuning with checkpoint_dir = Some commit_dir }
+      ~faults_for
+      Net.{ cfg with num_servers = 3 }
+  in
+  let drill_values = [ 7; 9; 4 ] in
+  let crashes = ref 0 in
+  let revive () =
+    Array.iteri
+      (fun i st ->
+        match st with
+        | Net.Exited (Unix.WEXITED 70) ->
+          incr crashes;
+          Net.restart_server d3 i
+        | Net.Exited _ -> Net.restart_server d3 i
+        | Net.Running -> ())
+      (Net.poll_servers d3)
+  in
+  List.iteri
+    (fun i x ->
+      (* seal once, resubmit the same packets: the repair path keys on
+         the client id, so a retry is the same submission, not a new one *)
+      let pk =
+        P.Client.submit ~rng
+          ~mode:(P.Client.Robust_snip afe.P.Afe.circuit)
+          ~num_servers:3 ~client_id:i ~master:d3.Net.cfg.Net.master
+          (afe.P.Afe.encode ~rng x)
+      in
+      let rec attempt tries =
+        match Net.submit_packets_outcome d3 ~rng ~client_id:i pk with
+        | Net.Accepted -> ()
+        | (Net.Rejected _ | Net.Unreachable _) when tries < 5 ->
+          revive ();
+          attempt (tries + 1)
+        | Net.Rejected why -> failwith ("commit drill: rejected: " ^ why)
+        | Net.Unreachable e ->
+          failwith ("commit drill: " ^ T.string_of_protocol_error e)
+      in
+      attempt 0)
+    drill_values;
+  revive ();
+  let committed =
+    match Net.collect_aggregate d3 with
+    | Ok sigma -> afe.P.Afe.decode ~n:(List.length drill_values) sigma
+    | Error (i, e) ->
+      Printf.eprintf "server %d unreachable: %s\n" i
+        (T.string_of_protocol_error e);
+      exit 1
+  in
+  let want_commit = List.fold_left ( + ) 0 drill_values in
+  Printf.printf
+    "commit-window drill: follower crashed between decision and ack \
+     (%d crash), client resubmitted, repair completed; aggregate %s \
+     (expected %d)\n"
+    !crashes
+    (Prio.Bigint.to_string committed)
+    want_commit;
+  assert (!crashes = 1);
+  assert (Prio.Bigint.to_string committed = string_of_int want_commit);
+  Net.shutdown d3;
+  Array.iter
+    (fun f ->
+      try Sys.remove (Filename.concat commit_dir f) with Sys_error _ -> ())
+    (Sys.readdir commit_dir);
+  (try Unix.rmdir commit_dir with Unix.Unix_error _ -> ());
+
   (* --- the recorder self-check: the run above must have produced spans
      for every client-side protocol phase, plus at least one retry and
      one injected fault (the seeded chaos makes this deterministic) --- *)

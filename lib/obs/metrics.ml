@@ -210,9 +210,22 @@ let snapshot () =
    counts to the bucket the rank lands in, interpolate linearly inside
    it, and clamp to the observed min/max so a near-empty histogram never
    reports a bucket edge far from any actual sample. The relative error
-   is bounded by the bucket width (a factor of 2). *)
+   is bounded by the bucket width (a factor of 2).
+
+   Degenerate views are answered without the walk: a snapshot racing a
+   concurrent [observe] can see [hv_count > 0] with the buckets (or the
+   min/max cells) not yet updated — walking that view would fall off the
+   end and report the sentinel [neg_infinity] max as a "percentile".
+   Such partial views get [None] (same as empty); a single-bucket view
+   where every sample is the same value gets that value exactly rather
+   than an interpolated point below it. *)
 let percentile hv q =
-  if hv.hv_count = 0 then None
+  if
+    hv.hv_count = 0
+    || Array.length hv.hv_buckets = 0
+    || not (Float.is_finite hv.hv_min && Float.is_finite hv.hv_max)
+  then None
+  else if hv.hv_min = hv.hv_max then Some hv.hv_min
   else begin
     let q = Float.min 1. (Float.max 0. q) in
     let rank = q *. float_of_int hv.hv_count in

@@ -83,8 +83,11 @@ val percentile : histogram_view -> float -> float option
 (** [percentile hv q] estimates the [q]-quantile ([0. <= q <= 1.]) from
     the log-scale buckets: linear interpolation inside the bucket the
     rank lands in, clamped to the observed min/max. [None] when the
-    histogram is empty; relative error is bounded by the power-of-two
-    bucket width. *)
+    histogram is empty {e or} the view is partial (a count with no
+    buckets, or non-finite min/max — snapshots race concurrent
+    observes); a single-valued histogram ([hv_min = hv_max]) answers
+    that value exactly. Relative error is otherwise bounded by the
+    power-of-two bucket width. *)
 
 val reset : unit -> unit
 (** Zero all values; registrations (and metric identities) survive. *)

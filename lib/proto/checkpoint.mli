@@ -8,7 +8,13 @@
     ({!derive_key}); the decoder authenticates before parsing, and
     corrupted, truncated, stale-epoch, or wrong-key snapshots come back
     as typed {!error}s so the caller can fall back to a clean epoch
-    restart. See docs/PROTOCOL.md §9 for the byte layout. *)
+    restart. Alongside the snapshots lives the per-server {e decision
+    journal}: an HMAC-chained, fsynced write-ahead log of every
+    accept/reject verdict (plus the server's own truncated share for
+    accepts), appended before a decision is acknowledged and truncated
+    once a snapshot absorbs it — recovery is snapshot + journal suffix,
+    selected by the snapshot's [journal_seq] watermark. See
+    docs/PROTOCOL.md §9 for both byte layouts. *)
 
 type error =
   | Truncated  (** shorter than the fixed header + tag *)
@@ -28,6 +34,13 @@ val derive_key : master:Bytes.t -> server_id:int -> Bytes.t
 val path : dir:string -> server_id:int -> string
 (** Where a server's snapshot lives under [dir]. *)
 
+val derive_journal_key : master:Bytes.t -> server_id:int -> Bytes.t
+(** Per-server decision-journal MAC key, domain-separated from the
+    snapshot and packet keys. *)
+
+val journal_path : dir:string -> server_id:int -> string
+(** Where a server's decision journal lives under [dir]. *)
+
 module Make (F : Prio_field.Field_intf.S) : sig
   module Server : module type of Server.Make (F)
 
@@ -36,6 +49,9 @@ module Make (F : Prio_field.Field_intf.S) : sig
     epoch : int;
     accepted : int;
     decided_in_epoch : int;
+    journal_seq : int;
+        (** decisions absorbed by this snapshot — journal entries with a
+            larger sequence must still be replayed after restore *)
     replay_digest : Bytes.t;  (** 32 bytes *)
     accumulator : F.t array;
   }
@@ -65,4 +81,41 @@ module Make (F : Prio_field.Field_intf.S) : sig
     (snapshot, error) result
   (** Read and validate [server_id]'s latest snapshot; a missing file is
       [Io], a snapshot naming another server is [Malformed]. *)
+
+  (** {2 Decision journal} *)
+
+  type journal_entry = {
+    j_seq : int;
+        (** the server's [journal_seq] after recording this decision *)
+    j_client : int;
+    j_accepted : bool;
+    j_epoch : int;  (** server epoch when the decision was made *)
+    j_share : F.t array;
+        (** the server's own truncated share for accepted entries (what
+            replay re-accumulates); empty for rejections *)
+  }
+
+  type journal
+  (** An open journal handle, positioned for appending. *)
+
+  val journal_open :
+    key:Bytes.t -> dir:string -> server_id:int -> unit ->
+    (journal_entry list * journal, error) result
+  (** Open (creating if absent) the server's journal, verify the HMAC
+      chain and return the surviving entries in append order plus the
+      handle. A torn tail (crash mid-append) is silently truncated; a
+      chain break before the tail is tampering and fails [Bad_hmac]; a
+      journal naming another server is [Malformed]. *)
+
+  val journal_append :
+    ?fsync:bool -> journal -> journal_entry -> (unit, error) result
+  (** Append one record and extend the chain. With [fsync] (default) the
+      record is durable before return — the write-ahead property the
+      commit ack depends on. *)
+
+  val journal_truncate : journal -> (unit, error) result
+  (** Drop every record (a snapshot absorbed them); the chain restarts
+      from the genesis tag. *)
+
+  val journal_close : journal -> unit
 end

@@ -174,8 +174,9 @@ module Make (F : Prio_field.Field_intf.S) = struct
     end
 
   (** Per-submission state currently resident across all servers —
-      replay nonces plus recorded verdicts. With [epoch_size] set this is
-      bounded by [s * epoch_size] regardless of stream length. *)
+      replay nonces plus recorded verdicts, both generations. With
+      [epoch_size] set this is bounded by [2 * s * epoch_size] entries of
+      each kind regardless of stream length. *)
   let resident_entries t =
     Array.fold_left (fun acc srv -> acc + Server.resident_entries srv) 0
       t.servers
@@ -430,7 +431,9 @@ module Make (F : Prio_field.Field_intf.S) = struct
         Array.iter
           (fun srv ->
             Hashtbl.reset srv.Server.seen_nonces;
+            Hashtbl.reset srv.Server.prev_nonces;
             Hashtbl.reset srv.Server.decisions;
+            Hashtbl.reset srv.Server.prev_decisions;
             srv.Server.decided_in_epoch <- 0;
             srv.Server.epoch <- epoch)
           dst.servers

@@ -26,17 +26,24 @@ type policy = {
   p_truncate : float;  (** frame cut short (possibly to empty) *)
   p_disconnect : float;  (** connection closed instead of delivering *)
   p_crash : float;  (** the injecting process exits (server chaos) *)
+  crash_tags : string;  (** frame tag bytes that can trigger a targeted crash *)
+  p_crash_tag : float;
+      (** probability of crashing on a frame whose tag is in [crash_tags]
+          — the aimed fault point (e.g. "die on receiving a decision
+          broadcast, before journaling it") that the uniform [p_crash]
+          cannot hit reliably *)
 }
 
 let none =
   { p_drop = 0.; p_delay = 0.; delay = 0.; p_corrupt = 0.; p_truncate = 0.;
-    p_disconnect = 0.; p_crash = 0. }
+    p_disconnect = 0.; p_crash = 0.; crash_tags = ""; p_crash_tag = 0. }
 
 let drop p = { none with p_drop = p }
 let corrupt p = { none with p_corrupt = p }
 let truncate p = { none with p_truncate = p }
 let disconnect p = { none with p_disconnect = p }
 let crash p = { none with p_crash = p }
+let crash_on ~tags p = { none with crash_tags = tags; p_crash_tag = p }
 let slow ~p ~delay = { none with p_delay = p; delay }
 
 type verdict =
@@ -78,13 +85,24 @@ let cut rng b =
 let decide t (frame : Bytes.t) : verdict =
   t.seen <- t.seen + 1;
   let p = t.policy in
-  let roll = Rng.float01 t.rng in
   let inj kind v =
     t.injected <- t.injected + 1;
     Metrics.incr m_injected;
     Trace.event "fault" ~attrs:[ ("kind", kind) ];
     v
   in
+  (* Targeted crash first: it keys on the frame's tag byte, not the
+     shared uniform draw, so a drill can aim at exactly one protocol
+     point (e.g. the decision-commit window) without disturbing the
+     probabilities — or the RNG stream — of the stacked classes below. *)
+  if
+    p.p_crash_tag > 0.
+    && Bytes.length frame > 0
+    && String.contains p.crash_tags (Bytes.get frame 0)
+    && (p.p_crash_tag >= 1. || Rng.float01 t.rng < p.p_crash_tag)
+  then inj "crash-tag" Crash
+  else
+  let roll = Rng.float01 t.rng in
   let c0 = p.p_crash in
   let c1 = c0 +. p.p_disconnect in
   let c2 = c1 +. p.p_drop in

@@ -12,6 +12,11 @@ type policy = {
   p_truncate : float;  (** frame cut short (possibly to empty) *)
   p_disconnect : float;  (** connection closed instead of delivering *)
   p_crash : float;  (** the injecting process exits (server chaos) *)
+  crash_tags : string;  (** frame tag bytes that can trigger a targeted crash *)
+  p_crash_tag : float;
+      (** probability of crashing on a frame whose tag is in [crash_tags]
+          — an aimed fault point, e.g. dying on receipt of a decision
+          broadcast before it is journaled *)
 }
 
 val none : policy
@@ -21,6 +26,13 @@ val corrupt : float -> policy
 val truncate : float -> policy
 val disconnect : float -> policy
 val crash : float -> policy
+
+val crash_on : tags:string -> float -> policy
+(** Crash with the given probability on frames whose tag byte is in
+    [tags]; every other frame passes untouched. The commit-window drill
+    uses [crash_on ~tags:"a" 1.0] to die between receiving a decision
+    and acknowledging it. *)
+
 val slow : p:float -> delay:float -> policy
 
 type verdict =

@@ -16,7 +16,7 @@
     - client → leader:       [V] client_id ‖ ctx              — verify now
     - leader → follower:     [o] client_id ‖ ctx              → [O] d‖e
     - leader → follower:     [d] client_id ‖ ctx ‖ d ‖ e      → [S] σ‖ζ
-    - leader → follower:     [a]/[r] client_id ‖ ctx          — decision
+    - leader → follower:     [a]/[r] client_id ‖ ctx          → [c] commit ack
     - collector → server:    [Q]                              → [A] accumulator
     - monitor → server:      [q] format byte ('p'/'j')        → [m] metrics text
     - monitor → server:      [h]                              → [H] health probe
@@ -37,8 +37,16 @@
       duplicate uploads/verifies with the original verdict
       ({!Server.decision}) instead of re-processing them;
     - a leader whose follower times out, crashes, or answers garbage
-      degrades gracefully: it aborts that one submission everywhere,
-      answers the client with [E Unavailable], and keeps serving;
+      mid-gossip degrades gracefully: it aborts that one submission
+      everywhere, answers the client with [E Unavailable], and keeps
+      serving;
+    - decisions are a two-phase acked commit: every server appends the
+      verdict to its fsynced, HMAC-chained decision journal before
+      acknowledging ([c]); the leader acks the client only once every
+      follower has acked, and answers [E Commit_pending] otherwise so
+      the client resubmits and the leader repairs the partial broadcast
+      — a follower dying between receiving a decision and journaling it
+      can no longer strand an accepted share outside every checkpoint;
     - {!poll_servers} supervises the forked processes ([waitpid WNOHANG])
       and {!restart_server} revives a dead one on its original port;
     - the whole frame path accepts a deterministic fault injector
@@ -57,6 +65,10 @@ type error_code =
   | Unavailable  (** server degraded (e.g. a follower is down) *)
   | Rejected  (** submission definitively refused *)
   | Busy  (** admission queue full; retry with backoff *)
+  | Commit_pending
+      (** the verdict is journaled at the leader but a follower has not
+          acknowledged its copy; resubmitting the packets re-seeds the
+          follower and lets the leader repair the commit *)
 
 (** Everything that can go wrong on the wire, as a value — the structured
     replacement for the seed implementation's [assert]s and [Not_found]s. *)
@@ -76,6 +88,7 @@ let string_of_error_code = function
   | Unavailable -> "unavailable"
   | Rejected -> "rejected"
   | Busy -> "busy"
+  | Commit_pending -> "commit-pending"
 
 let string_of_protocol_error = function
   | Timeout what -> "timeout: " ^ what
@@ -125,6 +138,14 @@ type tuning = {
       (** decisions between snapshots; 1 (default) loses nothing across
           a crash, larger amortizes the write at the cost of losing the
           tail since the last snapshot *)
+  journal_fsync : bool;
+      (** fsync each decision-journal append before acknowledging it
+          (default). Turning it off trades the write-ahead durability
+          guarantee for speed — only for measuring the fsync overhead *)
+  max_resubmits : int;
+      (** how many times a client resubmits a whole submission after a
+          [Commit_pending] answer (the leader decided, a follower has not
+          acknowledged its copy) before giving up *)
   trace_dir : string option;
       (** with it set, each server process installs its own span recorder
           (origin ["server<id>"]) and dumps [<trace_dir>/server<id>.jsonl]
@@ -145,6 +166,8 @@ let default_tuning =
     clock = Prio_obs.Clock.system;
     checkpoint_dir = None;
     checkpoint_every = 1;
+    journal_fsync = true;
+    max_resubmits = 4;
     trace_dir = None;
   }
 
@@ -175,6 +198,18 @@ let m_restores = Metrics.counter "prio_ckpt_restores_total"
 let m_restore_rejected = Metrics.counter "prio_ckpt_rejected_total"
 let h_ckpt_write = Metrics.histogram "prio_ckpt_write_seconds"
 let h_restore = Metrics.histogram "prio_ckpt_restore_seconds"
+
+(* Decision-journal and two-phase-commit channels: the write-ahead log
+   each server appends to before acknowledging a decision, and the
+   leader's view of the acked broadcast (docs/OBSERVABILITY.md). *)
+let m_journal_appends = Metrics.counter "prio_journal_appends_total"
+let m_journal_replayed = Metrics.counter "prio_journal_replayed_total"
+let m_journal_truncations = Metrics.counter "prio_journal_truncations_total"
+let m_journal_errors = Metrics.counter "prio_journal_errors_total"
+let h_journal_fsync = Metrics.histogram "prio_journal_fsync_seconds"
+let m_commit_acks = Metrics.counter "prio_commit_acks_total"
+let m_commit_failures = Metrics.counter "prio_commit_failures_total"
+let m_commit_repairs = Metrics.counter "prio_commit_repairs_total"
 
 (* Per-stage latency histograms: every submission crosses admission →
    verify → aggregate → checkpoint inside a server process; each stage
@@ -364,6 +399,7 @@ let error_code_byte = function
   | Unavailable -> 'U'
   | Rejected -> 'J'
   | Busy -> 'B'
+  | Commit_pending -> 'W'
 
 let error_code_of_byte = function
   | 'L' -> Some Too_large
@@ -373,6 +409,7 @@ let error_code_of_byte = function
   | 'U' -> Some Unavailable
   | 'J' -> Some Rejected
   | 'B' -> Some Busy
+  | 'W' -> Some Commit_pending
   | _ -> None
 
 let error_frame code detail =
@@ -713,6 +750,53 @@ module Make (F : Prio_field.Field_intf.S) = struct
               [ ("server", string_of_int id);
                 ("error", Checkpoint.string_of_error e) ]
       end);
+    (* Leader bookkeeping for the two-phase commit: client ids whose
+       verdict is journaled here but not yet acknowledged by every
+       follower. A duplicate [V] for such an id triggers a repair
+       re-broadcast instead of a plain re-ack. *)
+    let uncommitted : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    (* Decision journal: the write-ahead tail the snapshot has not
+       absorbed. Opened (and chain-verified) before serving; entries
+       past the snapshot's [journal_seq] watermark replay into the
+       running state — that is how a follower killed between journaling
+       a decision and the next snapshot still recovers it. *)
+    let journal : Ckpt.journal option ref = ref None in
+    (match tuning.checkpoint_dir with
+    | None -> ()
+    | Some dir -> (
+      let jkey =
+        Checkpoint.derive_journal_key ~master:cfg.master ~server_id:id
+      in
+      match Ckpt.journal_open ~key:jkey ~dir ~server_id:id () with
+      | Error e ->
+        (* unreadable/tampered journal: serve without it (durability
+           degraded, availability kept), same policy as a bad snapshot *)
+        Metrics.incr m_journal_errors;
+        Trace.event "server.journal_error"
+          ~attrs:
+            [ ("server", string_of_int id);
+              ("error", Checkpoint.string_of_error e) ]
+      | Ok (entries, j) ->
+        journal := Some j;
+        let floor = state.Server.journal_seq in
+        List.iter
+          (fun (e : Ckpt.journal_entry) ->
+            if
+              e.Ckpt.j_seq > floor
+              && Server.record_decision state ~client_id:e.Ckpt.j_client
+                   e.Ckpt.j_accepted
+            then begin
+              if e.Ckpt.j_accepted then Server.accumulate state e.Ckpt.j_share;
+              Metrics.incr m_journal_replayed;
+              (* conservatively treat replayed decisions as possibly
+                 part-broadcast: a retried [V] will repair them *)
+              if id = 0 then Hashtbl.replace uncommitted e.Ckpt.j_client ();
+              Trace.event "server.journal_replayed"
+                ~attrs:
+                  [ ("server", string_of_int id);
+                    ("client", string_of_int e.Ckpt.j_client) ]
+            end)
+          entries));
     let decisions_since_ckpt = ref 0 in
     let last_ckpt_at = ref nan in
     let write_checkpoint () =
@@ -731,7 +815,20 @@ module Make (F : Prio_field.Field_intf.S) = struct
         with
         | Ok () ->
           Metrics.incr m_ckpt_writes;
-          last_ckpt_at := Clock.now tuning.clock
+          last_ckpt_at := Clock.now tuning.clock;
+          (* the snapshot now carries [journal_seq], so every journaled
+             decision is absorbed: drop the journal prefix *)
+          (match !journal with
+          | None -> ()
+          | Some j -> (
+            match Ckpt.journal_truncate j with
+            | Ok () -> Metrics.incr m_journal_truncations
+            | Error e ->
+              Metrics.incr m_journal_errors;
+              Trace.event "server.journal_error"
+                ~attrs:
+                  [ ("server", string_of_int id);
+                    ("error", Checkpoint.string_of_error e) ]))
         | Error e ->
           (* a failed write degrades durability, not availability *)
           Metrics.incr m_ckpt_errors;
@@ -751,15 +848,57 @@ module Make (F : Prio_field.Field_intf.S) = struct
       Server.rotate_epoch state;
       epoch_started_at := Clock.now tuning.clock;
       decisions_since_ckpt := 0;
-      write_checkpoint ()
+      write_checkpoint ();
+      (* decisions the rotation aged out can no longer be re-acked, so
+         they can no longer be repaired either *)
+      Hashtbl.iter
+        (fun client_id () ->
+          if Server.decision state ~client_id = None then
+            Hashtbl.remove uncommitted client_id)
+        (Hashtbl.copy uncommitted)
     in
     let epoch_expired () =
       tuning.epoch_max_age_s > 0.
       && state.Server.decided_in_epoch > 0
       && Clock.now tuning.clock -. !epoch_started_at >= tuning.epoch_max_age_s
     in
+    (* Write-ahead the verdict: append to the decision journal (fsynced
+       under the default tuning) before the decision is applied or
+       acknowledged anywhere. Returns [false] only when a live journal
+       could not take the record — the caller decides whether that
+       degrades durability (leader) or availability (follower).
+       Idempotent: an already-recorded decision is already journaled. *)
+    let journal_decision ~client_id accepted share =
+      match !journal with
+      | None -> true
+      | Some j -> (
+        match Server.decision state ~client_id with
+        | Some _ -> true
+        | None -> (
+          let entry =
+            { Ckpt.j_seq = state.Server.journal_seq + 1;
+              j_client = client_id;
+              j_accepted = accepted;
+              j_epoch = state.Server.epoch;
+              j_share = (if accepted then share else [||]) }
+          in
+          match
+            Metrics.time h_journal_fsync (fun () ->
+                Ckpt.journal_append ~fsync:tuning.journal_fsync j entry)
+          with
+          | Ok () ->
+            Metrics.incr m_journal_appends;
+            true
+          | Error e ->
+            Metrics.incr m_journal_errors;
+            Trace.event "server.journal_error"
+              ~attrs:
+                [ ("server", string_of_int id);
+                  ("error", Checkpoint.string_of_error e) ];
+            false))
+    in
     let finish_decision ~client_id verdict =
-      Server.record_decision state ~client_id verdict;
+      ignore (Server.record_decision state ~client_id verdict : bool);
       if
         (tuning.epoch_size > 0
         && state.Server.decided_in_epoch >= tuning.epoch_size)
@@ -861,27 +1000,30 @@ module Make (F : Prio_field.Field_intf.S) = struct
       | Error _ when was_cached -> attempt ()
       | Error _ as e -> e
     in
-    let tell_follower j payload =
-      let attempt () =
-        match connect_follower j with
-        | Error _ -> false
-        | Ok fd -> (
-          match
-            write_frame ~deadline:(Retry.after tuning.io_timeout) fd payload
-          with
-          | Ok () -> true
-          | Error _ ->
-            drop_follower j;
-            false)
-      in
-      let was_cached = follower_fds.(j) <> None in
-      if (not (attempt ())) && was_cached then ignore (attempt ())
-    in
     let pair_bytes a b = Bytes.cat (F.to_bytes a) (F.to_bytes b) in
+    (* Two-phase decision broadcast: send [a]/[r] to one follower and
+       wait for its [c] commit ack, meaning the follower journaled the
+       verdict before replying. Returns [true] only on a genuine ack.
+       An [E] reply (e.g. the follower's journal is failing) keeps the
+       connection; any other reply means the streams are desynced. *)
+    let commit_follower j payload =
+      match ask_follower j payload with
+      | Error _ ->
+        Metrics.incr m_commit_failures;
+        false
+      | Ok r when Bytes.length r > 0 && Bytes.get r 0 = 'c' ->
+        Metrics.incr m_commit_acks;
+        true
+      | Ok r ->
+        if not (Bytes.length r > 0 && Bytes.get r 0 = 'E') then
+          drop_follower j;
+        Metrics.incr m_commit_failures;
+        false
+    in
     (* leader: drive the two SNIP gossip rounds for one pending client.
-       Any follower failure aborts just this submission (an [r] broadcast
-       to the healthy followers) and reports which follower, so the
-       leader can degrade instead of dying. *)
+       Any follower failure aborts just this submission (a journaled,
+       acked [r] broadcast to the healthy followers) and reports which
+       follower, so the leader can degrade instead of dying. *)
     let verify client_id (p : pending) =
       let exception Degraded of int * protocol_error in
       try
@@ -935,22 +1077,40 @@ module Make (F : Prio_field.Field_intf.S) = struct
           zero := F.add !zero z
         done;
         let accepted = F.is_zero !sigma && F.is_zero !zero in
-        let tag = if accepted then 'a' else 'r' in
-        for j = 0 to nf - 1 do
-          tell_follower j (tagged tag (id_ctx ()))
-        done;
+        (* Commit point: write-ahead the leader's own verdict first (a
+           journal failure here degrades durability, like a failed
+           checkpoint — the decision still stands), apply it, then run
+           the acked broadcast. The client is only acked once every
+           follower confirmed its journal write; a partial broadcast
+           surfaces as [all_acked = false] and is repaired by the
+           client's resubmission. *)
+        ignore (journal_decision ~client_id accepted p.share : bool);
         if accepted then
           Trace.with_span "server.aggregate"
             ~attrs:[ ("server", string_of_int id) ]
             (fun () ->
               Metrics.time h_stage_aggregate (fun () ->
                   Server.accumulate state p.share));
-        Ok accepted
+        let tag = if accepted then 'a' else 'r' in
+        let all_acked = ref true in
+        for j = 0 to nf - 1 do
+          if not (commit_follower j (tagged tag (id_ctx ()))) then
+            all_acked := false
+        done;
+        Ok (accepted, !all_acked)
       with Degraded (j, err) ->
+        (* The aborting [r] must follow the same write-ahead discipline
+           as a commit: journal it here, and only send acked [r] frames.
+           [journal_decision] is idempotent against an already-recorded
+           verdict, so a repeated abort (client retry after a degraded
+           round) cannot journal a contradictory decision. *)
+        ignore (journal_decision ~client_id false [||] : bool);
         for k = 0 to nf - 1 do
           if k <> j then
-            tell_follower k
-              (tagged 'r' (Bytes.cat (put_u32 client_id) (ctx_bytes ())))
+            ignore
+              (commit_follower k
+                 (tagged 'r' (Bytes.cat (put_u32 client_id) (ctx_bytes ())))
+                : bool)
         done;
         Error (j, err)
     in
@@ -1022,6 +1182,31 @@ module Make (F : Prio_field.Field_intf.S) = struct
             (if id <> 0 then reply_error fd Unavailable "not the leader"
              else
                match Server.decision state ~client_id with
+               | Some accepted when Hashtbl.mem uncommitted client_id ->
+                 (* the verdict is journaled here but some follower never
+                    acked it (crash mid-broadcast, or replayed from the
+                    journal after a leader restart): repair by re-running
+                    the acked broadcast before re-acking the client *)
+                 let tag = if accepted then 'a' else 'r' in
+                 let payload =
+                   Bytes.cat (put_u32 client_id) (ctx_bytes ())
+                 in
+                 let all_acked = ref true in
+                 for j = 0 to nf - 1 do
+                   if not (commit_follower j (tagged tag payload)) then
+                     all_acked := false
+                 done;
+                 if !all_acked then begin
+                   Hashtbl.remove uncommitted client_id;
+                   Metrics.incr m_commit_repairs;
+                   Trace.event "server.commit_repaired"
+                     ~attrs:[ ("client", string_of_int client_id) ];
+                   reply fd
+                     (tagged (if accepted then 'K' else 'R') Bytes.empty)
+                 end
+                 else
+                   reply_error fd Commit_pending
+                     "decision journaled, follower ack outstanding"
                | Some accepted ->
                  reply fd (tagged (if accepted then 'K' else 'R') Bytes.empty)
                | None -> (
@@ -1033,12 +1218,22 @@ module Make (F : Prio_field.Field_intf.S) = struct
                      Metrics.time h_stage_verify (fun () ->
                          verify client_id p)
                    with
-                   | Ok accepted ->
+                   | Ok (accepted, all_acked) ->
                      Hashtbl.remove pending client_id;
                      note_depth ();
                      finish_decision ~client_id accepted;
-                     reply fd
-                       (tagged (if accepted then 'K' else 'R') Bytes.empty)
+                     if all_acked then
+                       reply fd
+                         (tagged (if accepted then 'K' else 'R') Bytes.empty)
+                     else begin
+                       (* partial broadcast: the verdict is durable here
+                          but not everywhere — make the client come back
+                          ([Commit_pending] drives a resubmission) and
+                          remember to repair on that retry *)
+                       Hashtbl.replace uncommitted client_id ();
+                       reply_error fd Commit_pending
+                         "decision journaled, follower ack outstanding"
+                     end
                    | Error (j, err) ->
                      (* graceful degradation: this submission is cleanly
                         rejected, the leader keeps serving *)
@@ -1097,35 +1292,64 @@ module Make (F : Prio_field.Field_intf.S) = struct
         need 5 (fun () ->
             let client_id = get_u32 frame 1 in
             let tctx, _ = get_ctx frame 5 in
-            (match Hashtbl.find_opt pending client_id with
-            | Some p ->
-              (* streaming aggregation: the share folds into the
-                 accumulator and drops with the pending entry — nothing
-                 per-submission outlives the decision *)
-              Trace.with_span_ctx ?ctx:tctx "server.aggregate"
-                ~attrs:
-                  [ ("server", string_of_int id);
-                    ("client", string_of_int client_id) ]
-              @@ fun () ->
-              Metrics.time h_stage_aggregate (fun () ->
-                  Server.accumulate state p.share);
-              Hashtbl.remove pending client_id;
-              note_depth ();
-              finish_decision ~client_id true
-            | None -> ());
+            (match Server.decision state ~client_id with
+            | Some _ ->
+              (* already journaled and applied (the previous ack was
+                 lost): re-ack, never re-accumulate *)
+              reply fd (tagged 'c' Bytes.empty)
+            | None -> (
+              match Hashtbl.find_opt pending client_id with
+              | Some p ->
+                (* two-phase commit: journal first (write-ahead), then
+                   fold the share into the accumulator and ack with [c].
+                   If the journal cannot take the record, refuse the ack
+                   — accumulating an unjournaled accept would desync the
+                   servers after a crash. *)
+                if not (journal_decision ~client_id true p.share) then
+                  reply_error fd Unavailable "decision journal failed"
+                else begin
+                  (* streaming aggregation: the share folds into the
+                     accumulator and drops with the pending entry —
+                     nothing per-submission outlives the decision *)
+                  (Trace.with_span_ctx ?ctx:tctx "server.aggregate"
+                     ~attrs:
+                       [ ("server", string_of_int id);
+                         ("client", string_of_int client_id) ]
+                  @@ fun () ->
+                   Metrics.time h_stage_aggregate (fun () ->
+                       Server.accumulate state p.share));
+                  Hashtbl.remove pending client_id;
+                  note_depth ();
+                  finish_decision ~client_id true;
+                  reply fd (tagged 'c' Bytes.empty)
+                end
+              | None ->
+                (* no share to aggregate: the upload never landed (or a
+                   restart dropped it). Refusing the ack makes the leader
+                   report [Commit_pending]; the client's resubmission
+                   re-seeds the share and the retried broadcast heals. *)
+                reply_error fd Unknown_client (string_of_int client_id)));
             `Keep)
       | 'r' ->
         need 5 (fun () ->
             let client_id = get_u32 frame 1 in
             let tctx, _ = get_ctx frame 5 in
-            Trace.with_span_ctx ?ctx:tctx "server.discard"
-              ~attrs:
-                [ ("server", string_of_int id);
-                  ("client", string_of_int client_id) ]
-            @@ fun () ->
-            Hashtbl.remove pending client_id;
-            note_depth ();
-            finish_decision ~client_id false;
+            (match Server.decision state ~client_id with
+            | Some _ -> reply fd (tagged 'c' Bytes.empty)
+            | None ->
+              if not (journal_decision ~client_id false [||]) then
+                reply_error fd Unavailable "decision journal failed"
+              else begin
+                (Trace.with_span_ctx ?ctx:tctx "server.discard"
+                   ~attrs:
+                     [ ("server", string_of_int id);
+                       ("client", string_of_int client_id) ]
+                @@ fun () ->
+                 Hashtbl.remove pending client_id;
+                 note_depth ());
+                finish_decision ~client_id false;
+                reply fd (tagged 'c' Bytes.empty)
+              end);
             `Keep)
       | 'Q' ->
         reply fd (tagged 'A' (W.vector_to_bytes (Server.publish state)));
@@ -1241,6 +1465,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
       with Sys_error _ -> ())
     | _ -> ());
     Pool.shutdown pool;
+    (match !journal with Some j -> Ckpt.journal_close j | None -> ());
     List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !conns;
     Array.iter
       (function
@@ -1486,6 +1711,11 @@ module Make (F : Prio_field.Field_intf.S) = struct
           (* shed by admission control: back off and resend — the server
              stays healthy, it just wants the burst spread out *)
           `Retry (Peer_error (Busy, detail))
+        | Some (Commit_pending, detail) ->
+          (* the verdict is journaled on the leader but a follower has
+             not acked it: resubmit the whole packet set so the leader
+             can re-run the acked broadcast against re-seeded shares *)
+          `Done (`Resubmit detail)
         | Some ((Unknown_client | Unavailable | Rejected) as c, detail) ->
           `Done (`Nack (string_of_error_code c ^ ": " ^ detail)))
       | _ -> `Retry (Bad_frame "unparseable reply")
@@ -1521,9 +1751,13 @@ module Make (F : Prio_field.Field_intf.S) = struct
 
   (* Shared submission driver: upload to every server through [rpc_to]
      (followers first, so their shares are in place; leader last), then
-     trigger the leader's verify round. *)
-  let drive_submission ~num_servers ~client_id rpc_to
-      (pk : Client.packets) : outcome =
+     trigger the leader's verify round. A [Commit_pending] verify reply
+     means the leader journaled the verdict but a follower never acked
+     it: re-push every packet (re-seeding the shares a restarted
+     follower lost) and retry the verify so the leader can repair the
+     broadcast — up to [max_resubmits] rounds. *)
+  let drive_submission ?(max_resubmits = default_tuning.max_resubmits)
+      ~num_servers ~client_id rpc_to (pk : Client.packets) : outcome =
     if Array.length pk.Client.sealed <> num_servers then
       invalid_arg "Net.submit_packets: one packet per server required";
     Trace.with_span "net.submit" ~attrs:[ ("client", string_of_int client_id) ]
@@ -1545,9 +1779,12 @@ module Make (F : Prio_field.Field_intf.S) = struct
         match upload i with
         | Ok `Ack -> push rest
         | Ok (`Nack why) -> Some (Rejected why)
+        (* a [Commit_pending] to an upload cannot happen (only verify
+           produces it); treat it as a rejection rather than looping *)
+        | Ok (`Resubmit why) -> Some (Rejected ("commit pending: " ^ why))
         | Error e -> Some (Unreachable e))
     in
-    let outcome =
+    let rec submit_round round =
       match push order with
       | Some early -> early
       | None -> (
@@ -1558,8 +1795,19 @@ module Make (F : Prio_field.Field_intf.S) = struct
         with
         | Ok `Ack -> Accepted
         | Ok (`Nack why) -> Rejected why
+        | Ok (`Resubmit why) ->
+          if round < max_resubmits then begin
+            Trace.event "net.resubmit"
+              ~attrs:[ ("round", string_of_int round); ("why", why) ];
+            (* brief linear pause: commit repair usually waits on a
+               follower restart, not on the client hammering faster *)
+            Retry.sleep (0.02 *. float_of_int round);
+            submit_round (round + 1)
+          end
+          else Rejected ("commit pending: " ^ why)
         | Error e -> Unreachable e)
     in
+    let outcome = submit_round 1 in
     (match outcome with
     | Accepted -> ()
     | Rejected why -> Trace.event "net.rejected" ~attrs:[ ("why", why) ]
@@ -1576,7 +1824,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
   let submit_packets_outcome ?faults d ~rng ~client_id
       (pk : Client.packets) : outcome =
     ignore_sigpipe ();
-    drive_submission ~num_servers:d.cfg.num_servers ~client_id
+    drive_submission ~max_resubmits:d.tuning.max_resubmits
+      ~num_servers:d.cfg.num_servers ~client_id
       (fun i payload -> rpc ?faults ~tuning:d.tuning ~rng d.addrs.(i) payload)
       pk
 
@@ -1666,7 +1915,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
 
   let submit_packets_session ?faults (s : session) ~rng ~client_id
       (pk : Client.packets) : outcome =
-    drive_submission ~num_servers:s.sdep.cfg.num_servers ~client_id
+    drive_submission ~max_resubmits:s.sdep.tuning.max_resubmits
+      ~num_servers:s.sdep.cfg.num_servers ~client_id
       (fun i payload -> session_rpc ?faults s ~rng i payload)
       pk
 

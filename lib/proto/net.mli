@@ -7,7 +7,11 @@
     Every socket operation is deadline-bounded, frames are size-capped,
     protocol deviations surface as {!protocol_error} values answered
     with [E] frames, clients retry with backoff against idempotent
-    servers, a leader degrades gracefully when a follower dies, and the
+    servers, decision broadcasts are two-phase (followers journal the
+    verdict to an HMAC-chained write-ahead log and ack with a [c] frame
+    before the leader acks the client; partial broadcasts surface as
+    [Commit_pending] and are repaired on resubmission), a leader
+    degrades gracefully when a follower dies, and the
     forked processes are supervised ({!Make.poll_servers} /
     {!Make.restart_server}). The whole frame path accepts a
     deterministic {!Faults} injector for reproducible chaos runs. See
@@ -23,6 +27,9 @@ type error_code =
   | Unavailable  (** server degraded (e.g. a follower is down) *)
   | Rejected  (** submission definitively refused *)
   | Busy  (** admission queue full; retryable — clients back off *)
+  | Commit_pending
+      (** the leader journaled the verdict but a follower has not acked
+          it; the client resubmits so the broadcast can be repaired *)
 
 (** Everything that can go wrong on the wire, as a value. *)
 type protocol_error =
@@ -74,6 +81,13 @@ type tuning = {
           {!Make.restart_server} resumes mid-collection *)
   checkpoint_every : int;
       (** decisions between snapshots (default 1 = lose nothing) *)
+  journal_fsync : bool;
+      (** fsync every decision-journal append before acknowledging it
+          (default [true]); turning it off trades the write-ahead
+          guarantee for throughput in tests and benchmarks *)
+  max_resubmits : int;
+      (** client-side resubmission rounds after a [Commit_pending]
+          verify reply (default 4) before giving up as rejected *)
   trace_dir : string option;
       (** span-dump directory (default [None]); with it set, each server
           process records its spans under origin ["server<id>"] and dumps
@@ -204,7 +218,9 @@ module Make (F : Prio_field.Field_intf.S) : sig
       [tuning.checkpoint_dir] set the server restores its latest valid
       snapshot at startup (rejecting corrupted / truncated / wrong-key
       snapshots and epochs below [restore_min_epoch], falling back to a
-      clean start) and snapshots every [checkpoint_every] decisions. *)
+      clean start), replays the decision-journal suffix past the
+      snapshot's watermark, and snapshots every [checkpoint_every]
+      decisions (each snapshot truncating the journal). *)
 
   type deployment = {
     cfg : config;

@@ -25,11 +25,25 @@ module Make (F : Prio_field.Field_intf.S) = struct
     payload_elements : int;  (** expected flat share vector length *)
     accumulator : F.t array;
     mutable accepted : int;
-    seen_nonces : (string, unit) Hashtbl.t;
-    decisions : (int, bool) Hashtbl.t;
+    mutable seen_nonces : (string, unit) Hashtbl.t;
+    mutable prev_nonces : (string, unit) Hashtbl.t;
+        (** the previous epoch's replay nonces, kept one generation back so
+            a packet replayed right after a rotation is still caught — a
+            replay must be older than a full epoch to slip past *)
+    mutable decisions : (int, bool) Hashtbl.t;
         (** client_id → final verdict, kept so a retried (duplicate)
             submission or verify request is re-acknowledged with the
             original answer instead of re-processed *)
+    mutable prev_decisions : (int, bool) Hashtbl.t;
+        (** previous epoch's verdicts, same one-generation grace window as
+            [prev_nonces]: a retry that crosses one epoch boundary is still
+            re-acked instead of re-verified (and double-counted) *)
+    mutable journal_seq : int;
+        (** monotone count of decisions ever first-recorded on this server;
+            never reset by rotation. The decision journal stamps each entry
+            with this sequence and the checkpoint carries it, so replay
+            after a restore applies exactly the journaled decisions the
+            snapshot has not absorbed yet. *)
     mutable epoch : int;  (** completed {!rotate_epoch} calls *)
     mutable decided_in_epoch : int;
         (** distinct client verdicts recorded since the last rotation *)
@@ -57,36 +71,59 @@ module Make (F : Prio_field.Field_intf.S) = struct
       accumulator = Array.make trunc_len F.zero;
       accepted = 0;
       seen_nonces = Hashtbl.create 1024;
+      prev_nonces = Hashtbl.create 16;
       decisions = Hashtbl.create 1024;
+      prev_decisions = Hashtbl.create 16;
+      journal_seq = 0;
       epoch = 0;
       decided_in_epoch = 0;
       replay_digest = initial_replay_digest ();
     }
 
-  (** Record the cluster's final verdict on a client id, making later
-      duplicate uploads / verify requests idempotent. *)
-  let record_decision t ~client_id accepted =
-    if not (Hashtbl.mem t.decisions client_id) then
-      t.decided_in_epoch <- t.decided_in_epoch + 1;
-    Hashtbl.replace t.decisions client_id accepted
+  let decision t ~client_id =
+    match Hashtbl.find_opt t.decisions client_id with
+    | Some _ as d -> d
+    | None -> Hashtbl.find_opt t.prev_decisions client_id
 
-  let decision t ~client_id = Hashtbl.find_opt t.decisions client_id
+  (** Record the cluster's final verdict on a client id, making later
+      duplicate uploads / verify requests idempotent. First write wins: a
+      late contradictory broadcast (the degraded-abort race) cannot
+      overwrite a verdict already recorded — and journaled — here. Returns
+      [true] iff this call recorded a new decision. *)
+  let record_decision t ~client_id accepted =
+    match decision t ~client_id with
+    | Some _ -> false
+    | None ->
+      Hashtbl.add t.decisions client_id accepted;
+      t.decided_in_epoch <- t.decided_in_epoch + 1;
+      t.journal_seq <- t.journal_seq + 1;
+      true
 
   (** Per-submission state currently resident: replay nonces plus recorded
-      verdicts. Bounded by the epoch size when callers rotate epochs, which
-      is the streaming-mode flat-memory invariant the tests assert. *)
+      verdicts, across both the live epoch and the one-epoch grace
+      generation. Bounded by [2 * epoch_size] per table kind when callers
+      rotate epochs, which is the streaming-mode flat-memory invariant the
+      tests assert. *)
   let resident_entries t =
-    Hashtbl.length t.seen_nonces + Hashtbl.length t.decisions
+    Hashtbl.length t.seen_nonces + Hashtbl.length t.prev_nonces
+    + Hashtbl.length t.decisions + Hashtbl.length t.prev_decisions
 
-  (** Close the current epoch: drop the replay and idempotency tables (the
-      memory that otherwise grows with every submission ever seen) and fold
-      the rotation into the replay digest chain. Duplicate-submission
-      re-acks only reach back to the current epoch afterwards — a retry
-      from a closed epoch is treated as a fresh (replayed) packet and
-      dropped by the nonce check's absence, or re-verified. *)
+  (** Close the current epoch: age the replay and idempotency tables one
+      generation (current → grace, grace dropped and recycled) and fold the
+      rotation into the replay digest chain. The grace generation means a
+      replay or retry must cross {e two} epoch boundaries — i.e. be older
+      than a full epoch — before its nonce and verdict are forgotten, so a
+      retried submission rotated out mid-flight is still re-acked from the
+      recorded verdict instead of re-verified and double-counted. Memory
+      stays bounded at two generations per table kind. *)
   let rotate_epoch t =
-    Hashtbl.reset t.seen_nonces;
-    Hashtbl.reset t.decisions;
+    let recycled_nonces = t.prev_nonces and recycled_decisions = t.prev_decisions in
+    Hashtbl.reset recycled_nonces;
+    Hashtbl.reset recycled_decisions;
+    t.prev_nonces <- t.seen_nonces;
+    t.prev_decisions <- t.decisions;
+    t.seen_nonces <- recycled_nonces;
+    t.decisions <- recycled_decisions;
     t.epoch <- t.epoch + 1;
     t.decided_in_epoch <- 0;
     let c = Sha256.init () in
@@ -95,7 +132,7 @@ module Make (F : Prio_field.Field_intf.S) = struct
     Sha256.update c (u32_be t.epoch);
     t.replay_digest <- Sha256.finalize c;
     Metrics.incr m_rotations;
-    Metrics.set g_resident 0.;
+    Metrics.set g_resident (float_of_int (resident_entries t));
     Trace.event "server.epoch_rotated"
       ~attrs:
         [ ("server", string_of_int t.id); ("epoch", string_of_int t.epoch) ]
@@ -104,8 +141,8 @@ module Make (F : Prio_field.Field_intf.S) = struct
       The replay/idempotency tables are reset — a snapshot carries only
       their digest, so replay protection restarts scoped to the resumed
       epoch. @raise Invalid_argument on a width or digest-size mismatch. *)
-  let restore t ~epoch ~accepted ~decided_in_epoch ~replay_digest
-      ~(accumulator : F.t array) =
+  let restore ?(journal_seq = 0) t ~epoch ~accepted ~decided_in_epoch
+      ~replay_digest ~(accumulator : F.t array) =
     if Array.length accumulator <> t.trunc_len then
       invalid_arg "Server.restore: accumulator width mismatch";
     if Bytes.length replay_digest <> 32 then
@@ -114,9 +151,12 @@ module Make (F : Prio_field.Field_intf.S) = struct
     t.accepted <- accepted;
     t.epoch <- epoch;
     t.decided_in_epoch <- decided_in_epoch;
+    t.journal_seq <- journal_seq;
     t.replay_digest <- Bytes.copy replay_digest;
     Hashtbl.reset t.seen_nonces;
-    Hashtbl.reset t.decisions
+    Hashtbl.reset t.prev_nonces;
+    Hashtbl.reset t.decisions;
+    Hashtbl.reset t.prev_decisions
 
   (** Authenticate, decrypt, replay-check and expand one client packet into
       this server's flat share vector. [None] on forgery, replay, or
@@ -131,7 +171,10 @@ module Make (F : Prio_field.Field_intf.S) = struct
       else begin
         let nonce = Bytes.sub body 0 16 in
         let nonce_key = Bytes.to_string nonce in
-        if Hashtbl.mem t.seen_nonces nonce_key then None
+        if
+          Hashtbl.mem t.seen_nonces nonce_key
+          || Hashtbl.mem t.prev_nonces nonce_key
+        then None
         else begin
           match
             W.payload_of_bytes (Bytes.sub body 16 (Bytes.length body - 16))

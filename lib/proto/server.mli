@@ -13,10 +13,21 @@ module Make (F : Prio_field.Field_intf.S) : sig
     payload_elements : int;  (** expected flat share-vector length *)
     accumulator : F.t array;
     mutable accepted : int;
-    seen_nonces : (string, unit) Hashtbl.t;
-    decisions : (int, bool) Hashtbl.t;
+    mutable seen_nonces : (string, unit) Hashtbl.t;
+    mutable prev_nonces : (string, unit) Hashtbl.t;
+        (** previous epoch's nonces, kept one generation back so a replay
+            right after a rotation is still caught *)
+    mutable decisions : (int, bool) Hashtbl.t;
         (** client_id → final verdict, for idempotent re-acks of
             retried submissions *)
+    mutable prev_decisions : (int, bool) Hashtbl.t;
+        (** previous epoch's verdicts — the same one-generation grace
+            window, so a retry crossing one rotation is re-acked instead
+            of re-verified and double-counted *)
+    mutable journal_seq : int;
+        (** monotone count of decisions ever first-recorded here; stamps
+            decision-journal entries and rides in checkpoints so replay
+            after restore is exact. Never reset by rotation. *)
     mutable epoch : int;  (** completed {!rotate_epoch} calls *)
     mutable decided_in_epoch : int;
         (** distinct client verdicts recorded since the last rotation *)
@@ -29,23 +40,31 @@ module Make (F : Prio_field.Field_intf.S) : sig
     id:int -> num_servers:int -> master:Bytes.t -> trunc_len:int ->
     payload_elements:int -> t
 
-  val record_decision : t -> client_id:int -> bool -> unit
+  val record_decision : t -> client_id:int -> bool -> bool
   (** Record the cluster's final verdict on a client id, making later
-      duplicate uploads / verify requests idempotent. *)
+      duplicate uploads / verify requests idempotent. First write wins: a
+      verdict already recorded (in either generation) is never overwritten,
+      so a late contradictory broadcast is a no-op. Returns [true] iff a
+      new decision was recorded (and [journal_seq] advanced). *)
 
   val decision : t -> client_id:int -> bool option
+  (** The recorded verdict for a client id, looked up across both the live
+      epoch and the one-epoch grace generation. *)
 
   val resident_entries : t -> int
-  (** Per-submission state currently held (replay nonces + verdicts);
-      bounded by the epoch size once callers rotate epochs. *)
+  (** Per-submission state currently held (replay nonces + verdicts across
+      both generations); bounded by twice the epoch size once callers
+      rotate epochs. *)
 
   val rotate_epoch : t -> unit
-  (** Close the epoch: reset the replay/idempotency tables so memory stays
-      flat over unbounded streams, bump [epoch], and fold the rotation
-      into the replay digest chain. Idempotent re-acks afterwards reach
-      back only to the new epoch. *)
+  (** Close the epoch: age the replay/idempotency tables one generation
+      (current → grace, grace dropped) so memory stays flat over unbounded
+      streams, bump [epoch], and fold the rotation into the replay digest
+      chain. A replay or retry must cross two rotations before its state
+      is forgotten. *)
 
   val restore :
+    ?journal_seq:int ->
     t -> epoch:int -> accepted:int -> decided_in_epoch:int ->
     replay_digest:Bytes.t -> accumulator:F.t array -> unit
   (** Overwrite aggregate state from a checkpoint snapshot; the replay /

@@ -15,13 +15,14 @@ let rng = Rng.of_string_seed "checkpoint-tests"
 let master = Rng.bytes rng 32
 let key = Ck.derive_key ~master ~server_id:1
 
-let snapshot ?(server_id = 1) ?(epoch = 3) ?(accepted = 42) ?(width = 5) ()
-    : CkF.snapshot =
+let snapshot ?(server_id = 1) ?(epoch = 3) ?(accepted = 42) ?(width = 5)
+    ?(journal_seq = 0) () : CkF.snapshot =
   {
     CkF.server_id;
     epoch;
     accepted;
     decided_in_epoch = 7;
+    journal_seq;
     replay_digest = Rng.bytes rng 32;
     accumulator = Array.init width (fun _ -> F.random rng);
   }
@@ -45,6 +46,7 @@ let test_roundtrip () =
         ~epoch:(Rng.int_below rng 1000)
         ~accepted:(Rng.int_below rng 1_000_000)
         ~width:(1 + Rng.int_below rng 12)
+        ~journal_seq:(Rng.int_below rng 10_000)
         ()
     in
     let k = Ck.derive_key ~master ~server_id:snap.CkF.server_id in
@@ -56,6 +58,8 @@ let test_roundtrip () =
       Alcotest.(check int) "accepted" snap.CkF.accepted got.CkF.accepted;
       Alcotest.(check int) "decided" snap.CkF.decided_in_epoch
         got.CkF.decided_in_epoch;
+      Alcotest.(check int) "journal_seq" snap.CkF.journal_seq
+        got.CkF.journal_seq;
       Alcotest.(check bool) "digest" true
         (Bytes.equal snap.CkF.replay_digest got.CkF.replay_digest);
       Alcotest.(check bool) "accumulator" true
@@ -125,7 +129,7 @@ let test_authentic_but_malformed () =
      on Malformed, never on an exception or a bogus snapshot *)
   let b = CkF.to_bytes ~key (snapshot ~width:5 ()) in
   let body = Bytes.sub b 0 (Bytes.length b - 32) in
-  let off = 4 + 1 + 16 + 32 in
+  let off = 4 + 1 + 20 + 32 in
   (* acc_elements field *)
   Bytes.set body (off + 3) (Char.chr 6);
   let reforged = Bytes.cat body (Hmac.sha256 ~key body) in
@@ -212,6 +216,149 @@ let test_corrupted_file_on_disk () =
   | Error e -> Alcotest.failf "unexpected %s" (Ck.string_of_error e)
   | Ok _ -> Alcotest.fail "loaded a corrupted snapshot"
 
+(* ---------------------------- decision journal ------------------------ *)
+
+let jkey = Ck.derive_journal_key ~master ~server_id:1
+
+let entry ?(seq = 1) ?(client = 100) ?(accepted = true) ?(epoch = 0)
+    ?(width = 3) () : CkF.journal_entry =
+  {
+    CkF.j_seq = seq;
+    j_client = client;
+    j_accepted = accepted;
+    j_epoch = epoch;
+    j_share =
+      (if accepted then Array.init width (fun _ -> F.random rng) else [||]);
+  }
+
+let open_exn ~key ~dir ~server_id () =
+  match CkF.journal_open ~key ~dir ~server_id () with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "journal_open: %s" (Ck.string_of_error e)
+
+let append_exn j e =
+  match CkF.journal_append j e with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "journal_append: %s" (Ck.string_of_error e)
+
+let test_journal_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let entries, j = open_exn ~key:jkey ~dir ~server_id:1 () in
+  Alcotest.(check int) "fresh journal empty" 0 (List.length entries);
+  let e1 = entry ~seq:1 ~client:7 ~accepted:true () in
+  let e2 = entry ~seq:2 ~client:9 ~accepted:false () in
+  let e3 = entry ~seq:3 ~client:11 ~accepted:true ~epoch:1 () in
+  List.iter (append_exn j) [ e1; e2; e3 ];
+  CkF.journal_close j;
+  let entries, j = open_exn ~key:jkey ~dir ~server_id:1 () in
+  CkF.journal_close j;
+  Alcotest.(check int) "entries survive reopen" 3 (List.length entries);
+  List.iter2
+    (fun (want : CkF.journal_entry) (got : CkF.journal_entry) ->
+      Alcotest.(check int) "seq" want.CkF.j_seq got.CkF.j_seq;
+      Alcotest.(check int) "client" want.CkF.j_client got.CkF.j_client;
+      Alcotest.(check bool) "verdict" want.CkF.j_accepted got.CkF.j_accepted;
+      Alcotest.(check int) "epoch" want.CkF.j_epoch got.CkF.j_epoch;
+      Alcotest.(check bool) "share" true
+        (Array.for_all2 F.equal want.CkF.j_share got.CkF.j_share))
+    [ e1; e2; e3 ] entries
+
+let journal_bytes dir =
+  In_channel.with_open_bin
+    (Ck.journal_path ~dir ~server_id:1)
+    In_channel.input_all
+
+let write_journal dir s =
+  Out_channel.with_open_bin
+    (Ck.journal_path ~dir ~server_id:1)
+    (fun oc -> Out_channel.output_string oc s)
+
+let test_journal_torn_tail () =
+  (* a crash mid-append leaves a partial trailing record; recovery keeps
+     the intact prefix and drops the torn tail silently *)
+  with_temp_dir @@ fun dir ->
+  let _, j = open_exn ~key:jkey ~dir ~server_id:1 () in
+  append_exn j (entry ~seq:1 ());
+  append_exn j (entry ~seq:2 ~client:200 ());
+  CkF.journal_close j;
+  let whole = journal_bytes dir in
+  for cut = 1 to 40 do
+    write_journal dir (String.sub whole 0 (String.length whole - cut));
+    let entries, j = open_exn ~key:jkey ~dir ~server_id:1 () in
+    Alcotest.(check int)
+      (Printf.sprintf "cut %d: prefix survives" cut)
+      1 (List.length entries);
+    (* and the journal is appendable again after the repair *)
+    append_exn j (entry ~seq:2 ~client:300 ());
+    CkF.journal_close j
+  done
+
+let test_journal_tamper () =
+  (* a chain break before the tail is tampering, not a torn write *)
+  with_temp_dir @@ fun dir ->
+  let _, j = open_exn ~key:jkey ~dir ~server_id:1 () in
+  append_exn j (entry ~seq:1 ());
+  append_exn j (entry ~seq:2 ~client:200 ());
+  CkF.journal_close j;
+  let whole = journal_bytes dir in
+  (* flip one byte inside the first record's body (just past the file
+     header) — the second, intact record proves the break is not a tail *)
+  let mauled = Bytes.of_string whole in
+  Bytes.set mauled 12 (Char.chr (Char.code (Bytes.get mauled 12) lxor 0x20));
+  write_journal dir (Bytes.to_string mauled);
+  (match CkF.journal_open ~key:jkey ~dir ~server_id:1 () with
+  | Error Ck.Bad_hmac -> ()
+  | Error e -> Alcotest.failf "unexpected %s" (Ck.string_of_error e)
+  | Ok (_, j) ->
+    CkF.journal_close j;
+    Alcotest.fail "opened a tampered journal");
+  (* wrong key (another deployment) fails the same way *)
+  write_journal dir whole;
+  let other = Ck.derive_journal_key ~master:(Rng.bytes rng 32) ~server_id:1 in
+  match CkF.journal_open ~key:other ~dir ~server_id:1 () with
+  | Error Ck.Bad_hmac -> ()
+  | Error e -> Alcotest.failf "wrong key: unexpected %s" (Ck.string_of_error e)
+  | Ok (_, j) ->
+    CkF.journal_close j;
+    Alcotest.fail "opened with the wrong key"
+
+let test_journal_truncate () =
+  (* a snapshot absorbed the journal: truncation drops every record and
+     the chain restarts from genesis *)
+  with_temp_dir @@ fun dir ->
+  let _, j = open_exn ~key:jkey ~dir ~server_id:1 () in
+  append_exn j (entry ~seq:1 ());
+  (match CkF.journal_truncate j with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "truncate: %s" (Ck.string_of_error e));
+  append_exn j (entry ~seq:2 ~client:500 ());
+  CkF.journal_close j;
+  let entries, j = open_exn ~key:jkey ~dir ~server_id:1 () in
+  CkF.journal_close j;
+  Alcotest.(check int) "only post-truncate records" 1 (List.length entries);
+  Alcotest.(check int) "post-truncate client" 500
+    (List.hd entries).CkF.j_client
+
+let test_journal_wrong_server () =
+  (* a journal naming another server must not replay into this one *)
+  with_temp_dir @@ fun dir ->
+  let _, j = open_exn ~key:jkey ~dir ~server_id:1 () in
+  append_exn j (entry ~seq:1 ());
+  CkF.journal_close j;
+  Unix.rename
+    (Ck.journal_path ~dir ~server_id:1)
+    (Ck.journal_path ~dir ~server_id:2);
+  match
+    CkF.journal_open
+      ~key:(Ck.derive_journal_key ~master ~server_id:2)
+      ~dir ~server_id:2 ()
+  with
+  | Error (Ck.Malformed _ | Ck.Bad_hmac) -> ()
+  | Error e -> Alcotest.failf "unexpected %s" (Ck.string_of_error e)
+  | Ok (_, j) ->
+    CkF.journal_close j;
+    Alcotest.fail "replayed another server's journal"
+
 (* ------------------------- server state machine ---------------------- *)
 
 let make_server () =
@@ -221,17 +368,20 @@ let test_capture_apply () =
   let s = make_server () in
   let share = Array.init 8 (fun _ -> F.random rng) in
   Srv.accumulate s share;
-  Srv.record_decision s ~client_id:7 true;
-  Srv.record_decision s ~client_id:9 false;
+  ignore (Srv.record_decision s ~client_id:7 true : bool);
+  ignore (Srv.record_decision s ~client_id:9 false : bool);
   let snap = CkF.of_server s in
   Alcotest.(check int) "accepted captured" 1 snap.CkF.accepted;
   Alcotest.(check int) "decided captured" 2 snap.CkF.decided_in_epoch;
+  Alcotest.(check int) "journal watermark captured" 2 snap.CkF.journal_seq;
   let fresh = make_server () in
   CkF.apply snap fresh;
   Alcotest.(check bool) "accumulator restored" true
     (Array.for_all2 F.equal s.Srv.accumulator fresh.Srv.accumulator);
   Alcotest.(check int) "accepted restored" 1 fresh.Srv.accepted;
   Alcotest.(check int) "epoch restored" 0 fresh.Srv.epoch;
+  Alcotest.(check int) "journal watermark restored" 2
+    fresh.Srv.journal_seq;
   (* tables restart empty: only the digest commitment crosses a restore *)
   Alcotest.(check int) "resident reset" 0 (Srv.resident_entries fresh);
   Alcotest.(check bool) "digest carried" true
@@ -239,20 +389,32 @@ let test_capture_apply () =
 
 let test_rotate_epoch () =
   let s = make_server () in
-  Srv.record_decision s ~client_id:1 true;
-  Srv.record_decision s ~client_id:1 false;
+  Alcotest.(check bool) "first write wins" true
+    (Srv.record_decision s ~client_id:1 true);
+  Alcotest.(check bool) "duplicate refused" false
+    (Srv.record_decision s ~client_id:1 false);
   (* duplicate: one distinct client *)
-  Srv.record_decision s ~client_id:2 true;
+  ignore (Srv.record_decision s ~client_id:2 true : bool);
   Alcotest.(check int) "distinct decisions" 2 s.Srv.decided_in_epoch;
+  Alcotest.(check int) "journal seq tracks firsts" 2 s.Srv.journal_seq;
   let digest_before = Bytes.copy s.Srv.replay_digest in
   Srv.rotate_epoch s;
   Alcotest.(check int) "epoch bumped" 1 s.Srv.epoch;
   Alcotest.(check int) "counter reset" 0 s.Srv.decided_in_epoch;
-  Alcotest.(check int) "tables dropped" 0 (Srv.resident_entries s);
-  Alcotest.(check bool) "decision forgotten" true
-    (Srv.decision s ~client_id:1 = None);
+  (* two-generation retirement: the closed epoch's decisions stay
+     resident (and answerable — the duplicate at client 1 kept the first
+     verdict) for one more epoch before being dropped *)
+  Alcotest.(check int) "previous generation retained" 2
+    (Srv.resident_entries s);
+  Alcotest.(check bool) "decision still answerable" true
+    (Srv.decision s ~client_id:1 = Some true);
   Alcotest.(check bool) "digest chained" false
-    (Bytes.equal digest_before s.Srv.replay_digest)
+    (Bytes.equal digest_before s.Srv.replay_digest);
+  Srv.rotate_epoch s;
+  Alcotest.(check int) "tables dropped after two rotations" 0
+    (Srv.resident_entries s);
+  Alcotest.(check bool) "decision forgotten after two rotations" true
+    (Srv.decision s ~client_id:1 = None)
 
 let test_apply_width_mismatch () =
   let snap = snapshot ~width:4 () in
@@ -282,6 +444,14 @@ let () =
             test_crashed_writer_leftover;
           Alcotest.test_case "corrupted on disk" `Quick
             test_corrupted_file_on_disk;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
+          Alcotest.test_case "tamper" `Quick test_journal_tamper;
+          Alcotest.test_case "truncate" `Quick test_journal_truncate;
+          Alcotest.test_case "wrong server" `Quick test_journal_wrong_server;
         ] );
       ( "server",
         [

@@ -588,12 +588,199 @@ let test_restore_chaos_drill () =
         (string_of_int !total)
         (Prio_bigint.Bigint.to_string sigma))
 
-(* ------------------------- telemetry plane --------------------------- *)
-
 let contains ~affix s =
   let n = String.length affix and m = String.length s in
   let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
   go 0
+
+let test_commit_window_chaos_drill () =
+  (* The decision-broadcast durability hole, aimed at exactly: a follower
+     dies on receipt of the leader's [a] frame — after the verdict, before
+     journaling or acking it. With the two-phase commit the leader
+     withholds the client ack ([Commit_pending]), the client resubmits,
+     and the repair re-broadcast lands the decision on the restored
+     follower; aggregate and accept counts must match a no-fault run.
+     Under a fire-and-forget broadcast this drill fails: the leader acks
+     immediately, the crashed follower forgets the share forever, and the
+     aggregate comes up short. *)
+  let afe = Sum.sum ~bits:4 in
+  let values = [ 3; 7; 12; 5; 9 ] in
+  let run_reference () =
+    with_temp_dir "commit-ref" @@ fun dir ->
+    let tuning = NetT.{ fast_tuning with checkpoint_dir = Some dir } in
+    with_deployment ~tuning afe (fun d ->
+        let accepted = ref 0 in
+        List.iteri
+          (fun i x ->
+            match
+              Net.submit_outcome d ~rng ~client_id:i (afe.A.encode ~rng x)
+            with
+            | Net.Accepted -> incr accepted
+            | Net.Rejected why ->
+              Alcotest.failf "reference run rejected %d: %s" x why
+            | Net.Unreachable e ->
+              Alcotest.failf "reference run unreachable for %d: %s" x
+                (NetT.string_of_protocol_error e))
+          values;
+        ( !accepted,
+          Prio_bigint.Bigint.to_string
+            (afe.A.decode ~n:!accepted (collect_exn d)) ))
+  in
+  let ref_accepted, ref_total = run_reference () in
+  with_temp_dir "commit-drill" @@ fun dir ->
+  let tuning = NetT.{ fast_tuning with checkpoint_dir = Some dir } in
+  (* one-shot targeted fault: follower 2 dies on its first [a] frame.
+     [faults_for] is evaluated inside each forked server, so the disarm
+     flag must live on the shared filesystem — a ref mutated in the
+     child would leave the parent re-arming the crash on restart *)
+  let armed = Filename.concat dir "fault-armed" in
+  close_out (open_out armed);
+  let faults_for id =
+    if id = 2 && Sys.file_exists armed then begin
+      (try Sys.remove armed with Sys_error _ -> ());
+      Some (Faults.create ~seed:"commit-window" (Faults.crash_on ~tags:"a" 1.0))
+    end
+    else None
+  in
+  with_deployment ~tuning ~faults_for afe (fun d ->
+      let commit_crashes = ref 0 and accepted = ref 0 in
+      let revive () =
+        Array.iteri
+          (fun i st ->
+            match st with
+            | Net.Exited (Unix.WEXITED 70) ->
+              incr commit_crashes;
+              Net.restart_server d i
+            | Net.Exited _ -> Net.restart_server d i
+            | Net.Running -> ())
+          (Net.poll_servers d)
+      in
+      List.iteri
+        (fun i x ->
+          (* packets sealed once and retried verbatim: the repair path
+             must be driven by the SAME submission, not a fresh id *)
+          let pk =
+            Cl.submit ~rng
+              ~mode:(Cl.Robust_snip afe.A.circuit)
+              ~num_servers:3 ~client_id:i ~master:d.Net.cfg.Net.master
+              (afe.A.encode ~rng x)
+          in
+          let rec attempt tries =
+            match Net.submit_packets_outcome d ~rng ~client_id:i pk with
+            | Net.Accepted -> incr accepted
+            | (Net.Rejected _ | Net.Unreachable _) when tries < 5 ->
+              (* the commit-window crash surfaces as a withheld ack plus
+                 a dead port: restore the follower, resubmit *)
+              revive ();
+              attempt (tries + 1)
+            | Net.Rejected why ->
+              Alcotest.failf "value %d never landed: rejected: %s" x why
+            | Net.Unreachable e ->
+              Alcotest.failf "value %d never landed: %s" x
+                (NetT.string_of_protocol_error e)
+          in
+          attempt 0)
+        values;
+      revive ();
+      Alcotest.(check int) "the drill crashed inside the commit window" 1
+        !commit_crashes;
+      (* the repair actually ran on the leader, and every decision was
+         write-ahead journaled there *)
+      let prom = ok_exn (NetT.scrape_metrics ~tuning d.Net.addrs.(0)) in
+      Alcotest.(check bool) "leader repaired the partial broadcast" true
+        (contains ~affix:"prio_commit_repairs_total 1" prom);
+      Alcotest.(check bool) "leader journaled every verdict" true
+        (contains
+           ~affix:
+             (Printf.sprintf "prio_journal_appends_total %d"
+                (List.length values))
+           prom);
+      (* consistency against the no-fault run: same accept count, same
+         aggregate — nothing lost in the crashed window, nothing doubled
+         by the resubmission + repair *)
+      Alcotest.(check int) "accept count matches no-fault run" ref_accepted
+        !accepted;
+      let sigma = afe.A.decode ~n:!accepted (collect_exn d) in
+      Alcotest.(check string) "aggregate matches no-fault run" ref_total
+        (Prio_bigint.Bigint.to_string sigma))
+
+let test_degraded_abort_idempotent () =
+  (* Regression for the degraded-abort hole: when a follower dies
+     mid-gossip the leader aborts the submission. The abort itself is now
+     journaled and its [r] broadcast acked — so a retry of the same
+     submission can only ever re-read the journaled verdict (first write
+     wins), never re-verify into a contradictory accept. *)
+  let afe = Sum.sum ~bits:4 in
+  with_temp_dir "abort-journal" @@ fun dir ->
+  let tuning = NetT.{ fast_tuning with checkpoint_dir = Some dir } in
+  with_deployment ~tuning afe (fun d ->
+      Alcotest.(check bool) "healthy accept" true
+        (Net.submit d ~rng ~client_id:0 (afe.A.encode ~rng 5));
+      let pk =
+        Cl.submit ~rng
+          ~mode:(Cl.Robust_snip afe.A.circuit)
+          ~num_servers:3 ~client_id:1 ~master:d.Net.cfg.Net.master
+          (afe.A.encode ~rng 7)
+      in
+      let exchange addr frame =
+        let fd = ok_exn (NetT.dial addr) in
+        ignore (NetT.write_frame fd frame);
+        let r = ok_exn (NetT.read_frame ~deadline:(Retry.after 5.0) fd) in
+        Unix.close fd;
+        r
+      in
+      List.iter
+        (fun i ->
+          let p =
+            NetT.tagged 'P'
+              (Bytes.cat (NetT.put_u32 1)
+                 (Bytes.cat (NetT.ctx_bytes ()) pk.Cl.sealed.(i)))
+          in
+          Alcotest.(check char) "P acked" 'K'
+            (Bytes.get (exchange d.Net.addrs.(i) p) 0))
+        [ 1; 2; 0 ];
+      (* follower 2 dies between upload and verification: the verify
+         degrades into an abort *)
+      Unix.kill d.Net.pids.(2) Sys.sigkill;
+      Unix.sleepf 0.05;
+      (match
+         NetT.parse_error_frame
+           (exchange d.Net.addrs.(0) (NetT.tagged 'V' (NetT.put_u32 1)))
+       with
+      | Some (NetT.Unavailable, _) -> ()
+      | Some (c, detail) ->
+        Alcotest.failf "expected E/unavailable, got %s: %s"
+          (NetT.string_of_error_code c) detail
+      | None -> Alcotest.fail "expected a clean degraded refusal");
+      (* the abort reached the healthy follower as an ACKED, JOURNALED
+         [r]: its journal holds the accept from client 0 plus this
+         reject — no fire-and-forget gap *)
+      let prom1 = ok_exn (NetT.scrape_metrics ~tuning d.Net.addrs.(1)) in
+      Alcotest.(check bool) "healthy follower journaled the abort" true
+        (contains ~affix:"prio_journal_appends_total 2" prom1);
+      (* retrying the aborted submission — across a follower restart,
+         with the original packets — replays the journaled reject
+         idempotently; it must NOT re-verify into an accept on any
+         server (the contradictory-decision hole) *)
+      Net.restart_server d 2;
+      (match Net.submit_packets_outcome d ~rng ~client_id:1 pk with
+      | Net.Rejected _ -> ()
+      | Net.Accepted ->
+        Alcotest.fail "aborted submission re-verified into an accept"
+      | Net.Unreachable e ->
+        Alcotest.failf "retry unreachable: %s"
+          (NetT.string_of_protocol_error e));
+      (* a third probe straight at the leader: still the same verdict *)
+      Alcotest.(check char) "abort verdict sticky" 'R'
+        (Bytes.get
+           (exchange d.Net.addrs.(0) (NetT.tagged 'V' (NetT.put_u32 1)))
+           0);
+      (* and the aborted share contaminated no accumulator *)
+      let sigma = afe.A.decode ~n:1 (collect_exn d) in
+      Alcotest.(check string) "aggregate excludes the aborted share" "5"
+        (Prio_bigint.Bigint.to_string sigma))
+
+(* ------------------------- telemetry plane --------------------------- *)
 
 let test_scrape_and_health () =
   let afe = Sum.sum ~bits:4 in
@@ -811,6 +998,10 @@ let () =
             test_restore_equals_uninterrupted;
           Alcotest.test_case "seeded crash+restore drill" `Quick
             test_restore_chaos_drill;
+          Alcotest.test_case "commit-window chaos drill" `Quick
+            test_commit_window_chaos_drill;
+          Alcotest.test_case "degraded abort journaled and idempotent" `Quick
+            test_degraded_abort_idempotent;
         ] );
       ( "telemetry",
         [

@@ -348,6 +348,48 @@ let test_percentiles () =
   Alcotest.(check bool) "p99 in the high mode" true (p99 > 1.0);
   Alcotest.(check (float 0.)) "q=1 clamps to max" hv.Metrics.hv_max (pct 1.0)
 
+let test_percentile_degenerate_views () =
+  (* a snapshot racing a concurrent observe can publish a partial view:
+     the count already bumped but the bucket (or the min/max cells) not
+     yet. percentile must answer None for these — never the
+     [neg_infinity] sentinel or an interpolated value below any sample *)
+  let partial =
+    {
+      Metrics.hv_count = 1;
+      hv_sum = 0.5;
+      hv_min = infinity;
+      hv_max = neg_infinity;
+      hv_buckets = [||];
+    }
+  in
+  Alcotest.(check (option (float 0.)))
+    "count without buckets has no percentiles" None
+    (Metrics.percentile partial 0.5);
+  let no_extrema =
+    { partial with Metrics.hv_buckets = [| (1.0, 1) |] }
+  in
+  Alcotest.(check (option (float 0.)))
+    "buckets without finite min/max have no percentiles" None
+    (Metrics.percentile no_extrema 0.99);
+  (* single-bucket point mass: the exact value, not a point interpolated
+     below it inside the power-of-two bucket *)
+  let point =
+    {
+      Metrics.hv_count = 3;
+      hv_sum = 2.1;
+      hv_min = 0.7;
+      hv_max = 0.7;
+      hv_buckets = [| (1.0, 3) |];
+    }
+  in
+  List.iter
+    (fun q ->
+      Alcotest.(check (option (float 0.)))
+        (Printf.sprintf "single-bucket point mass: q=%.2f" q)
+        (Some 0.7)
+        (Metrics.percentile point q))
+    [ 0.0; 0.5; 1.0 ]
+
 (* ----------------- cross-process context & merging -------------------- *)
 
 let test_context_roundtrip () =
@@ -603,6 +645,8 @@ let () =
           Alcotest.test_case "multi-domain hammer loses nothing" `Quick
             test_metrics_domain_hammer;
           Alcotest.test_case "percentile estimation" `Quick test_percentiles;
+          Alcotest.test_case "percentile degenerate views" `Quick
+            test_percentile_degenerate_views;
         ] );
       ( "integration",
         [
